@@ -1,0 +1,88 @@
+// Command misam-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	misam-bench                      # every experiment at the default scale
+//	misam-bench -experiment fig10    # one experiment
+//	misam-bench -scale paper         # paper-scale corpora and workloads (slow)
+//	misam-bench -scale quick         # smallest sizes (CI)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"misam/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("misam-bench: ")
+
+	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	ctx := experiments.NewContext(cfg)
+	w := os.Stdout
+
+	type driver struct {
+		name string
+		run  func() error
+	}
+	drivers := []driver{
+		{"fig1", func() error { experiments.Figure1(w); return nil }},
+		{"table1", func() error { experiments.Table1(w); return nil }},
+		{"table2", func() error { experiments.Table2(w); return nil }},
+		{"table3", func() error { experiments.Table3(ctx, w); return nil }},
+		{"fig6", func() error { experiments.Figure6(w); return nil }},
+		{"fig3", func() error { _, err := experiments.Figure3(ctx, w); return err }},
+		{"fig4", func() error { _, err := experiments.Figure4(ctx, w); return err }},
+		{"table4", func() error { _, err := experiments.Table4(ctx, w); return err }},
+		{"table5", func() error { _, err := experiments.Table5(ctx, w); return err }},
+		{"fig8", func() error { _, err := experiments.Figure8(ctx, w); return err }},
+		{"fig9", func() error { _, err := experiments.Figure9(ctx, w); return err }},
+		{"fig10", func() error { _, err := experiments.Figure10(ctx, w); return err }},
+		{"fig11", func() error { _, err := experiments.Figure11(ctx, w); return err }},
+		{"fig12", func() error { _, err := experiments.Figure12(ctx, w); return err }},
+		{"fig13", func() error { _, err := experiments.Figure13(ctx, w); return err }},
+		{"multitenant", func() error { experiments.MultiTenant(w); return nil }},
+		{"router", func() error { _, err := experiments.Router(ctx, w); return err }},
+		{"objective", func() error { _, err := experiments.Objective(ctx, w); return err }},
+		{"reconfigmodes", func() error { _, err := experiments.ReconfigModes(ctx, w); return err }},
+		{"learningcurve", func() error { _, err := experiments.LearningCurve(ctx, w); return err }},
+		{"phases", func() error { _, err := experiments.Phases(ctx, w); return err }},
+		{"heuristics", func() error { _, err := experiments.Heuristics(ctx, w); return err }},
+	}
+
+	want := strings.ToLower(*experiment)
+	ran := 0
+	for _, d := range drivers {
+		if want != "all" && want != d.name {
+			continue
+		}
+		if err := d.run(); err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+	fmt.Fprintf(w, "\n%d experiment(s) complete at scale %q\n", ran, *scale)
+}

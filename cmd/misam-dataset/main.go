@@ -1,0 +1,76 @@
+// Command misam-dataset generates a labelled training corpus and emits it
+// as CSV (features, per-design latencies, best-design label) for external
+// analysis, plus a summary of the class balance.
+//
+// Usage:
+//
+//	misam-dataset -n 2000 -maxdim 1024 -o corpus.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"misam/internal/dataset"
+	"misam/internal/features"
+	"misam/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("misam-dataset: ")
+
+	n := flag.Int("n", 500, "number of labelled samples (paper: 6219)")
+	maxDim := flag.Int("maxdim", 1024, "maximum matrix dimension")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("o", "", "CSV output path (stdout if empty)")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	corpus, err := dataset.GenerateClassifier(rng, *n, *maxDim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var w *bufio.Writer
+	if *out == "" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	// Header: family, features..., latencies..., label.
+	cols := append([]string{"family"}, features.Names()...)
+	for _, id := range sim.AllDesigns {
+		cols = append(cols, strings.ReplaceAll(id.String(), " ", "_")+"_sec")
+	}
+	cols = append(cols, "best")
+	fmt.Fprintln(w, strings.Join(cols, ","))
+
+	for _, s := range corpus.Samples {
+		fields := []string{s.Pair.Family}
+		for _, v := range s.Features {
+			fields = append(fields, fmt.Sprintf("%g", v))
+		}
+		for _, id := range sim.AllDesigns {
+			fields = append(fields, fmt.Sprintf("%g", s.LatencySec[id]))
+		}
+		fields = append(fields, fmt.Sprint(int(s.Best)))
+		fmt.Fprintln(w, strings.Join(fields, ","))
+	}
+
+	counts := corpus.ClassCounts()
+	fmt.Fprintf(os.Stderr, "generated %d samples: D1=%d D2=%d D3=%d D4=%d\n",
+		len(corpus.Samples), counts[0], counts[1], counts[2], counts[3])
+}

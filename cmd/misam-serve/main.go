@@ -1,0 +1,53 @@
+// Command misam-serve runs the selection service: a host daemon fronting
+// one (simulated) FPGA that accepts workloads over HTTP and answers with
+// the selected design, the reconfiguration verdict, and latency/energy
+// estimates.
+//
+//	misam-serve -model misam.model -addr :8080
+//	curl -s localhost:8080/v1/designs | jq
+//	curl -s -X POST localhost:8080/v1/analyze \
+//	     -d '{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"}' | jq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"misam"
+	"misam/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("misam-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	model := flag.String("model", "", "trained model file (trains a default model if empty)")
+	flag.Parse()
+
+	var fw *misam.Framework
+	var err error
+	if *model != "" {
+		f, err := os.Open(*model)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fw, err = misam.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Println("no -model given; training a default model...")
+		fw, err = misam.Train(misam.DefaultTrainOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("serving on %s (GET /healthz, GET /v1/designs, POST /v1/analyze)\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(fw).Handler()))
+}

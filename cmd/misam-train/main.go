@@ -1,0 +1,105 @@
+// Command misam-train trains the Misam models — the dataflow-selection
+// decision tree (§3.1) and the reconfiguration engine's latency predictor
+// (§3.3) — on a freshly generated synthetic corpus and writes them to a
+// model file loadable by misam-run.
+//
+// Usage:
+//
+//	misam-train -o misam.model -corpus 2000 -latency-corpus 4000 -maxdim 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"misam"
+	"misam/internal/dataset"
+	"misam/internal/mltree"
+	"misam/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("misam-train: ")
+
+	out := flag.String("o", "misam.model", "output model file")
+	corpus := flag.Int("corpus", 800, "classifier corpus size (paper: 6219)")
+	latCorpus := flag.Int("latency-corpus", 1600, "latency-predictor corpus size (paper: 19000)")
+	maxDim := flag.Int("maxdim", 1024, "maximum generated matrix dimension")
+	seed := flag.Int64("seed", 1, "corpus generation seed")
+	depth := flag.Int("depth", 10, "decision tree maximum depth")
+	topFeatures := flag.Bool("top-features", false, "prune the selector to the four Figure 4 features")
+	threshold := flag.Float64("threshold", 0.20, "reconfiguration threshold (§3.3)")
+	corpusFile := flag.String("corpus-file", "", "load the labelled corpus from this file instead of generating (see -save-corpus)")
+	saveCorpus := flag.String("save-corpus", "", "after generating, cache the labelled corpus here for reuse")
+	flag.Parse()
+
+	opts := misam.TrainOptions{
+		CorpusSize:        *corpus,
+		LatencyCorpusSize: *latCorpus,
+		MaxDim:            *maxDim,
+		Seed:              *seed,
+		MaxDepth:          *depth,
+		TopFeaturesOnly:   *topFeatures,
+		Threshold:         *threshold,
+	}
+
+	var fw *misam.Framework
+	var err error
+	if *corpusFile != "" {
+		fmt.Printf("loading labelled corpus from %s...\n", *corpusFile)
+		f, err := os.Open(*corpusFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := dataset.ReadCorpus(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("corpus: %d labelled samples\n", len(c.Samples))
+		fw, err = misam.TrainOnCorpus(c, nil, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("training on %d-sample corpus (latency corpus %d, maxdim %d)...\n", *corpus, *latCorpus, *maxDim)
+		fw, err = misam.Train(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *saveCorpus != "" {
+			f, err := os.Create(*saveCorpus)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := dataset.WriteCorpus(f, fw.Corpus); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("labelled corpus cached to %s\n", *saveCorpus)
+		}
+	}
+
+	counts := fw.Corpus.ClassCounts()
+	fmt.Printf("corpus class balance: D1=%d D2=%d D3=%d D4=%d\n",
+		counts[sim.Design1], counts[sim.Design2], counts[sim.Design3], counts[sim.Design4])
+	acc := mltree.Accuracy(fw.Selector.Tree.PredictBatch(fw.Corpus.X()), fw.Corpus.Labels())
+	fmt.Printf("selector training accuracy: %.1f%%\n", acc*100)
+	if sz, err := fw.Selector.SizeBytes(); err == nil {
+		fmt.Printf("selector model size: %d bytes (paper: ~6 KB)\n", sz)
+	}
+	fmt.Printf("selector depth %d, %d nodes\n", fw.Selector.Tree.Depth(), fw.Selector.Tree.NumNodes())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fw.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("models written to %s\n", *out)
+}

@@ -1,0 +1,99 @@
+package misam_test
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+
+	"misam"
+)
+
+// ExampleNewMatrix builds a matrix from coordinate entries.
+func ExampleNewMatrix() {
+	m, err := misam.NewMatrix(2, 3, []misam.Entry{
+		{Row: 0, Col: 0, Val: 1},
+		{Row: 0, Col: 2, Val: 2},
+		{Row: 1, Col: 1, Val: 3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Rows, m.Cols, m.NNZ())
+	fmt.Println(m.At(0, 2))
+	// Output:
+	// 2 3 3
+	// 2
+}
+
+// ExampleReadMatrixMarket parses the SuiteSparse interchange format.
+func ExampleReadMatrixMarket() {
+	const mtx = `%%MatrixMarket matrix coordinate real general
+3 3 2
+1 1 4.0
+3 2 -1.5
+`
+	m, err := misam.ReadMatrixMarket(strings.NewReader(mtx))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.NNZ(), m.At(2, 1))
+	// Output:
+	// 2 -1.5
+}
+
+// ExampleWriteMatrixMarket round-trips a matrix through the exchange
+// format.
+func ExampleWriteMatrixMarket() {
+	m := misam.Identity(2)
+	var buf bytes.Buffer
+	if err := misam.WriteMatrixMarket(&buf, m); err != nil {
+		log.Fatal(err)
+	}
+	back, err := misam.ReadMatrixMarket(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(back.NNZ())
+	// Output:
+	// 2
+}
+
+// ExampleMaxInstances reproduces the §6.2 packing arithmetic.
+func ExampleMaxInstances() {
+	fmt.Println(misam.MaxInstances(misam.Design1, 100))
+	fmt.Println(misam.MaxInstances(misam.Design2, 100))
+	// Output:
+	// 1
+	// 2
+}
+
+// ExampleSharedBitstream shows the free Design 2 ↔ Design 3 switch.
+func ExampleSharedBitstream() {
+	fmt.Println(misam.SharedBitstream(misam.Design2, misam.Design3))
+	fmt.Println(misam.SharedBitstream(misam.Design1, misam.Design4))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleTrain shows the end-to-end selection pipeline. (Latency and
+// design choice depend on the trained model, so nothing model-dependent
+// is printed.)
+func ExampleTrain() {
+	fw, err := misam.Train(misam.TrainOptions{CorpusSize: 60, MaxDim: 256, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := misam.RandUniform(1, 500, 500, 0.01)
+	b := misam.RandDense(2, 500, 32)
+	c, report, err := fw.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(c.Rows, c.Cols)
+	fmt.Println(report.Design >= misam.Design1 && report.Design <= misam.Design4)
+	// Output:
+	// 500 32
+	// true
+}

@@ -1,0 +1,78 @@
+// DNN pruning example (the paper's MS×D / MS×MS workloads): run the
+// layers of a pruned ResNet-style network through Misam and compare the
+// adaptive selection against pinning any single design for the whole
+// network — the scenario where per-layer sparsity regimes differ enough
+// that no fixed dataflow is right everywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misam"
+)
+
+// layer describes one im2col-style weight matrix and its pruned density.
+type layer struct {
+	name    string
+	m, k    int
+	density float64
+}
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training Misam models...")
+	fw, err := misam.Train(misam.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A pruned network: early layers keep more weights, later layers are
+	// pruned harder (the paper's STR pruning at 0.1/0.2 densities), and
+	// the classifier head stays denser.
+	layers := []layer{
+		{"conv1", 64, 147, 0.5},
+		{"conv2_x", 256, 576, 0.2},
+		{"conv3_x", 512, 1152, 0.2},
+		{"conv4_x", 1024, 2304, 0.1},
+		{"conv5_x", 2048, 4608, 0.1},
+		{"fc", 1000, 2048, 0.3},
+	}
+	const seqLen = 512 // activation block width (the paper's MS×D setup)
+
+	var misamTotal float64
+	fixedTotal := map[misam.Design]float64{}
+	fmt.Printf("\n%-10s %12s %12s %10s\n", "layer", "shape", "design", "time(ms)")
+	for i, l := range layers {
+		w := misam.RandDNNPruned(int64(i+1), l.m, l.k, l.density)
+		act := misam.RandDense(int64(100+i), l.k, seqLen)
+
+		rep, err := fw.Analyze(w, act)
+		if err != nil {
+			log.Fatal(err)
+		}
+		misamTotal += rep.SimulatedSeconds
+		fmt.Printf("%-10s %6dx%-6d %12v %10.3f\n", l.name, l.m, l.k, rep.Design, rep.SimulatedSeconds*1e3)
+
+		all, err := misam.SimulateAllDesigns(w, act)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for id, r := range all {
+			fixedTotal[misam.Design(id)] += r.Seconds
+		}
+	}
+
+	fmt.Printf("\nnetwork total with Misam's per-layer selection: %.3f ms\n", misamTotal*1e3)
+	for _, id := range []misam.Design{misam.Design1, misam.Design2, misam.Design3, misam.Design4} {
+		fmt.Printf("fixed %v for every layer: %.3f ms (%.2fx vs Misam)\n",
+			id, fixedTotal[id]*1e3, fixedTotal[id]/misamTotal)
+	}
+
+	cmp := misam.CompareBaselines(
+		misam.RandDNNPruned(1, 1024, 2304, 0.1),
+		misam.RandDense(2, 2304, seqLen))
+	fmt.Printf("\nfor the conv4-sized layer, modeled baselines: CPU %.3f ms, GPU %.3f ms\n",
+		cmp.CPUSeconds*1e3, cmp.GPUSeconds*1e3)
+}

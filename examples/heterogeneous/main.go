@@ -1,0 +1,63 @@
+// Heterogeneous routing example (§6.3): Misam's selector generalizes
+// beyond picking FPGA designs — trained over device-level labels it
+// routes each workload to the fastest of {CPU, GPU, Misam}, "correctly
+// rout[ing] workloads to the GPU when it consistently offers better
+// performance".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misam"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training Misam models and the device router...")
+	fw, err := misam.Train(misam.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	router, err := misam.TrainRouter(fw)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		a, b *misam.Matrix
+	}{
+		{"dense GEMM-like (MSxD)", misam.RandDNNPruned(1, 1024, 1024, 0.5), misam.RandDense(2, 1024, 512)},
+		{"pruned MSxMS", misam.RandDNNPruned(3, 1024, 1024, 0.1), misam.RandDNNPruned(4, 1024, 512, 0.2)},
+		{"graph HSxHS", misam.RandPowerLaw(5, 20000, 20000, 80000, 1.9), nil},
+		{"solver HSxD", misam.RandBanded(6, 30000, 30000, 4, 0.8), misam.RandDense(7, 30000, 512)},
+		{"tiny sparse", misam.RandUniform(8, 400, 400, 0.004), misam.RandDense(9, 400, 8)},
+	}
+
+	fmt.Printf("\n%-24s %10s %10s | %12s %12s %12s\n",
+		"workload", "routed", "oracle", "CPU(ms)", "GPU(ms)", "Misam(ms)")
+	for _, c := range cases {
+		b := c.b
+		if b == nil {
+			b = c.a // self multiplication
+		}
+		lat, err := misam.DeviceLatencies(c.a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oracle := misam.DeviceCPU
+		for d := misam.DeviceCPU; d < misam.NumDevices; d++ {
+			if lat[d] < lat[oracle] {
+				oracle = d
+			}
+		}
+		routed := router.Route(misam.ExtractFeatures(c.a, b))
+		fmt.Printf("%-24s %10v %10v | %12.3f %12.3f %12.3f\n",
+			c.name, routed, oracle,
+			lat[misam.DeviceCPU]*1e3, lat[misam.DeviceGPU]*1e3, lat[misam.DeviceMisam]*1e3)
+	}
+	fmt.Println("\nThe router reads the same §3.1 features the design selector uses; only")
+	fmt.Println("the labels change — any cost model can sit behind a class.")
+}

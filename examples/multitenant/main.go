@@ -1,0 +1,51 @@
+// Multi-tenant example (§6.2): Misam's specialized bitstreams leave most
+// of the FPGA fabric free, so independent workloads can co-locate —
+// unlike a monolithic ASIC that pays for every dataflow's silicon all the
+// time.
+package main
+
+import (
+	"fmt"
+
+	"misam"
+)
+
+func main() {
+	designs := []misam.Design{misam.Design1, misam.Design2, misam.Design3, misam.Design4}
+
+	fmt.Println("Table 2 resource footprints (percent of the U55C):")
+	fmt.Printf("%-10s %7s %7s %7s %7s %7s\n", "design", "LUT", "FF", "BRAM", "URAM", "DSP")
+	for _, id := range designs {
+		r := misam.DesignResources(id)
+		fmt.Printf("%-10v %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n", id, r.LUT, r.FF, r.BRAM, r.URAM, r.DSP)
+	}
+
+	fmt.Println("\nreplication (how many copies fit):")
+	for _, id := range designs {
+		fmt.Printf("  %v: %d at raw fabric limits, %d with 25%% shell/routing reserve\n",
+			id, misam.MaxInstances(id, 100), misam.MaxInstances(id, 75))
+	}
+
+	fmt.Println("\nco-location feasibility:")
+	mixes := [][]misam.Design{
+		{misam.Design1, misam.Design4},
+		{misam.Design2, misam.Design4},
+		{misam.Design2, misam.Design2},
+		{misam.Design1, misam.Design2},
+		{misam.Design4, misam.Design4, misam.Design4},
+	}
+	for _, mix := range mixes {
+		verdict := "does NOT fit"
+		if misam.CanCoLocate(mix, 100) {
+			verdict = "fits"
+		}
+		fmt.Printf("  %v: %s\n", mix, verdict)
+	}
+
+	fmt.Println("\nbitstream logistics:")
+	for _, id := range designs {
+		fmt.Printf("  %v: %d MB bitstream\n", id, misam.BitstreamBytes(id)>>20)
+	}
+	fmt.Printf("\nDesigns 2 and 3 share a bitstream: swap is free (%v)\n",
+		misam.SharedBitstream(misam.Design2, misam.Design3))
+}

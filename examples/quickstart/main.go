@@ -1,0 +1,59 @@
+// Quickstart: train a small Misam framework, multiply one sparse matrix
+// pair, and inspect what the framework decided.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"misam"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Train the dataflow selector and latency predictor on a synthetic
+	// corpus. DefaultTrainOptions trains in a few seconds; production
+	// deployments would raise CorpusSize toward the paper's 6,219.
+	fmt.Println("training Misam models...")
+	fw, err := misam.Train(misam.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sz, err := fw.Selector.SizeBytes(); err == nil {
+		fmt.Printf("trained selector: %d bytes (the paper's deployed tree is ~6 KB)\n\n", sz)
+	}
+
+	// A graph-like sparse matrix times a dense block of feature vectors —
+	// a GNN aggregation step.
+	a := misam.RandPowerLaw(1, 20000, 20000, 80000, 1.9)
+	b := misam.RandDense(2, 20000, 64)
+	fmt.Printf("A: %dx%d with %d nonzeros; B: %dx%d dense\n", a.Rows, a.Cols, a.NNZ(), b.Rows, b.Cols)
+
+	c, report, err := fw.Multiply(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("C: %dx%d with %d nonzeros\n\n", c.Rows, c.Cols, c.NNZ())
+
+	fmt.Printf("selected design      : %v\n", report.Design)
+	fmt.Printf("feature extraction   : %.3f ms\n", report.PreprocessSeconds*1e3)
+	fmt.Printf("model inference      : %.6f ms\n", report.InferenceSeconds*1e3)
+	fmt.Printf("simulated FPGA time  : %.3f ms (%.0f%% PE utilization)\n",
+		report.SimulatedSeconds*1e3, report.PEUtilization*100)
+	fmt.Printf("energy estimate      : %.3f mJ\n", report.EnergyJoules*1e3)
+
+	// How would the alternatives have done?
+	results, err := misam.SimulateAllDesigns(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nall designs on this workload:")
+	for id, r := range results {
+		marker := "  "
+		if misam.Design(id) == report.Design {
+			marker = "→ "
+		}
+		fmt.Printf("%s%v: %.3f ms\n", marker, misam.Design(id), r.Seconds*1e3)
+	}
+}

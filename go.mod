@@ -1,0 +1,3 @@
+module misam
+
+go 1.22

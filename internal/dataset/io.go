@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Corpus persistence: labelling a paper-scale corpus costs minutes of
+// simulation, so trained corpora can be cached and shared between the
+// selector, the latency predictor, the Trapezoid integration and the
+// device router without re-simulating.
+
+// WriteCorpus gob-encodes the corpus (gzip-compressed) including the
+// operand matrices, features, latencies and energies.
+func WriteCorpus(w io.Writer, c *Corpus) error {
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(c); err != nil {
+		return fmt.Errorf("dataset: encode corpus: %w", err)
+	}
+	return zw.Close()
+}
+
+// ReadCorpus decodes a corpus written by WriteCorpus and validates its
+// structural invariants.
+func ReadCorpus(r io.Reader) (*Corpus, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: corpus is not gzip: %w", err)
+	}
+	defer zr.Close()
+	var c Corpus
+	if err := gob.NewDecoder(zr).Decode(&c); err != nil {
+		return nil, fmt.Errorf("dataset: decode corpus: %w", err)
+	}
+	for i := range c.Samples {
+		s := &c.Samples[i]
+		if s.Pair.A == nil || s.Pair.B == nil {
+			return nil, fmt.Errorf("dataset: sample %d missing operands", i)
+		}
+		if err := s.Pair.A.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: sample %d: %w", i, err)
+		}
+		for _, l := range s.LatencySec {
+			if l < 0 {
+				return nil, fmt.Errorf("dataset: sample %d has negative latency", i)
+			}
+		}
+	}
+	return &c, nil
+}

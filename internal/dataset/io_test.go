@@ -1,0 +1,66 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c, err := GenerateClassifier(rng, 20, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(c.Samples) {
+		t.Fatalf("got %d samples, want %d", len(got.Samples), len(c.Samples))
+	}
+	for i := range c.Samples {
+		if got.Samples[i].Best != c.Samples[i].Best {
+			t.Fatalf("sample %d label changed", i)
+		}
+		if got.Samples[i].Features != c.Samples[i].Features {
+			t.Fatalf("sample %d features changed", i)
+		}
+		if got.Samples[i].Pair.A.NNZ() != c.Samples[i].Pair.A.NNZ() {
+			t.Fatalf("sample %d operand changed", i)
+		}
+		if got.Samples[i].LatencySec != c.Samples[i].LatencySec {
+			t.Fatalf("sample %d latencies changed", i)
+		}
+	}
+}
+
+func TestReadCorpusRejectsGarbage(t *testing.T) {
+	if _, err := ReadCorpus(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("accepted non-gzip input")
+	}
+}
+
+func TestCorpusCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c, err := GenerateClassifier(rng, 10, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	// The envelope is a sanity bound, not a tight one: indices gzip well.
+	totalNNZ := 0
+	for _, s := range c.Samples {
+		totalNNZ += s.Pair.A.NNZ() + s.Pair.B.NNZ()
+	}
+	if buf.Len() > totalNNZ*24+1<<20 {
+		t.Errorf("corpus file %d bytes for %d nonzeros; compression broken?", buf.Len(), totalNNZ)
+	}
+}

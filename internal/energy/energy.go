@@ -1,0 +1,64 @@
+// Package energy models power draw and energy consumption for the three
+// platforms the paper measures: the Misam FPGA designs (profiled with
+// xbutil in the paper), the Intel i9-11980HK CPU (RAPL/PowerCap), and the
+// NVIDIA RTX A6000 GPU (NVML). Energy is power × kernel time, the same
+// formula the paper uses ("measured power values are combined with the
+// kernel execution time", §4); the power numbers are static models chosen
+// to match each platform's published envelope.
+package energy
+
+import "misam/internal/sim"
+
+// Platform power constants (watts).
+const (
+	// FPGAStaticWatts is the Alveo U55C board idle draw (shell, HBM
+	// refresh, transceivers).
+	FPGAStaticWatts = 23.0
+	// CPUActiveWatts models the i9-11980HK under an MKL SpGEMM load: a
+	// 45 W sustained package power within its 65 W TDP.
+	CPUActiveWatts = 45.0
+	// GPUSparseWatts models the RTX A6000 on irregular sparse kernels —
+	// well under its 300 W board power because the SMs stall on memory.
+	GPUSparseWatts = 180.0
+	// GPUDenseWatts models the A6000 on dense GEMM-like work where the
+	// tensor pipeline keeps the card near its envelope.
+	GPUDenseWatts = 270.0
+)
+
+// FPGAPower estimates a Misam design's draw in watts: board static power
+// plus dynamic power scaled by the fabric the design instantiates
+// (Table 2 DSP/LUT usage) and how busy its PEs are.
+func FPGAPower(id sim.DesignID, utilization float64) float64 {
+	if utilization < 0 {
+		utilization = 0
+	}
+	if utilization > 1 {
+		utilization = 1
+	}
+	res := sim.DesignResources(id)
+	// Full-fabric dynamic budget for this card class is ~50 W; a design
+	// draws its resource share of it, scaled by activity.
+	dynamicFull := 50.0 * (res.LUT + res.DSP) / 200.0
+	return FPGAStaticWatts + dynamicFull*(0.3+0.7*utilization)
+}
+
+// FPGAEnergy returns joules consumed by a simulated Misam run.
+func FPGAEnergy(r sim.Result) float64 {
+	return FPGAPower(r.Design, r.PEUtilization) * r.Seconds
+}
+
+// GPUPower interpolates the A6000 draw by how dense the workload is
+// (density of the B operand is the main determinant of tensor-pipeline
+// activity).
+func GPUPower(bDensity float64) float64 {
+	if bDensity < 0 {
+		bDensity = 0
+	}
+	if bDensity > 1 {
+		bDensity = 1
+	}
+	return GPUSparseWatts + (GPUDenseWatts-GPUSparseWatts)*bDensity
+}
+
+// Energy is the paper's estimate: measured power × kernel time.
+func Energy(powerWatts, seconds float64) float64 { return powerWatts * seconds }

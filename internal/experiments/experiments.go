@@ -1,0 +1,130 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5, §6). Each driver computes the quantities the
+// paper reports and renders them as text rows matching the published
+// artifact; the root-level benchmark harness and cmd/misam-bench invoke
+// them. Drivers accept a Config so unit tests run scaled-down versions
+// while the CLI can regenerate paper-scale results.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"misam"
+	"misam/internal/dataset"
+	"misam/internal/workload"
+)
+
+// Config scales the experiment drivers.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// CorpusSize / LatencyCorpusSize / MaxDim configure model training.
+	CorpusSize        int
+	LatencyCorpusSize int
+	MaxDim            int
+	// Reduction divides the evaluation-suite matrix sizes (1 = paper
+	// scale); DenseCols is the dense-B width (512 in the paper).
+	Reduction int
+	DenseCols int
+}
+
+// DefaultConfig runs every experiment in tens of seconds.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		CorpusSize:        400,
+		LatencyCorpusSize: 800,
+		MaxDim:            768,
+		Reduction:         16,
+		DenseCols:         256,
+	}
+}
+
+// QuickConfig is for unit tests.
+func QuickConfig() Config {
+	return Config{
+		Seed:              1,
+		CorpusSize:        220,
+		LatencyCorpusSize: 280,
+		MaxDim:            448,
+		Reduction:         48,
+		DenseCols:         64,
+	}
+}
+
+// PaperConfig approaches the paper's scales (minutes of runtime).
+func PaperConfig() Config {
+	return Config{
+		Seed:              1,
+		CorpusSize:        6219,
+		LatencyCorpusSize: 19000,
+		MaxDim:            2048,
+		Reduction:         4,
+		DenseCols:         512,
+	}
+}
+
+// Context lazily builds the shared expensive artifacts: the trained
+// framework (selector + latency predictor + corpus) and the evaluation
+// suite.
+type Context struct {
+	Cfg Config
+
+	fwOnce sync.Once
+	fw     *misam.Framework
+	fwErr  error
+
+	suiteOnce sync.Once
+	suite     []workload.Workload
+}
+
+// NewContext returns a context for cfg.
+func NewContext(cfg Config) *Context { return &Context{Cfg: cfg} }
+
+// Framework returns the trained framework, training it on first use.
+func (c *Context) Framework() (*misam.Framework, error) {
+	c.fwOnce.Do(func() {
+		c.fw, c.fwErr = misam.Train(misam.TrainOptions{
+			CorpusSize:        c.Cfg.CorpusSize,
+			LatencyCorpusSize: c.Cfg.LatencyCorpusSize,
+			MaxDim:            c.Cfg.MaxDim,
+			Seed:              c.Cfg.Seed,
+		})
+	})
+	return c.fw, c.fwErr
+}
+
+// Corpus returns the training corpus behind the framework.
+func (c *Context) Corpus() (*dataset.Corpus, error) {
+	fw, err := c.Framework()
+	if err != nil {
+		return nil, err
+	}
+	return fw.Corpus, nil
+}
+
+// Suite returns the 113-workload evaluation set.
+func (c *Context) Suite() []workload.Workload {
+	c.suiteOnce.Do(func() {
+		c.suite = workload.Suite(workload.Options{
+			Reduction: c.Cfg.Reduction,
+			DenseCols: c.Cfg.DenseCols,
+			Seed:      c.Cfg.Seed,
+		})
+	})
+	return c.suite
+}
+
+// RNG returns a fresh deterministic generator offset from the seed so
+// drivers do not perturb each other.
+func (c *Context) RNG(offset int64) *rand.Rand {
+	return rand.New(rand.NewSource(c.Cfg.Seed*1315423911 + offset))
+}
+
+// header prints a boxed experiment title.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+
+	"misam/internal/sim"
+	"misam/internal/workload"
+)
+
+var (
+	quickCtx     *Context
+	quickCtxOnce sync.Once
+)
+
+// ctxForTest shares one QuickConfig context across tests (training and
+// suite generation dominate the cost).
+func ctxForTest() *Context {
+	quickCtxOnce.Do(func() { quickCtx = NewContext(QuickConfig()) })
+	return quickCtx
+}
+
+func TestFigure1(t *testing.T) {
+	var sb strings.Builder
+	res := Figure1(&sb)
+	if len(res.Points) < 5 {
+		t.Fatal("Figure 1 needs several applications")
+	}
+	if !strings.Contains(sb.String(), "HSxHS") {
+		t.Error("output missing regimes")
+	}
+}
+
+func TestTable1MatchesConfigs(t *testing.T) {
+	var sb strings.Builder
+	cfgs := Table1(&sb)
+	if cfgs[sim.Design2].PEG != 24 {
+		t.Error("Table 1 drifted from sim configs")
+	}
+	out := sb.String()
+	for _, want := range []string{"ch_A", "PEG", "Scheduler A", "Comp."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	var sb strings.Builder
+	res := Table2(&sb)
+	if res[sim.Design1].BRAM != 60.71 {
+		t.Error("Table 2 resources wrong")
+	}
+	if !strings.Contains(sb.String(), "Design 2 & 3") {
+		t.Error("shared-bitstream designs should print one row")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows := Table3(ctxForTest(), io.Discard)
+	if len(rows) != 16 {
+		t.Fatalf("Table 3 rows = %d, want 16", len(rows))
+	}
+	for _, r := range rows {
+		if r.NNZ <= 0 || r.Rows <= 0 {
+			t.Errorf("%s: degenerate stand-in", r.Spec.Name)
+		}
+	}
+}
+
+func TestFigure3NoUniversalWinner(t *testing.T) {
+	res, err := Figure3(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatal("too few workloads")
+	}
+	winners := 0
+	for _, n := range res.Wins {
+		if n > 0 {
+			winners++
+		}
+	}
+	if winners < 2 {
+		t.Errorf("a single design won everything (%v); Figure 3's premise fails", res.Wins)
+	}
+	for _, row := range res.Rows {
+		for _, v := range row.Normalized {
+			if v <= 0 || v > 1+1e-9 {
+				t.Errorf("%s: normalized value %v outside (0,1]", row.Name, v)
+			}
+		}
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	res, err := Figure4(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Names) == 0 {
+		t.Fatal("no features used")
+	}
+	sum := 0.0
+	for i, v := range res.Importance {
+		if i > 0 && v > res.Importance[i-1] {
+			t.Error("importance not sorted descending")
+		}
+		sum += v
+	}
+	if sum > 1+1e-9 {
+		t.Errorf("importance sums to %v > 1", sum)
+	}
+}
+
+func TestTable4DiagonalAndDominance(t *testing.T) {
+	res, err := Table4(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Counts[i] == 0 {
+			continue
+		}
+		if res.Speedup[i][i] != 1 {
+			t.Errorf("diagonal [%d][%d] = %v, want 1", i, i, res.Speedup[i][i])
+		}
+		for j := 0; j < 3; j++ {
+			if res.Speedup[i][j] < 1-1e-9 {
+				t.Errorf("optimal design slower than alternative: [%d][%d]=%v", i, j, res.Speedup[i][j])
+			}
+		}
+	}
+}
+
+func TestTable5AccuracyInPaperRegime(t *testing.T) {
+	res, err := Table5(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.7 {
+		t.Errorf("held-out accuracy %.2f too low", res.Accuracy)
+	}
+	if res.CVAccuracy < 0.7 {
+		t.Errorf("CV accuracy %.2f too low", res.CVAccuracy)
+	}
+	if len(res.Confusion) != int(sim.NumDesigns) {
+		t.Error("confusion matrix shape wrong")
+	}
+	if res.SpeedupCorrect < 1 {
+		t.Errorf("speedup when correct %.2f < 1", res.SpeedupCorrect)
+	}
+	if res.SlowdownWrong != 0 && res.SlowdownWrong < 1-1e-9 {
+		t.Errorf("slowdown when wrong %.2f < 1", res.SlowdownWrong)
+	}
+}
+
+func TestFigure6DifferentWinners(t *testing.T) {
+	res := Figure6(io.Discard)
+	if len(res.Matrices) != 3 {
+		t.Fatal("Figure 6 needs 3 toy matrices")
+	}
+	// The figure's point: each design wins one matrix — (a) highly sparse
+	// → Design 1, (b) denser regular → Design 2, (c) imbalanced →
+	// Design 3.
+	want := []int{0, 1, 2}
+	for m, wi := range res.Winners {
+		if wi != want[m] {
+			t.Errorf("matrix %d won by toy design %d, want %d", m, wi+1, want[m]+1)
+		}
+	}
+	for m, cells := range res.Cells {
+		for d, c := range cells {
+			if c.Cycles <= 3 {
+				t.Errorf("matrix %d design %d: cycles %d should exceed the B read", m, d, c.Cycles)
+			}
+		}
+	}
+}
+
+func TestFigure8EngineBehaviour(t *testing.T) {
+	res, err := Figure8(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatal("too few scenarios")
+	}
+	var anySwitch, anyKeep bool
+	for _, r := range res.Rows {
+		if r.Switched {
+			anySwitch = true
+			if r.Speedup < 1-0.35 {
+				// The predictor may misjudge narrowly, but a switch that
+				// loses badly means the engine is broken.
+				t.Errorf("%s: switched into a %.2fx slowdown", r.Name, r.Speedup)
+			}
+		} else {
+			anyKeep = true
+		}
+	}
+	if !anySwitch {
+		t.Error("engine never reconfigured; the cg15 scenario should switch")
+	}
+	if !anyKeep {
+		t.Error("engine always reconfigured; small batches should be kept")
+	}
+}
+
+func TestFigure9PredictorQuality(t *testing.T) {
+	res, err := Figure9(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 < 0.8 {
+		t.Errorf("R² = %.3f, want >= 0.8 (paper 0.978)", res.R2)
+	}
+	if res.MAE > 1.0 {
+		t.Errorf("MAE = %.3f log10(ms); predictor unusable", res.MAE)
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	res, err := Figure10(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Gains) != int(workload.NumCategories) {
+		t.Fatal("missing categories")
+	}
+	for _, g := range res.Gains {
+		if g.VsCPU <= 1 {
+			t.Errorf("%v: Misam should beat the CPU (got %.2fx)", g.Category, g.VsCPU)
+		}
+		if g.VsGPU <= 0 || g.VsTrap <= 0 {
+			t.Errorf("%v: nonpositive gains", g.Category)
+		}
+	}
+	// The paper's headline: Misam beats Trapezoid's fixed dataflows on
+	// HSxMS and HSxD.
+	for _, g := range res.Gains {
+		if (g.Category == workload.HSxMS || g.Category == workload.HSxD) && g.VsTrap < 1 {
+			t.Errorf("%v: Misam %.2fx vs Trapezoid, want > 1", g.Category, g.VsTrap)
+		}
+	}
+}
+
+func TestFigure11EnergyShapes(t *testing.T) {
+	res, err := Figure11(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Gains {
+		if g.VsCPU <= 1 {
+			t.Errorf("%v: FPGA should be more energy-efficient than the CPU (got %.2fx)", g.Category, g.VsCPU)
+		}
+	}
+}
+
+func TestFigure12OverheadsSmall(t *testing.T) {
+	res, err := Figure12(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 4 {
+		t.Fatal("too few breakdown rows")
+	}
+	if res.MeanInferencePercent > 5 {
+		t.Errorf("mean inference share %.2f%%, want small (paper 0.1%%)", res.MeanInferencePercent)
+	}
+	if res.MeanPreprocessPercent > 25 {
+		t.Errorf("mean preprocessing share %.2f%%, want small (paper 2%%)", res.MeanPreprocessPercent)
+	}
+}
+
+func TestFigure13TrapezoidIntegration(t *testing.T) {
+	res, err := Figure13(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SelectorAccuracy < 0.7 {
+		t.Errorf("Trapezoid selector accuracy %.2f too low (paper 92%%)", res.SelectorAccuracy)
+	}
+	total := 0
+	for _, n := range res.Wins {
+		total += n
+	}
+	if total != len(ctxForTest().Suite()) {
+		t.Errorf("wins %v do not cover the suite", res.Wins)
+	}
+	if res.MaxSpeedup < 1 {
+		t.Error("optimal dataflow cannot be slower than the worst")
+	}
+}
+
+func TestMultiTenant(t *testing.T) {
+	res := MultiTenant(io.Discard)
+	if res.InstancesFull[sim.Design1] != 1 || res.InstancesFull[sim.Design2] != 2 {
+		t.Errorf("packing counts wrong: %v", res.InstancesFull)
+	}
+	if res.InstancesReserved[sim.Design4] != 2 {
+		t.Errorf("Design 4 reserved packing = %d, want paper's 2", res.InstancesReserved[sim.Design4])
+	}
+	if len(res.CoLocations) == 0 {
+		t.Error("no feasible co-locations found")
+	}
+}
+
+func TestRouterExtension(t *testing.T) {
+	res, err := Router(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.6 {
+		t.Errorf("routing accuracy %.2f too low", res.Accuracy)
+	}
+	// Routing should never be much worse than FPGA-only (small losses can
+	// occur when the router narrowly misroutes a near-tie).
+	if res.GeoSpeedupOverMisamOnly < 0.9 {
+		t.Errorf("routed execution much slower than FPGA-only: %.3f", res.GeoSpeedupOverMisamOnly)
+	}
+	total := 0
+	for _, n := range res.Counts {
+		total += n
+	}
+	if total != len(ctxForTest().Suite()) {
+		t.Error("routed counts do not cover the suite")
+	}
+}
+
+func TestObjectiveExtension(t *testing.T) {
+	res, err := Objective(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shifted <= 0 {
+		t.Error("energy objective never shifts the optimal design")
+	}
+	if res.Shifted > 0.9 {
+		t.Errorf("objective shift %.2f implausibly large", res.Shifted)
+	}
+}
+
+func TestReconfigModesExtension(t *testing.T) {
+	res, err := ReconfigModes(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.SwitchSeconds["full"]
+	partial := res.SwitchSeconds["partial"]
+	cgra := res.SwitchSeconds["cgra"]
+	if !(cgra < partial && partial < full) {
+		t.Errorf("switch costs not ordered: cgra %v, partial %v, full %v", cgra, partial, full)
+	}
+	// Cheaper switching can only make the engine switch earlier (or at
+	// the same batch), never later.
+	fs := res.FirstSwitchUnits
+	ordered := func(a, b float64) bool {
+		if a < 0 { // never switched
+			return true
+		}
+		return b < 0 || a >= b
+	}
+	if !ordered(fs["full"], fs["partial"]) || !ordered(fs["partial"], fs["cgra"]) {
+		t.Errorf("aggressiveness not monotone in switch cost: %v", fs)
+	}
+}
+
+func TestLearningCurveExtension(t *testing.T) {
+	res, err := LearningCurve(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("learning curve needs multiple points, got %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TrainSeconds > 10 {
+			t.Errorf("corpus %d trained in %.1fs; §6.3 promises fast retraining", p.CorpusSize, p.TrainSeconds)
+		}
+		if p.Accuracy <= 0.25 {
+			t.Errorf("corpus %d accuracy %.2f no better than chance", p.CorpusSize, p.Accuracy)
+		}
+	}
+	// The largest corpus should not be drastically worse than the
+	// smallest (tens-of-sample prefixes are noisy at the quick scale).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Accuracy < first.Accuracy-0.25 {
+		t.Errorf("accuracy collapsed with more data: %.2f → %.2f", first.Accuracy, last.Accuracy)
+	}
+}
+
+func TestPhasesExtension(t *testing.T) {
+	results, err := Phases(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("expected 3 traces, got %d", len(results))
+	}
+	for _, res := range results {
+		if len(res.Rows) < 2 {
+			t.Errorf("%s: trace too short", res.Trace)
+		}
+		if res.AdaptiveSec <= 0 || res.StaticSec <= 0 {
+			t.Errorf("%s: nonpositive totals", res.Trace)
+		}
+		// Adaptation must never lose badly to the static baseline — at
+		// worst it keeps the static design everywhere.
+		if res.AdaptiveSec > res.StaticSec*1.3 {
+			t.Errorf("%s: adaptive %.2fs much worse than static %.2fs",
+				res.Trace, res.AdaptiveSec, res.StaticSec)
+		}
+	}
+	// At least one trace should actually adapt.
+	adapted := 0
+	for _, res := range results {
+		adapted += res.Switches
+	}
+	if adapted == 0 {
+		t.Error("no trace triggered any reconfiguration; phases are inert")
+	}
+}
+
+func TestHeuristicsExtension(t *testing.T) {
+	res, err := Heuristics(ctxForTest(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopSplits) == 0 {
+		t.Fatal("no decision boundaries extracted")
+	}
+	if !strings.Contains(res.Rules, "Design") {
+		t.Errorf("rules missing design names:\n%s", res.Rules)
+	}
+	if !strings.Contains(res.Rules, "if ") {
+		t.Errorf("rules missing conditions:\n%s", res.Rules)
+	}
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+	"misam/internal/stats"
+)
+
+// Figure4Result is the feature-importance ranking.
+type Figure4Result struct {
+	Names      []string
+	Importance []float64 // sorted descending, aligned with Names
+}
+
+// Figure4 reproduces Figure 4: gini feature importance of the trained
+// selector, dominated by Tile_1D_Density and row_B in the paper.
+func Figure4(ctx *Context, w io.Writer) (Figure4Result, error) {
+	header(w, "Figure 4: decision-tree feature importance")
+	fw, err := ctx.Framework()
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	imp := fw.Selector.FeatureImportance()
+	order := sortDesc(imp)
+	var res Figure4Result
+	for _, i := range order {
+		if imp[i] <= 0 {
+			continue
+		}
+		res.Names = append(res.Names, features.Name(i))
+		res.Importance = append(res.Importance, imp[i])
+		fmt.Fprintf(w, "%-24s %6.3f\n", features.Name(i), imp[i])
+	}
+	return res, nil
+}
+
+// Table4Result is the geometric-mean cross-speedup matrix over the SpMM
+// designs: entry [i][j] is the speedup of design i over design j on the
+// workloads where design i is optimal.
+type Table4Result struct {
+	Speedup [3][3]float64
+	Counts  [3]int // how many corpus samples each design won
+}
+
+// Table4 reproduces Table 4 (Design 4 is excluded, as in the paper:
+// "its usage is explicitly determined by a clear decision in the model").
+func Table4(ctx *Context, w io.Writer) (Table4Result, error) {
+	header(w, "Table 4: geomean speedup of the optimal design over the others")
+	corpus, err := ctx.Corpus()
+	if err != nil {
+		return Table4Result{}, err
+	}
+	var res Table4Result
+	// ratios[i][j] collects latency(design j)/latency(design i) over
+	// samples where design i is the best of the three SpMM designs.
+	var ratios [3][3][]float64
+	for _, s := range corpus.Samples {
+		best := 0
+		for i := 1; i < 3; i++ {
+			if s.LatencySec[sim.SpMMDesigns[i]] < s.LatencySec[sim.SpMMDesigns[best]] {
+				best = i
+			}
+		}
+		res.Counts[best]++
+		for j := 0; j < 3; j++ {
+			ratios[best][j] = append(ratios[best][j],
+				s.LatencySec[sim.SpMMDesigns[j]]/s.LatencySec[sim.SpMMDesigns[best]])
+		}
+	}
+	fmt.Fprintf(w, "%-10s %10s %10s %10s %8s\n", "optimal", "vs D1", "vs D2", "vs D3", "n")
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			res.Speedup[i][j] = stats.GeoMean(ratios[i][j])
+		}
+		fmt.Fprintf(w, "%-10v %10.2f %10.2f %10.2f %8d\n",
+			sim.SpMMDesigns[i], res.Speedup[i][0], res.Speedup[i][1], res.Speedup[i][2], res.Counts[i])
+	}
+	return res, nil
+}
+
+// Table5Result is the held-out confusion matrix plus accuracy figures.
+type Table5Result struct {
+	Confusion  [][]int // [predicted][actual]
+	Accuracy   float64
+	CVAccuracy float64 // 10-fold cross-validation mean
+	// SpeedupCorrect is the geomean speedup (over the loaded-at-random
+	// alternative) when the prediction is right; SlowdownWrong the
+	// geomean slowdown versus optimal when it is wrong (§5.1: 1.31× and
+	// 1.06× in the paper).
+	SpeedupCorrect float64
+	SlowdownWrong  float64
+}
+
+// Table5 reproduces Table 5 and the §5.1 accuracy analysis with the
+// paper's protocol: 70/30 split plus 10-fold cross-validation and
+// inverse-frequency class weights.
+func Table5(ctx *Context, w io.Writer) (Table5Result, error) {
+	header(w, "Table 5: confusion matrix for the ML model (held-out 30%)")
+	corpus, err := ctx.Corpus()
+	if err != nil {
+		return Table5Result{}, err
+	}
+	x, y := corpus.X(), corpus.Labels()
+	rng := ctx.RNG(5)
+	train, test := mltree.StratifiedSplit(y, int(sim.NumDesigns), 0.7, rng)
+	trX := make([][]float64, len(train))
+	trY := make([]int, len(train))
+	for i, j := range train {
+		trX[i], trY[i] = x[j], y[j]
+	}
+	cfg := mltree.Config{MaxDepth: 12, MinSamplesLeaf: 2}
+	cls, err := mltree.TrainClassifier(trX, trY, int(sim.NumDesigns),
+		mltree.BalancedWeights(trY, int(sim.NumDesigns)), cfg)
+	if err != nil {
+		return Table5Result{}, err
+	}
+	teX := make([][]float64, len(test))
+	teY := make([]int, len(test))
+	for i, j := range test {
+		teX[i], teY[i] = x[j], y[j]
+	}
+	pred := cls.PredictBatch(teX)
+	res := Table5Result{
+		Confusion: mltree.ConfusionMatrix(pred, teY, int(sim.NumDesigns)),
+		Accuracy:  mltree.Accuracy(pred, teY),
+	}
+
+	// Speedup analysis (§5.1): correct predictions vs the geomean of the
+	// other designs; mispredictions vs the true optimum.
+	var correct, wrong []float64
+	for i, j := range test {
+		s := corpus.Samples[j]
+		chosen := s.LatencySec[sim.DesignID(pred[i])]
+		best := s.LatencySec[s.Best]
+		if pred[i] == int(s.Best) {
+			var others []float64
+			for _, id := range sim.AllDesigns {
+				if id != s.Best {
+					others = append(others, s.LatencySec[id]/best)
+				}
+			}
+			correct = append(correct, stats.GeoMean(others))
+		} else {
+			wrong = append(wrong, chosen/best)
+		}
+	}
+	res.SpeedupCorrect = stats.GeoMean(correct)
+	res.SlowdownWrong = stats.GeoMean(wrong)
+
+	accs, err := mltree.CrossValidateClassifier(x, y, int(sim.NumDesigns), true, cfg, 10, rng)
+	if err != nil {
+		return res, err
+	}
+	res.CVAccuracy = stats.Mean(accs)
+
+	fmt.Fprintf(w, "%-18s %8s %8s %8s %8s\n", "Predicted/Actual", "D1", "D2", "D3", "D4")
+	for i, row := range res.Confusion {
+		fmt.Fprintf(w, "%-18v %8d %8d %8d %8d\n", sim.DesignID(i), row[0], row[1], row[2], row[3])
+	}
+	fmt.Fprintf(w, "held-out accuracy: %.1f%%   10-fold CV: %.1f%% (paper: 90%%)\n",
+		res.Accuracy*100, res.CVAccuracy*100)
+	fmt.Fprintf(w, "geomean speedup when correct: %.2fx (paper 1.31x)   slowdown when wrong: %.2fx (paper 1.06x)\n",
+		res.SpeedupCorrect, res.SlowdownWrong)
+	return res, nil
+}
+
+// Figure6Matrix is one toy input of Figure 6.
+type Figure6Matrix struct {
+	Name string
+	A    *sparse.CSR
+}
+
+// Figure6Cell is the cycle count of one (matrix, design) pair.
+type Figure6Cell struct {
+	Cycles  int64
+	Bubbles int64
+}
+
+// Figure6Result is the 3×3 toy-timeline grid.
+type Figure6Result struct {
+	Matrices []string
+	// Cells[m][d] for designs D1 (1 PEG × 2 PEs), D2 (2 PEGs, col) and
+	// D3 (2 PEGs, row).
+	Cells   [][3]Figure6Cell
+	Winners []int
+}
+
+// Figure6 reproduces the Figure 6 toy timelines: three 8×8 matrices with
+// different sparsity characters scheduled on the three toy design
+// configurations, showing a different winner per matrix. Following the
+// paper's cycle-estimation recipe, the total charges the shared B read
+// (3 cycles), a broadcast placeholder (each PEG starts one cycle after
+// the previous one in the forwarding chain), and the slowest PEG's
+// schedule ("the overall computation time is determined by the PEG that
+// completes its task last").
+func Figure6(w io.Writer) Figure6Result {
+	header(w, "Figure 6: toy schedules (B read = 3 cycles, 2-cycle load/store dependency)")
+	const bRead = 3
+
+	// Matrix (a): highly sparse with nonzeros clustered on odd rows and
+	// columns — the whole load lands in the 2-PEG designs' second group,
+	// which also starts a broadcast hop later, while Design 1's single
+	// group schedules it compactly (§3.2.2).
+	hs := sparse.NewCOO(8, 8)
+	for _, e := range [][2]int{{1, 1}, {1, 5}, {3, 3}, {5, 1}, {5, 5}, {7, 7}} {
+		hs.Append(e[0], e[1], 1)
+	}
+	hs.Normalize()
+
+	// Matrix (b): denser with consistent rows — Design 2 wins.
+	den := sparse.NewCOO(8, 8)
+	for r := 0; r < 8; r++ {
+		for c := 0; c < 8; c += 2 {
+			den.Append(r, (r+c)%8, 1)
+		}
+	}
+	den.Normalize()
+
+	// Matrix (c): one heavy row — Design 3's column spreading wins.
+	imb := sparse.NewCOO(8, 8)
+	for c := 0; c < 8; c++ {
+		imb.Append(2, c, 1)
+	}
+	imb.Append(0, 1, 1)
+	imb.Append(5, 4, 1)
+	imb.Append(7, 3, 1)
+	imb.Normalize()
+
+	matrices := []Figure6Matrix{
+		{"(a) highly sparse", hs.ToCSR()},
+		{"(b) denser, regular", den.ToCSR()},
+		{"(c) imbalanced row", imb.ToCSR()},
+	}
+	toys := []sim.ScheduleOptions{
+		{PEGs: 1, PEsPerPEG: 2, Traversal: sim.ColWise, DepGap: 2, Window: 16},
+		{PEGs: 2, PEsPerPEG: 2, Traversal: sim.ColWise, DepGap: 2, Window: 16},
+		{PEGs: 2, PEsPerPEG: 2, Traversal: sim.RowWise, DepGap: 2, Window: 16},
+	}
+	names := []string{"Design 1 (1 PEG × 2 PE)", "Design 2 (2 PEG, col)", "Design 3 (2 PEG, row)"}
+
+	var res Figure6Result
+	fmt.Fprintf(w, "%-22s %26s %26s %26s\n", "matrix", names[0], names[1], names[2])
+	var timelines []string
+	for _, m := range matrices {
+		var cells [3]Figure6Cell
+		for d, opt := range toys {
+			opt.Trace = true
+			groups := sim.ScheduleA(m.A, opt)
+			timelines = append(timelines, fmt.Sprintf("%s — %s:\n%s", m.Name, names[d],
+				sim.RenderTimeline(groups, 48)))
+			var bubbles, finish int64
+			for p, g := range groups {
+				bubbles += g.Bubbles
+				// Broadcast chain: PEG p receives its B segment p cycles
+				// after the first PEG.
+				if end := int64(p) + g.Makespan; end > finish {
+					finish = end
+				}
+			}
+			cells[d] = Figure6Cell{Cycles: bRead + finish, Bubbles: bubbles}
+		}
+		winner := 0
+		for d := 1; d < 3; d++ {
+			if cells[d].Cycles < cells[winner].Cycles {
+				winner = d
+			}
+		}
+		res.Matrices = append(res.Matrices, m.Name)
+		res.Cells = append(res.Cells, cells)
+		res.Winners = append(res.Winners, winner)
+		fmt.Fprintf(w, "%-22s %18d cyc (%db) %18d cyc (%db) %18d cyc (%db)   winner: %s\n",
+			m.Name,
+			cells[0].Cycles, cells[0].Bubbles,
+			cells[1].Cycles, cells[1].Bubbles,
+			cells[2].Cycles, cells[2].Bubbles,
+			names[res.Winners[len(res.Winners)-1]])
+	}
+	fmt.Fprintln(w, "\nper-PE timelines (labels = output row, '-' service, '.' stall):")
+	for _, tl := range timelines {
+		fmt.Fprintln(w, tl)
+	}
+	return res
+}

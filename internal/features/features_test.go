@@ -1,0 +1,183 @@
+package features
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+func TestExtractDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := sparse.Uniform(rng, 40, 30, 0.1)
+	b := sparse.Uniform(rng, 30, 20, 0.2)
+	v := Extract(a, b)
+	if v[ARows] != 40 || v[ACols] != 30 || v[BRows] != 30 || v[BCols] != 20 {
+		t.Errorf("dims wrong: %v %v %v %v", v[ARows], v[ACols], v[BRows], v[BCols])
+	}
+	if v[ANonzeros] != float64(a.NNZ()) || v[BNonzeros] != float64(b.NNZ()) {
+		t.Error("nnz features wrong")
+	}
+}
+
+func TestSparsityFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := sparse.Uniform(rng, 50, 50, 0.1)
+	b := sparse.DenseRandom(rng, 50, 50)
+	v := Extract(a, b)
+	if math.Abs(v[ASparsity]-0.9) > 0.02 {
+		t.Errorf("A_sparsity = %v, want ~0.9", v[ASparsity])
+	}
+	if v[BSparsity] != 0 {
+		t.Errorf("B_sparsity = %v, want 0 for dense", v[BSparsity])
+	}
+}
+
+func TestRowStatsUniformMatrix(t *testing.T) {
+	// Identity: every row and column has exactly 1 nonzero.
+	id := sparse.Identity(10)
+	v := Extract(id, id)
+	if v[ARowNNZMean] != 1 || v[ARowNNZVar] != 0 {
+		t.Errorf("row stats = mean %v var %v, want 1, 0", v[ARowNNZMean], v[ARowNNZVar])
+	}
+	if v[ALoadImbalanceRow] != 1 {
+		t.Errorf("imbalance = %v, want 1 for identity", v[ALoadImbalanceRow])
+	}
+}
+
+func TestLoadImbalanceDetectsHeavyRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bal := sparse.Uniform(rng, 100, 100, 0.1)
+	imb := sparse.Imbalanced(rng, 100, 100, 1000, 0.05, 0.8)
+	id := sparse.Identity(100)
+	vBal := Extract(bal, id)
+	vImb := Extract(imb, id)
+	if vImb[ALoadImbalanceRow] <= 2*vBal[ALoadImbalanceRow] {
+		t.Errorf("imbalanced %.2f not clearly above balanced %.2f",
+			vImb[ALoadImbalanceRow], vBal[ALoadImbalanceRow])
+	}
+}
+
+func TestTileDensityDenseVsSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	id := sparse.Identity(64)
+	dense := sparse.DenseRandom(rng, 64, 64)
+	sparseB := sparse.Uniform(rng, 64, 64, 0.01)
+	vDense := Extract(id, dense)
+	vSparse := Extract(id, sparseB)
+	if vDense[Tile1DDensity] != 1 {
+		t.Errorf("Tile_1D_Density = %v for dense B, want 1", vDense[Tile1DDensity])
+	}
+	if vSparse[Tile1DDensity] >= vDense[Tile1DDensity] {
+		t.Error("sparse B tile density should be below dense B")
+	}
+	if vDense[Tile1DCount] != 1 {
+		t.Errorf("Tile_1D_Count = %v, want 1 (64 rows fit one 4096 tile)", vDense[Tile1DCount])
+	}
+}
+
+func TestTileCountsLargeMatrix(t *testing.T) {
+	// 10000 rows → ceil(10000/4096) = 3 one-dimensional tiles.
+	rng := rand.New(rand.NewSource(5))
+	b := sparse.Uniform(rng, 10000, 128, 0.01)
+	v := Extract(sparse.Identity(1), adjust(b))
+	_ = rng
+	if v[Tile1DCount] != 3 {
+		t.Errorf("Tile_1D_Count = %v, want 3", v[Tile1DCount])
+	}
+}
+
+// adjust returns b unchanged; it exists so the Extract call reads naturally
+// with a 1×1 A (Extract never checks inner-dimension compatibility).
+func adjust(b *sparse.CSR) *sparse.CSR { return b }
+
+func TestNamesCoverAllFeatures(t *testing.T) {
+	ns := Names()
+	if len(ns) != NumFeatures {
+		t.Fatalf("Names() has %d entries, want %d", len(ns), NumFeatures)
+	}
+	seen := map[string]bool{}
+	for i, n := range ns {
+		if n == "" {
+			t.Errorf("feature %d has empty name", i)
+		}
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	if Name(BRows) != "row_B" {
+		t.Errorf("Name(BRows) = %q, want row_B (Figure 4 naming)", Name(BRows))
+	}
+}
+
+func TestTopFourAreValidIndices(t *testing.T) {
+	for _, i := range TopFour {
+		if i < 0 || i >= NumFeatures {
+			t.Errorf("TopFour contains invalid index %d", i)
+		}
+	}
+}
+
+func TestPropertyFeaturesFinite(t *testing.T) {
+	f := func(seed int64, rIn, cIn, dIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(rIn)%60 + 1
+		cols := int(cIn)%60 + 1
+		dens := float64(dIn%100) / 100
+		a := sparse.Uniform(rng, rows, cols, dens)
+		b := sparse.Uniform(rng, cols, rows, dens)
+		v := Extract(a, b)
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return false
+			}
+		}
+		// Sparsity in [0,1]; densities in [0,1]; imbalance >= 1 when nnz>0.
+		if v[ASparsity] < 0 || v[ASparsity] > 1 || v[Tile1DDensity] < 0 || v[Tile1DDensity] > 1 {
+			return false
+		}
+		if a.NNZ() > 0 && v[ALoadImbalanceRow] < 1-1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sparse.PowerLaw(rng, 80, 80, 600, 1.8)
+		v := Extract(a, a)
+		return v[ARowNNZVar] >= 0 && v[AColNNZVar] >= 0 && v[BRowNNZVar] >= 0 && v[BColNNZVar] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMatrixFeatures(t *testing.T) {
+	empty := sparse.NewCOO(5, 5).ToCSR()
+	v := Extract(empty, empty)
+	if v[ASparsity] != 1 || v[ANonzeros] != 0 {
+		t.Error("empty matrix should be fully sparse")
+	}
+	if v[Tile1DCount] != 0 {
+		t.Errorf("Tile_1D_Count = %v, want 0 nonempty tiles", v[Tile1DCount])
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	a := sparse.Uniform(rng, 2000, 2000, 0.01)
+	bm := sparse.Uniform(rng, 2000, 512, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(a, bm)
+	}
+}

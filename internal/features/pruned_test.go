@@ -1,0 +1,80 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+// prunedSharedIndices are the feature slots ExtractPruned fills; on these
+// it must agree exactly with the full extractor.
+var prunedSharedIndices = []int{
+	ARows, ACols, BRows, BCols, ANonzeros, BNonzeros,
+	ASparsity, BSparsity, ALoadImbalanceRow, Tile1DDensity, Tile1DCount,
+}
+
+func TestPropertyExtractPrunedMatchesFull(t *testing.T) {
+	f := func(seed int64, rIn, cIn, dIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := int(rIn)%80 + 1
+		cols := int(cIn)%80 + 1
+		dens := float64(dIn%100) / 100
+		a := sparse.Uniform(rng, rows, cols, dens)
+		b := sparse.Uniform(rng, cols, rows, dens)
+		full := Extract(a, b)
+		fast := ExtractPruned(a, b)
+		for _, i := range prunedSharedIndices {
+			if full[i] != fast[i] {
+				t.Logf("feature %s: full %v, pruned %v", Name(i), full[i], fast[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtractPrunedLargeTiledB(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := sparse.Identity(10)
+	b := sparse.Uniform(rng, 10000, 10, 0.05)
+	full := Extract(a, b)
+	fast := ExtractPruned(a, b)
+	if full[Tile1DDensity] != fast[Tile1DDensity] {
+		t.Errorf("tile density: full %v, pruned %v", full[Tile1DDensity], fast[Tile1DDensity])
+	}
+	if full[Tile1DCount] != fast[Tile1DCount] {
+		t.Errorf("tile count: full %v, pruned %v", full[Tile1DCount], fast[Tile1DCount])
+	}
+}
+
+func TestExtractPrunedEmpty(t *testing.T) {
+	empty := sparse.NewCOO(5, 5).ToCSR()
+	v := ExtractPruned(empty, empty)
+	if v[ALoadImbalanceRow] != 1 {
+		t.Errorf("empty imbalance = %v, want 1", v[ALoadImbalanceRow])
+	}
+	if v[Tile1DCount] != 0 {
+		t.Errorf("empty tile count = %v, want 0", v[Tile1DCount])
+	}
+}
+
+func BenchmarkExtractPrunedVsFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	a := sparse.Uniform(rng, 20000, 20000, 0.0005)
+	bm := sparse.DenseRandom(rng, 20000, 128)
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Extract(a, bm)
+		}
+	})
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ExtractPruned(a, bm)
+		}
+	})
+}

@@ -1,0 +1,221 @@
+// Package fpga is the host-side runtime the paper's §6.2 multi-tenancy
+// discussion implies: a device manager that places independent design
+// instances onto the fabric as long as their cumulative resource usage
+// stays within the device's limits, evicts them when done, and schedules
+// queued jobs across co-located instances — "dynamic partitioning
+// [allowing] full exploitation of LUTs, BRAMs, URAMs, and DSPs".
+package fpga
+
+import (
+	"fmt"
+	"sort"
+
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+// Instance is one placed design occupying fabric resources.
+type Instance struct {
+	Slot   int
+	Design sim.DesignID
+	// BusyUntil is the simulated time at which the instance frees up.
+	BusyUntil float64
+}
+
+// Device models one FPGA's fabric budget and the instances on it.
+type Device struct {
+	// LimitPercent is the usable fraction of each resource class; 100 is
+	// raw fabric arithmetic, ~75 reserves shell and routing headroom.
+	LimitPercent float64
+	// Times prices placements (each placement is a partial
+	// reconfiguration of a region sized to the design).
+	Times reconfig.TimeModel
+
+	instances map[int]*Instance
+	nextSlot  int
+}
+
+// NewDevice returns an empty device with the given usable limit.
+func NewDevice(limitPercent float64, times reconfig.TimeModel) *Device {
+	if limitPercent <= 0 {
+		limitPercent = 100
+	}
+	return &Device{
+		LimitPercent: limitPercent,
+		Times:        times,
+		instances:    map[int]*Instance{},
+	}
+}
+
+// Utilization reports the cumulative resource usage of placed instances.
+func (d *Device) Utilization() sim.Resources {
+	var total sim.Resources
+	for _, inst := range d.instances {
+		r := sim.DesignResources(inst.Design)
+		total = sim.Resources{
+			LUT: total.LUT + r.LUT, FF: total.FF + r.FF,
+			BRAM: total.BRAM + r.BRAM, URAM: total.URAM + r.URAM, DSP: total.DSP + r.DSP,
+		}
+	}
+	return total
+}
+
+// Fits reports whether another instance of id can be placed.
+func (d *Device) Fits(id sim.DesignID) bool {
+	mix := []sim.DesignID{id}
+	for _, inst := range d.instances {
+		mix = append(mix, inst.Design)
+	}
+	return sim.CanCoLocate(mix, d.LimitPercent)
+}
+
+// Place adds an instance of id, returning its slot and the partial
+// reconfiguration time spent programming its region.
+func (d *Device) Place(id sim.DesignID) (slot int, programSeconds float64, err error) {
+	if !d.Fits(id) {
+		return 0, 0, fmt.Errorf("fpga: %v does not fit (utilization %+v, limit %.0f%%)",
+			id, d.Utilization(), d.LimitPercent)
+	}
+	slot = d.nextSlot
+	d.nextSlot++
+	d.instances[slot] = &Instance{Slot: slot, Design: id}
+	return slot, d.Times.PartialReconfig(id, sim.DesignResources(id).Max()/100), nil
+}
+
+// Evict removes the instance in slot, freeing its region.
+func (d *Device) Evict(slot int) error {
+	if _, ok := d.instances[slot]; !ok {
+		return fmt.Errorf("fpga: no instance in slot %d", slot)
+	}
+	delete(d.instances, slot)
+	return nil
+}
+
+// Instances lists placed instances in slot order.
+func (d *Device) Instances() []Instance {
+	out := make([]Instance, 0, len(d.instances))
+	for _, inst := range d.instances {
+		out = append(out, *inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// Job is one queued workload: it needs a specific design for Duration
+// simulated seconds.
+type Job struct {
+	Name     string
+	Design   sim.DesignID
+	Duration float64
+}
+
+// ScheduleReport summarizes a multi-tenant run.
+type ScheduleReport struct {
+	// Makespan is the simulated completion time of the last job.
+	Makespan float64
+	// SerialSeconds is the single-tenant baseline: jobs run one at a time
+	// on a device that reconfigures between different designs.
+	SerialSeconds float64
+	// Placements counts region programmings performed.
+	Placements int
+	// PerJobFinish maps job names to completion times.
+	PerJobFinish map[string]float64
+}
+
+// RunJobs greedily executes jobs on the device: each job reuses an idle
+// instance of its design if one exists, otherwise places a new instance
+// when it fits, otherwise waits for the earliest matching or evictable
+// instance. It returns the multi-tenant makespan and the single-tenant
+// serial baseline for comparison (§6.2: "higher throughput per chip
+// through spatial multi-tenancy").
+func RunJobs(d *Device, jobs []Job) (ScheduleReport, error) {
+	rep := ScheduleReport{PerJobFinish: map[string]float64{}}
+
+	// Serial baseline: one design at a time with full reconfiguration on
+	// every design change.
+	var serial float64
+	var loaded sim.DesignID
+	hasLoaded := false
+	for _, j := range jobs {
+		if !hasLoaded || !sim.SharedBitstream(loaded, j.Design) {
+			serial += d.Times.FullReconfig(j.Design)
+		}
+		loaded, hasLoaded = j.Design, true
+		serial += j.Duration
+	}
+	rep.SerialSeconds = serial
+
+	now := 0.0
+	for _, j := range jobs {
+		for {
+			// Prefer an idle instance of the same design; remember the
+			// soonest-free one as a queueing fallback.
+			var idle, soonest *Instance
+			for _, inst := range d.instances {
+				if inst.Design != j.Design {
+					continue
+				}
+				if inst.BusyUntil <= now && idle == nil {
+					idle = inst
+				}
+				if soonest == nil || inst.BusyUntil < soonest.BusyUntil {
+					soonest = inst
+				}
+			}
+			if idle != nil {
+				idle.BusyUntil = now + j.Duration
+				rep.PerJobFinish[j.Name] = idle.BusyUntil
+				if idle.BusyUntil > rep.Makespan {
+					rep.Makespan = idle.BusyUntil
+				}
+				break
+			}
+			// Scale out while the fabric has room.
+			if d.Fits(j.Design) {
+				slot, prog, err := d.Place(j.Design)
+				if err != nil {
+					return rep, err
+				}
+				rep.Placements++
+				d.instances[slot].BusyUntil = now + prog
+				continue // loop back to assign onto it
+			}
+			// Fabric full: queue behind the soonest-free matching instance.
+			if soonest != nil {
+				start := soonest.BusyUntil
+				soonest.BusyUntil = start + j.Duration
+				rep.PerJobFinish[j.Name] = soonest.BusyUntil
+				if soonest.BusyUntil > rep.Makespan {
+					rep.Makespan = soonest.BusyUntil
+				}
+				break
+			}
+			// Full: evict the idlest foreign instance that has finished.
+			evicted := false
+			for slot, inst := range d.instances {
+				if inst.Design != j.Design && inst.BusyUntil <= now {
+					if err := d.Evict(slot); err != nil {
+						return rep, err
+					}
+					evicted = true
+					break
+				}
+			}
+			if evicted {
+				continue
+			}
+			// Everything is busy: advance time to the earliest completion.
+			earliest := -1.0
+			for _, inst := range d.instances {
+				if earliest < 0 || inst.BusyUntil < earliest {
+					earliest = inst.BusyUntil
+				}
+			}
+			if earliest < 0 || earliest <= now {
+				return rep, fmt.Errorf("fpga: scheduler stuck on job %q", j.Name)
+			}
+			now = earliest
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,143 @@
+package fpga
+
+import (
+	"testing"
+
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+func newTestDevice(limit float64) *Device {
+	return NewDevice(limit, reconfig.DefaultTimeModel())
+}
+
+func TestPlaceAndEvict(t *testing.T) {
+	d := newTestDevice(100)
+	slot, prog, err := d.Place(sim.Design4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog <= 0 {
+		t.Error("placement should cost partial-reconfiguration time")
+	}
+	if len(d.Instances()) != 1 {
+		t.Fatal("instance not recorded")
+	}
+	if err := d.Evict(slot); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Instances()) != 0 {
+		t.Fatal("instance not evicted")
+	}
+	if err := d.Evict(slot); err == nil {
+		t.Error("double eviction accepted")
+	}
+}
+
+func TestPlacementRespectsFabricLimits(t *testing.T) {
+	d := newTestDevice(100)
+	// §6.2: two Design 2 instances fit, a third does not (BRAM 48.02×3).
+	for i := 0; i < 2; i++ {
+		if _, _, err := d.Place(sim.Design2); err != nil {
+			t.Fatalf("placement %d: %v", i, err)
+		}
+	}
+	if _, _, err := d.Place(sim.Design2); err == nil {
+		t.Fatal("third Design 2 instance should not fit")
+	}
+	// But a Design 4 still does not fit either (LUT 43.03×2 + 30.53 > 100).
+	if d.Fits(sim.Design4) {
+		util := d.Utilization()
+		if util.LUT+sim.DesignResources(sim.Design4).LUT > 100 {
+			t.Error("Fits contradicts the utilization arithmetic")
+		}
+	}
+}
+
+func TestUtilizationAccumulates(t *testing.T) {
+	d := newTestDevice(100)
+	if _, _, err := d.Place(sim.Design1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Place(sim.Design4); err != nil {
+		t.Fatal(err)
+	}
+	util := d.Utilization()
+	want := sim.DesignResources(sim.Design1).BRAM + sim.DesignResources(sim.Design4).BRAM
+	if util.BRAM != want {
+		t.Errorf("BRAM utilization %v, want %v", util.BRAM, want)
+	}
+}
+
+func TestRunJobsMultiTenantBeatsSerial(t *testing.T) {
+	d := newTestDevice(100)
+	// Two independent job streams needing different designs: serially
+	// they pay a full reconfiguration per design change; co-located they
+	// run concurrently after two placements.
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, Job{Name: jn("d2", i), Design: sim.Design2, Duration: 0.5})
+		jobs = append(jobs, Job{Name: jn("d4", i), Design: sim.Design4, Duration: 0.5})
+	}
+	rep, err := RunJobs(d, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Makespan >= rep.SerialSeconds {
+		t.Errorf("multi-tenant makespan %.2fs not below serial %.2fs", rep.Makespan, rep.SerialSeconds)
+	}
+	if rep.Placements < 2 {
+		t.Errorf("expected at least one instance per design, got %d placements", rep.Placements)
+	}
+	if len(rep.PerJobFinish) != len(jobs) {
+		t.Errorf("finished %d of %d jobs", len(rep.PerJobFinish), len(jobs))
+	}
+}
+
+func TestRunJobsReusesIdleInstances(t *testing.T) {
+	d := newTestDevice(100)
+	jobs := []Job{
+		{Name: "a", Design: sim.Design4, Duration: 1},
+		{Name: "b", Design: sim.Design4, Duration: 1},
+		{Name: "c", Design: sim.Design4, Duration: 1},
+	}
+	rep, err := RunJobs(d, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three Design 4 instances fit at 100% — each job gets its own.
+	if rep.Placements != 3 {
+		t.Errorf("placements = %d, want 3 concurrent instances", rep.Placements)
+	}
+}
+
+func TestRunJobsEvictsWhenFull(t *testing.T) {
+	d := newTestDevice(100)
+	jobs := []Job{
+		{Name: "big", Design: sim.Design1, Duration: 0.1}, // BRAM 60.71
+		{Name: "other", Design: sim.Design2, Duration: 0.1},
+	}
+	rep, err := RunJobs(d, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D1 + D2 BRAM = 108.73 > 100: the scheduler must wait for and evict
+	// the Design 1 instance before placing Design 2.
+	if len(rep.PerJobFinish) != 2 {
+		t.Fatalf("jobs incomplete: %v", rep.PerJobFinish)
+	}
+	if rep.PerJobFinish["other"] <= rep.PerJobFinish["big"] {
+		t.Error("second job should finish after the first given the eviction")
+	}
+}
+
+func TestNewDeviceDefaultLimit(t *testing.T) {
+	d := NewDevice(0, reconfig.DefaultTimeModel())
+	if d.LimitPercent != 100 {
+		t.Errorf("default limit = %v, want 100", d.LimitPercent)
+	}
+}
+
+func jn(prefix string, i int) string {
+	return prefix + "-" + string(rune('0'+i))
+}

@@ -1,0 +1,216 @@
+package mltree
+
+import (
+	"fmt"
+)
+
+// Classifier is a CART decision-tree classifier with optional per-class
+// sample weights (the paper's inverse-frequency weighting for class
+// imbalance, §3.1).
+type Classifier struct {
+	Root        *Node
+	NumClasses  int
+	NumFeatures int
+	Importance  []float64 // normalized gini-decrease per feature (Figure 4)
+}
+
+// BalancedWeights returns per-class weights inversely proportional to
+// class frequency, normalized so the mean weight is 1 — the §3.1 strategy
+// for the imbalanced training corpus.
+func BalancedWeights(y []int, numClasses int) []float64 {
+	counts := make([]float64, numClasses)
+	for _, c := range y {
+		counts[c]++
+	}
+	w := make([]float64, numClasses)
+	n := float64(len(y))
+	k := float64(numClasses)
+	for c := range w {
+		if counts[c] > 0 {
+			w[c] = n / (k * counts[c])
+		}
+	}
+	return w
+}
+
+// TrainClassifier grows a gini CART tree on (x, y). classWeights may be
+// nil for uniform weighting or per-class weights (see BalancedWeights).
+func TrainClassifier(x [][]float64, y []int, numClasses int, classWeights []float64, cfg Config) (*Classifier, error) {
+	numFeatures, err := checkDataset(x, len(y))
+	if err != nil {
+		return nil, err
+	}
+	if numClasses < 2 {
+		return nil, fmt.Errorf("mltree: need at least 2 classes, got %d", numClasses)
+	}
+	for i, c := range y {
+		if c < 0 || c >= numClasses {
+			return nil, fmt.Errorf("mltree: label %d of sample %d out of range [0,%d)", c, i, numClasses)
+		}
+	}
+	if classWeights == nil {
+		classWeights = make([]float64, numClasses)
+		for i := range classWeights {
+			classWeights[i] = 1
+		}
+	} else if len(classWeights) != numClasses {
+		return nil, fmt.Errorf("mltree: %d class weights for %d classes", len(classWeights), numClasses)
+	}
+	cfg = cfg.withDefaults()
+	cls := &Classifier{
+		NumClasses:  numClasses,
+		NumFeatures: numFeatures,
+		Importance:  make([]float64, numFeatures),
+	}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &classifierBuilder{
+		x: x, y: y, w: classWeights,
+		cfg:      cfg,
+		features: featureSet(cfg, numFeatures),
+		cls:      cls,
+	}
+	cls.Root = b.grow(idx, 1)
+	normalize(cls.Importance)
+	return cls, nil
+}
+
+type classifierBuilder struct {
+	x        [][]float64
+	y        []int
+	w        []float64 // per-class weights
+	cfg      Config
+	features []int
+	cls      *Classifier
+}
+
+// classDist returns the weighted class distribution over idx and its total.
+func (b *classifierBuilder) classDist(idx []int) ([]float64, float64) {
+	dist := make([]float64, b.cls.NumClasses)
+	total := 0.0
+	for _, i := range idx {
+		w := b.w[b.y[i]]
+		dist[b.y[i]] += w
+		total += w
+	}
+	return dist, total
+}
+
+// gini computes 1 - Σ p² from a weighted class distribution.
+func gini(dist []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, d := range dist {
+		p := d / total
+		g -= p * p
+	}
+	return g
+}
+
+func leafFromDist(dist []float64, total, impurity float64) *Node {
+	best, bestW := 0, -1.0
+	probs := make([]float64, len(dist))
+	for c, d := range dist {
+		if d > bestW {
+			best, bestW = c, d
+		}
+		if total > 0 {
+			probs[c] = d / total
+		}
+	}
+	return &Node{Leaf: true, Label: best, Probs: probs, Samples: total, Impurity: impurity, Feature: -1}
+}
+
+func (b *classifierBuilder) grow(idx []int, depth int) *Node {
+	dist, total := b.classDist(idx)
+	imp := gini(dist, total)
+	if imp == 0 || total < b.cfg.MinSamplesSplit || (b.cfg.MaxDepth > 0 && depth > b.cfg.MaxDepth) {
+		return leafFromDist(dist, total, imp)
+	}
+
+	bestDecrease := b.cfg.MinImpurityDecrease
+	bestFeature, bestThreshold := -1, 0.0
+	// Scratch arrays for the scan.
+	left := make([]float64, b.cls.NumClasses)
+	for _, f := range b.features {
+		sortByFeature(idx, b.x, f)
+		for c := range left {
+			left[c] = 0
+		}
+		leftTotal := 0.0
+		for i := 0; i < len(idx)-1; i++ {
+			w := b.w[b.y[idx[i]]]
+			left[b.y[idx[i]]] += w
+			leftTotal += w
+			xi, xj := b.x[idx[i]][f], b.x[idx[i+1]][f]
+			if xi == xj {
+				continue
+			}
+			rightTotal := total - leftTotal
+			if leftTotal < b.cfg.MinSamplesLeaf || rightTotal < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			gl := 1.0
+			gr := 1.0
+			for c := range left {
+				pl := left[c] / leftTotal
+				pr := (dist[c] - left[c]) / rightTotal
+				gl -= pl * pl
+				gr -= pr * pr
+			}
+			decrease := imp - (leftTotal*gl+rightTotal*gr)/total
+			if decrease > bestDecrease {
+				bestDecrease = decrease
+				bestFeature = f
+				bestThreshold = (xi + xj) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leafFromDist(dist, total, imp)
+	}
+
+	var li, ri []int
+	for _, i := range idx {
+		if b.x[i][bestFeature] <= bestThreshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return leafFromDist(dist, total, imp)
+	}
+	accumulateImportance(b.cls.Importance, bestFeature, total*bestDecrease)
+	n := &Node{Feature: bestFeature, Threshold: bestThreshold, Samples: total, Impurity: imp}
+	n.Left = b.grow(li, depth+1)
+	n.Right = b.grow(ri, depth+1)
+	return n
+}
+
+// Predict returns the predicted class for x.
+func (c *Classifier) Predict(x []float64) int { return c.Root.route(x).Label }
+
+// PredictProba returns the leaf's class distribution for x.
+func (c *Classifier) PredictProba(x []float64) []float64 {
+	return append([]float64(nil), c.Root.route(x).Probs...)
+}
+
+// PredictBatch classifies each row of x.
+func (c *Classifier) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = c.Predict(row)
+	}
+	return out
+}
+
+// Depth reports the tree height.
+func (c *Classifier) Depth() int { return c.Root.depth() }
+
+// NumNodes reports the total node count.
+func (c *Classifier) NumNodes() int { return c.Root.count() }

@@ -1,0 +1,244 @@
+package mltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthClassification builds a 2-feature, k-class dataset with axis-aligned
+// class regions plus label noise.
+func synthClassification(rng *rand.Rand, n, k int, noise float64) (x [][]float64, y []int) {
+	for i := 0; i < n; i++ {
+		f0 := rng.Float64()
+		f1 := rng.Float64()
+		c := int(f0*float64(k)) % k
+		if rng.Float64() < noise {
+			c = rng.Intn(k)
+		}
+		x = append(x, []float64{f0, f1})
+		y = append(y, c)
+	}
+	return x, y
+}
+
+func TestClassifierLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthClassification(rng, 600, 3, 0)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(cls.PredictBatch(x), y); acc < 0.98 {
+		t.Errorf("training accuracy %.3f, want >= 0.98 on separable data", acc)
+	}
+}
+
+func TestClassifierGeneralizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synthClassification(rng, 1000, 4, 0.05)
+	train, test := StratifiedSplit(y, 4, 0.7, rng)
+	cls, err := TrainClassifier(gather(x, train), gatherInts(y, train), 4, nil, Config{MaxDepth: 6, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(cls.PredictBatch(gather(x, test)), gatherInts(y, test))
+	if acc < 0.85 {
+		t.Errorf("test accuracy %.3f, want >= 0.85", acc)
+	}
+}
+
+func TestClassifierInputValidation(t *testing.T) {
+	if _, err := TrainClassifier(nil, nil, 2, nil, Config{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := TrainClassifier([][]float64{{1}}, []int{0, 1}, 2, nil, Config{}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := TrainClassifier([][]float64{{1}, {2, 3}}, []int{0, 1}, 2, nil, Config{}); err == nil {
+		t.Error("accepted ragged features")
+	}
+	if _, err := TrainClassifier([][]float64{{1}, {2}}, []int{0, 5}, 2, nil, Config{}); err == nil {
+		t.Error("accepted out-of-range label")
+	}
+	if _, err := TrainClassifier([][]float64{{math.NaN()}, {2}}, []int{0, 1}, 2, nil, Config{}); err == nil {
+		t.Error("accepted NaN feature")
+	}
+	if _, err := TrainClassifier([][]float64{{1}, {2}}, []int{0, 1}, 1, nil, Config{}); err == nil {
+		t.Error("accepted single-class problem")
+	}
+	if _, err := TrainClassifier([][]float64{{1}, {2}}, []int{0, 1}, 2, []float64{1}, Config{}); err == nil {
+		t.Error("accepted wrong-length class weights")
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthClassification(rng, 500, 4, 0.2)
+	for _, d := range []int{1, 2, 3, 5} {
+		cls, err := TrainClassifier(x, y, 4, nil, Config{MaxDepth: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cls.Depth(); got > d+1 {
+			t.Errorf("MaxDepth %d produced depth %d", d, got)
+		}
+	}
+}
+
+func TestBalancedWeights(t *testing.T) {
+	y := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1} // 9:1 imbalance
+	w := BalancedWeights(y, 2)
+	if w[1] <= w[0] {
+		t.Errorf("minority weight %v not above majority %v", w[1], w[0])
+	}
+	if math.Abs(w[1]/w[0]-9) > 1e-9 {
+		t.Errorf("weight ratio = %v, want 9", w[1]/w[0])
+	}
+	// Unseen class gets zero weight rather than Inf.
+	w3 := BalancedWeights(y, 3)
+	if w3[2] != 0 {
+		t.Errorf("absent class weight = %v, want 0", w3[2])
+	}
+}
+
+func TestClassWeightingImprovesMinorityRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Overlapping classes with 20:1 imbalance: unweighted trees can afford
+	// to ignore the minority class.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 2000; i++ {
+		v := rng.NormFloat64()
+		x = append(x, []float64{v, rng.Float64()})
+		y = append(y, 0)
+	}
+	for i := 0; i < 100; i++ {
+		v := rng.NormFloat64() + 1.0 // heavy overlap
+		x = append(x, []float64{v, rng.Float64()})
+		y = append(y, 1)
+	}
+	cfg := Config{MaxDepth: 3, MinSamplesLeaf: 20}
+	plain, err := TrainClassifier(x, y, 2, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := TrainClassifier(x, y, 2, BalancedWeights(y, 2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recall := func(c *Classifier) float64 {
+		hit, total := 0, 0
+		for i := range x {
+			if y[i] == 1 {
+				total++
+				if c.Predict(x[i]) == 1 {
+					hit++
+				}
+			}
+		}
+		return float64(hit) / float64(total)
+	}
+	if rw, rp := recall(weighted), recall(plain); rw <= rp {
+		t.Errorf("weighted minority recall %.3f not above unweighted %.3f", rw, rp)
+	}
+}
+
+func TestFeatureImportanceIdentifiesSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Feature 1 carries all signal; features 0 and 2 are noise.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 800; i++ {
+		s := rng.Float64()
+		x = append(x, []float64{rng.Float64(), s, rng.Float64()})
+		if s > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	cls, err := TrainClassifier(x, y, 2, nil, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := cls.Importance
+	if imp[1] < 0.9 {
+		t.Errorf("signal feature importance %.3f, want >= 0.9", imp[1])
+	}
+	sum := imp[0] + imp[1] + imp[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importances sum to %v, want 1", sum)
+	}
+}
+
+func TestFeatureSubsetRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 400; i++ {
+		s := rng.Float64()
+		x = append(x, []float64{s, rng.Float64()})
+		if s > 0.5 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	// Restrict to the noise feature only: the tree cannot use feature 0.
+	cls, err := TrainClassifier(x, y, 2, nil, Config{MaxDepth: 6, Features: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Importance[0] != 0 {
+		t.Errorf("restricted feature used anyway: importance %v", cls.Importance[0])
+	}
+}
+
+func TestPredictProbaSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := synthClassification(rng, 300, 3, 0.1)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := cls.PredictProba(x[0])
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Errorf("negative probability %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v", sum)
+	}
+}
+
+func TestPropertyPredictionMatchesTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, y := synthClassification(rng, 500, 3, 0.1)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cls.Compile()
+	f := func(a, b float64) bool {
+		pt := []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))}
+		return cls.Predict(pt) == cc.PredictClass(pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinImpurityDecreaseStopsGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x, y := synthClassification(rng, 400, 2, 0.4)
+	loose, _ := TrainClassifier(x, y, 2, nil, Config{})
+	strict, _ := TrainClassifier(x, y, 2, nil, Config{MinImpurityDecrease: 0.1})
+	if strict.NumNodes() >= loose.NumNodes() {
+		t.Errorf("strict tree (%d nodes) not smaller than loose (%d)", strict.NumNodes(), loose.NumNodes())
+	}
+}

@@ -1,0 +1,72 @@
+package mltree
+
+// Compiled is a flattened, allocation-free inference form of a decision
+// tree: nodes laid out in a preorder array walked with integer indices.
+// This mirrors the paper's custom inference function that "unrolls the
+// decision logic" instead of using a generic library (§5.5); the
+// Figure 12 breakdown measures this path.
+type Compiled struct {
+	// Feature[i] < 0 marks a leaf; otherwise route on Threshold[i].
+	Feature   []int32
+	Threshold []float64
+	// Left/Right are node indices into the arrays.
+	Left, Right []int32
+	// Label holds the class at leaves (classifier); Value the estimate
+	// (regressor). Both are populated so one Compiled serves either tree.
+	Label []int32
+	Value []float64
+}
+
+// compile flattens the tree rooted at n, returning its index.
+func (c *Compiled) compile(n *Node) int32 {
+	i := int32(len(c.Feature))
+	c.Feature = append(c.Feature, -1)
+	c.Threshold = append(c.Threshold, 0)
+	c.Left = append(c.Left, -1)
+	c.Right = append(c.Right, -1)
+	c.Label = append(c.Label, int32(n.Label))
+	c.Value = append(c.Value, n.Value)
+	if !n.Leaf {
+		c.Feature[i] = int32(n.Feature)
+		c.Threshold[i] = n.Threshold
+		c.Left[i] = c.compile(n.Left)
+		c.Right[i] = c.compile(n.Right)
+	}
+	return i
+}
+
+// Compile flattens the classifier for low-latency inference.
+func (c *Classifier) Compile() *Compiled {
+	out := &Compiled{}
+	out.compile(c.Root)
+	return out
+}
+
+// Compile flattens the regressor for low-latency inference.
+func (r *Regressor) Compile() *Compiled {
+	out := &Compiled{}
+	out.compile(r.Root)
+	return out
+}
+
+// walk routes x to a leaf index.
+func (c *Compiled) walk(x []float64) int32 {
+	i := int32(0)
+	for c.Feature[i] >= 0 {
+		if x[c.Feature[i]] <= c.Threshold[i] {
+			i = c.Left[i]
+		} else {
+			i = c.Right[i]
+		}
+	}
+	return i
+}
+
+// PredictClass returns the class at the routed leaf.
+func (c *Compiled) PredictClass(x []float64) int { return int(c.Label[c.walk(x)]) }
+
+// PredictValue returns the regression estimate at the routed leaf.
+func (c *Compiled) PredictValue(x []float64) float64 { return c.Value[c.walk(x)] }
+
+// NumNodes reports the flattened node count.
+func (c *Compiled) NumNodes() int { return len(c.Feature) }

@@ -1,0 +1,130 @@
+package mltree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Split shuffles indices 0..n-1 and splits them into a training and a
+// held-out set with the given training fraction (the paper's 70/30 split).
+func Split(n int, trainFrac float64, rng *rand.Rand) (train, test []int) {
+	idx := rng.Perm(n)
+	cut := int(float64(n) * trainFrac)
+	if cut < 1 {
+		cut = 1
+	}
+	if cut > n {
+		cut = n
+	}
+	return idx[:cut], idx[cut:]
+}
+
+// StratifiedSplit splits per class so both sides preserve the class mix.
+func StratifiedSplit(y []int, numClasses int, trainFrac float64, rng *rand.Rand) (train, test []int) {
+	byClass := make([][]int, numClasses)
+	for i, c := range y {
+		byClass[c] = append(byClass[c], i)
+	}
+	for _, members := range byClass {
+		rng.Shuffle(len(members), func(i, j int) { members[i], members[j] = members[j], members[i] })
+		cut := int(float64(len(members)) * trainFrac)
+		train = append(train, members[:cut]...)
+		test = append(test, members[cut:]...)
+	}
+	rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	rng.Shuffle(len(test), func(i, j int) { test[i], test[j] = test[j], test[i] })
+	return train, test
+}
+
+// KFold partitions indices 0..n-1 into k shuffled folds of near-equal size.
+func KFold(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	idx := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, x := range idx {
+		folds[i%k] = append(folds[i%k], x)
+	}
+	return folds
+}
+
+// gather selects rows of x / elements of y by index.
+func gather(x [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	return out
+}
+
+func gatherInts(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+func gatherFloats(y []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+// CrossValidateClassifier runs k-fold cross-validation (the paper's
+// 10-fold protocol) and returns the per-fold accuracies. balanced selects
+// inverse-frequency class weighting on each training fold.
+func CrossValidateClassifier(x [][]float64, y []int, numClasses int, balanced bool, cfg Config, k int, rng *rand.Rand) ([]float64, error) {
+	folds := KFold(len(x), k, rng)
+	accs := make([]float64, 0, len(folds))
+	for f := range folds {
+		var trainIdx []int
+		for g, fold := range folds {
+			if g != f {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		trX, trY := gather(x, trainIdx), gatherInts(y, trainIdx)
+		teX, teY := gather(x, folds[f]), gatherInts(y, folds[f])
+		var weights []float64
+		if balanced {
+			weights = BalancedWeights(trY, numClasses)
+		}
+		cls, err := TrainClassifier(trX, trY, numClasses, weights, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("mltree: fold %d: %w", f, err)
+		}
+		accs = append(accs, Accuracy(cls.PredictBatch(teX), teY))
+	}
+	return accs, nil
+}
+
+// CrossValidateRegressor runs k-fold cross-validation and returns per-fold
+// (MAE, R²) pairs.
+func CrossValidateRegressor(x [][]float64, y []float64, cfg Config, k int, rng *rand.Rand) (maes, r2s []float64, err error) {
+	folds := KFold(len(x), k, rng)
+	for f := range folds {
+		var trainIdx []int
+		for g, fold := range folds {
+			if g != f {
+				trainIdx = append(trainIdx, fold...)
+			}
+		}
+		trX, trY := gather(x, trainIdx), gatherFloats(y, trainIdx)
+		teX, teY := gather(x, folds[f]), gatherFloats(y, folds[f])
+		reg, err := TrainRegressor(trX, trY, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("mltree: fold %d: %w", f, err)
+		}
+		pred := reg.PredictBatch(teX)
+		maes = append(maes, MAE(pred, teY))
+		r2s = append(r2s, R2(pred, teY))
+	}
+	return maes, r2s, nil
+}

@@ -1,0 +1,111 @@
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Forest is a bagged random-forest classifier. The paper deliberately
+// deploys a single decision tree ("due to its lightweight footprint and
+// low-latency inference", §3.1); the forest exists to quantify that
+// trade-off — a few points of accuracy against an order of magnitude in
+// model size and inference time (see BenchmarkAblationForest).
+type Forest struct {
+	Trees       []*Classifier
+	NumClasses  int
+	NumFeatures int
+}
+
+// ForestConfig controls forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size (default 25).
+	Trees int
+	// Tree configures each member; Features is overridden per tree when
+	// FeatureFraction < 1.
+	Tree Config
+	// FeatureFraction is the share of features each tree may split on
+	// (default 1/√d style: 0 means sqrt of the feature count).
+	FeatureFraction float64
+	// Seed drives bootstrap sampling and feature subsampling.
+	Seed int64
+}
+
+// TrainForest fits a random forest on (x, y) with bootstrap sampling and
+// per-tree feature subsets. classWeights follow TrainClassifier.
+func TrainForest(x [][]float64, y []int, numClasses int, classWeights []float64, cfg ForestConfig) (*Forest, error) {
+	numFeatures, err := checkDataset(x, len(y))
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trees <= 0 {
+		cfg.Trees = 25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	subset := numFeatures
+	if cfg.FeatureFraction > 0 && cfg.FeatureFraction < 1 {
+		subset = int(math.Ceil(cfg.FeatureFraction * float64(numFeatures)))
+	} else if cfg.FeatureFraction == 0 {
+		subset = int(math.Ceil(math.Sqrt(float64(numFeatures))))
+	}
+	if subset < 1 {
+		subset = 1
+	}
+
+	f := &Forest{NumClasses: numClasses, NumFeatures: numFeatures}
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		bx := make([][]float64, len(x))
+		by := make([]int, len(y))
+		for i := range bx {
+			j := rng.Intn(len(x))
+			bx[i], by[i] = x[j], y[j]
+		}
+		treeCfg := cfg.Tree
+		if subset < numFeatures {
+			perm := rng.Perm(numFeatures)[:subset]
+			treeCfg.Features = perm
+		}
+		cls, err := TrainClassifier(bx, by, numClasses, classWeights, treeCfg)
+		if err != nil {
+			return nil, fmt.Errorf("mltree: forest tree %d: %w", t, err)
+		}
+		f.Trees = append(f.Trees, cls)
+	}
+	return f, nil
+}
+
+// Predict returns the majority vote over the ensemble (ties break toward
+// the lower class index).
+func (f *Forest) Predict(x []float64) int {
+	votes := make([]int, f.NumClasses)
+	for _, t := range f.Trees {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// PredictBatch classifies each row of x.
+func (f *Forest) PredictBatch(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		out[i] = f.Predict(row)
+	}
+	return out
+}
+
+// NumNodes reports the total node count across the ensemble — the model
+// footprint the paper's single tree avoids.
+func (f *Forest) NumNodes() int {
+	n := 0
+	for _, t := range f.Trees {
+		n += t.NumNodes()
+	}
+	return n
+}

@@ -1,0 +1,91 @@
+package mltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestForestLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthClassification(rng, 600, 3, 0)
+	f, err := TrainForest(x, y, 3, nil, ForestConfig{Trees: 15, Tree: Config{MaxDepth: 8}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(f.PredictBatch(x), y); acc < 0.97 {
+		t.Errorf("forest training accuracy %.3f, want >= 0.97", acc)
+	}
+}
+
+func TestForestAtLeastMatchesSingleTreeHeldOut(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synthClassification(rng, 1500, 4, 0.15)
+	train, test := StratifiedSplit(y, 4, 0.7, rng)
+	trX, trY := gather(x, train), gatherInts(y, train)
+	teX, teY := gather(x, test), gatherInts(y, test)
+
+	tree, err := TrainClassifier(trX, trY, 4, nil, Config{MaxDepth: 6, MinSamplesLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forest, err := TrainForest(trX, trY, 4, nil, ForestConfig{
+		Trees: 30, Tree: Config{MaxDepth: 6, MinSamplesLeaf: 4}, FeatureFraction: 1, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeAcc := Accuracy(tree.PredictBatch(teX), teY)
+	forestAcc := Accuracy(forest.PredictBatch(teX), teY)
+	if forestAcc < treeAcc-0.03 {
+		t.Errorf("forest %.3f clearly below single tree %.3f on noisy data", forestAcc, treeAcc)
+	}
+	t.Logf("held-out: tree %.3f, forest %.3f", treeAcc, forestAcc)
+}
+
+func TestForestIsMuchBiggerThanTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthClassification(rng, 500, 3, 0.1)
+	tree, _ := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 8})
+	forest, err := TrainForest(x, y, 3, nil, ForestConfig{Trees: 25, Tree: Config{MaxDepth: 8}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forest.NumNodes() < 10*tree.NumNodes() {
+		t.Errorf("forest %d nodes vs tree %d; the footprint trade-off should be stark",
+			forest.NumNodes(), tree.NumNodes())
+	}
+}
+
+func TestForestFeatureSubsampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthClassification(rng, 400, 2, 0.05)
+	f, err := TrainForest(x, y, 2, nil, ForestConfig{
+		Trees: 10, Tree: Config{MaxDepth: 5}, FeatureFraction: 0.5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 features at fraction 0.5, each tree sees exactly 1; some
+	// trees must have the signal feature, so accuracy beats chance.
+	if acc := Accuracy(f.PredictBatch(x), y); acc < 0.7 {
+		t.Errorf("subsampled forest accuracy %.3f", acc)
+	}
+}
+
+func TestForestValidation(t *testing.T) {
+	if _, err := TrainForest(nil, nil, 2, nil, ForestConfig{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+}
+
+func TestForestDefaultConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := synthClassification(rng, 200, 2, 0.1)
+	f, err := TrainForest(x, y, 2, nil, ForestConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Trees) != 25 {
+		t.Errorf("default ensemble size %d, want 25", len(f.Trees))
+	}
+}

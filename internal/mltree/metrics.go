@@ -1,0 +1,70 @@
+package mltree
+
+import "math"
+
+// Accuracy reports the fraction of predictions equal to the truth.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return 0
+	}
+	hits := 0
+	for i := range pred {
+		if pred[i] == truth[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// ConfusionMatrix returns a numClasses×numClasses matrix m where
+// m[predicted][actual] counts samples, matching the orientation of the
+// paper's Table 5 ("Predicted/Actual").
+func ConfusionMatrix(pred, truth []int, numClasses int) [][]int {
+	m := make([][]int, numClasses)
+	for i := range m {
+		m[i] = make([]int, numClasses)
+	}
+	for i := range pred {
+		m[pred[i]][truth[i]]++
+	}
+	return m
+}
+
+// MAE reports mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	sum := 0.0
+	for i := range pred {
+		sum += math.Abs(pred[i] - truth[i])
+	}
+	return sum / float64(len(pred))
+}
+
+// R2 reports the coefficient of determination of pred against truth
+// (1 = perfect; 0 = no better than the mean; can be negative).
+func R2(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, t := range truth {
+		mean += t
+	}
+	mean /= float64(len(truth))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range truth {
+		dr := truth[i] - pred[i]
+		dt := truth[i] - mean
+		ssRes += dr * dr
+		ssTot += dt * dt
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

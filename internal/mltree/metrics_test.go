@@ -1,0 +1,236 @@
+package mltree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 2, 0}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Accuracy = %v, want 2/3", got)
+	}
+	if got := Accuracy(nil, nil); got != 0 {
+		t.Errorf("Accuracy(empty) = %v, want 0", got)
+	}
+	if got := Accuracy([]int{1}, []int{1, 2}); got != 0 {
+		t.Errorf("Accuracy(mismatch) = %v, want 0", got)
+	}
+}
+
+func TestConfusionMatrixOrientation(t *testing.T) {
+	// One sample predicted 0 but actually 1: m[0][1] should count it.
+	m := ConfusionMatrix([]int{0}, []int{1}, 2)
+	if m[0][1] != 1 || m[1][0] != 0 {
+		t.Errorf("confusion matrix orientation wrong: %v", m)
+	}
+}
+
+func TestMAEAndR2(t *testing.T) {
+	pred := []float64{1, 2, 3}
+	truth := []float64{1, 2, 3}
+	if MAE(pred, truth) != 0 {
+		t.Error("perfect MAE not 0")
+	}
+	if R2(pred, truth) != 1 {
+		t.Error("perfect R² not 1")
+	}
+	meanPred := []float64{2, 2, 2}
+	if got := R2(meanPred, truth); math.Abs(got) > 1e-12 {
+		t.Errorf("mean-prediction R² = %v, want 0", got)
+	}
+	if got := MAE([]float64{0, 0}, []float64{3, -3}); got != 3 {
+		t.Errorf("MAE = %v, want 3", got)
+	}
+	if !math.IsNaN(MAE(nil, nil)) || !math.IsNaN(R2(nil, nil)) {
+		t.Error("empty inputs should give NaN")
+	}
+	// Constant truth: R² is 1 when predictions match, else 0.
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Errorf("constant exact R² = %v, want 1", got)
+	}
+	if got := R2([]float64{4, 6}, []float64{5, 5}); got != 0 {
+		t.Errorf("constant inexact R² = %v, want 0", got)
+	}
+}
+
+func TestKFoldPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	folds := KFold(103, 10, rng)
+	if len(folds) != 10 {
+		t.Fatalf("got %d folds, want 10", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in multiple folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 103 {
+		t.Fatalf("folds cover %d indices, want 103", len(seen))
+	}
+}
+
+func TestStratifiedSplitPreservesMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	y := make([]int, 0, 1000)
+	for i := 0; i < 900; i++ {
+		y = append(y, 0)
+	}
+	for i := 0; i < 100; i++ {
+		y = append(y, 1)
+	}
+	train, test := StratifiedSplit(y, 2, 0.7, rng)
+	count := func(idx []int, c int) int {
+		n := 0
+		for _, i := range idx {
+			if y[i] == c {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(train, 1); got != 70 {
+		t.Errorf("train minority = %d, want 70", got)
+	}
+	if got := count(test, 1); got != 30 {
+		t.Errorf("test minority = %d, want 30", got)
+	}
+}
+
+func TestCrossValidateClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthClassification(rng, 500, 3, 0.05)
+	accs, err := CrossValidateClassifier(x, y, 3, true, Config{MaxDepth: 6}, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accs) != 5 {
+		t.Fatalf("got %d folds", len(accs))
+	}
+	for i, a := range accs {
+		if a < 0.8 {
+			t.Errorf("fold %d accuracy %.3f too low", i, a)
+		}
+	}
+}
+
+func TestCrossValidateRegressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthRegression(rng, 800, 0.05)
+	maes, r2s, err := CrossValidateRegressor(x, y, Config{MaxDepth: 10, MinSamplesLeaf: 4}, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range maes {
+		if r2s[i] < 0.9 {
+			t.Errorf("fold %d R² %.3f too low", i, r2s[i])
+		}
+		if maes[i] > 0.5 {
+			t.Errorf("fold %d MAE %.3f too high", i, maes[i])
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := synthClassification(rng, 400, 3, 0.05)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteClassifier(&buf, cls); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pt := []float64{rng.Float64(), rng.Float64()}
+		if got.Predict(pt) != cls.Predict(pt) {
+			t.Fatal("round-tripped classifier disagrees")
+		}
+	}
+
+	xr, yr := synthRegression(rng, 400, 0.1)
+	reg, err := TrainRegressor(xr, yr, Config{MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteRegressor(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := ReadRegressor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pt := []float64{rng.Float64(), rng.Float64()}
+		if gotR.Predict(pt) != reg.Predict(pt) {
+			t.Fatal("round-tripped regressor disagrees")
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadClassifier(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("ReadClassifier accepted garbage")
+	}
+	if _, err := ReadRegressor(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("ReadRegressor accepted garbage")
+	}
+}
+
+func TestModelSizeIsCompact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x, y := synthClassification(rng, 600, 4, 0.05)
+	// A depth-limited tree like the paper's deployed model should stay in
+	// the single-digit-KB regime.
+	cls, err := TrainClassifier(x, y, 4, nil, Config{MaxDepth: 6, MinSamplesLeaf: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz, err := SizeBytes(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz > 20*1024 {
+		t.Errorf("model size %d bytes, want compact (< 20 KB)", sz)
+	}
+}
+
+func BenchmarkCompiledInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := synthClassification(rng, 2000, 4, 0.05)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := cls.Compile()
+	pt := []float64{0.3, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.PredictClass(pt)
+	}
+}
+
+func BenchmarkTreeInference(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	x, y := synthClassification(rng, 2000, 4, 0.05)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pt := []float64{0.3, 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls.Predict(pt)
+	}
+}

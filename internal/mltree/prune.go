@@ -1,0 +1,149 @@
+package mltree
+
+import "math"
+
+// Cost-complexity (weakest-link) pruning, the standard CART
+// post-processing behind the paper's compact 6 KB deployment: repeatedly
+// collapse the internal node whose removal costs the least impurity per
+// leaf saved, until the tree fits the requested size.
+
+// subtreeStats aggregates a subtree's training impurity and leaf count.
+func subtreeStats(n *Node) (weightedImpurity float64, leaves int) {
+	if n.Leaf {
+		return n.Impurity * n.Samples, 1
+	}
+	li, ln := subtreeStats(n.Left)
+	ri, rn := subtreeStats(n.Right)
+	return li + ri, ln + rn
+}
+
+// weakestLink finds the internal node with the smallest alpha =
+// (R(node) − R(subtree)) / (leaves − 1), the cost of collapsing it.
+func weakestLink(n *Node) (target *Node, alpha float64) {
+	alpha = math.Inf(1)
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		if cur == nil || cur.Leaf {
+			return
+		}
+		subImp, leaves := subtreeStats(cur)
+		if leaves > 1 {
+			a := (cur.Impurity*cur.Samples - subImp) / float64(leaves-1)
+			if a < alpha {
+				alpha, target = a, cur
+			}
+		}
+		walk(cur.Left)
+		walk(cur.Right)
+	}
+	walk(n)
+	return target, alpha
+}
+
+// collapse turns an internal node into a leaf carrying its training
+// majority class / mean value. The node's stored Samples and Impurity
+// were recorded at build time, and the label comes from merging the
+// children's distributions.
+func collapse(n *Node) {
+	probs := mergeProbs(n)
+	n.Leaf = true
+	n.Feature = -1
+	n.Left, n.Right = nil, nil
+	if probs != nil {
+		n.Probs = probs
+		best, bestP := 0, -1.0
+		for c, p := range probs {
+			if p > bestP {
+				best, bestP = c, p
+			}
+		}
+		n.Label = best
+	}
+	n.Value = mergeValue(n)
+}
+
+// mergeProbs pools the leaf class distributions under n, weighted by
+// samples (nil for regression trees).
+func mergeProbs(n *Node) []float64 {
+	var out []float64
+	var total float64
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		if cur == nil {
+			return
+		}
+		if cur.Leaf {
+			if cur.Probs == nil {
+				return
+			}
+			if out == nil {
+				out = make([]float64, len(cur.Probs))
+			}
+			for c, p := range cur.Probs {
+				out[c] += p * cur.Samples
+			}
+			total += cur.Samples
+			return
+		}
+		walk(cur.Left)
+		walk(cur.Right)
+	}
+	walk(n)
+	if out == nil || total == 0 {
+		return out
+	}
+	for c := range out {
+		out[c] /= total
+	}
+	return out
+}
+
+// mergeValue pools leaf regression values under n, weighted by samples.
+func mergeValue(n *Node) float64 {
+	var sum, total float64
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		if cur == nil {
+			return
+		}
+		if cur.Leaf {
+			sum += cur.Value * cur.Samples
+			total += cur.Samples
+			return
+		}
+		walk(cur.Left)
+		walk(cur.Right)
+	}
+	walk(n)
+	if total == 0 {
+		return n.Value
+	}
+	return sum / total
+}
+
+// PruneToSize collapses weakest links until the tree has at most maxNodes
+// nodes. It returns the number of collapses performed.
+func pruneToSize(root *Node, maxNodes int) int {
+	collapses := 0
+	for root.count() > maxNodes {
+		target, _ := weakestLink(root)
+		if target == nil {
+			break
+		}
+		collapse(target)
+		collapses++
+	}
+	return collapses
+}
+
+// PruneToSize applies cost-complexity pruning to the classifier until it
+// has at most maxNodes nodes, returning the number of collapsed subtrees.
+// Importances are not recomputed; they describe the unpruned fit.
+func (c *Classifier) PruneToSize(maxNodes int) int {
+	return pruneToSize(c.Root, maxNodes)
+}
+
+// PruneToSize applies cost-complexity pruning to the regressor.
+func (r *Regressor) PruneToSize(maxNodes int) int {
+	return pruneToSize(r.Root, maxNodes)
+}

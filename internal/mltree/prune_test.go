@@ -1,0 +1,141 @@
+package mltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPruneToSizeShrinksTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthClassification(rng, 800, 4, 0.2)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cls.NumNodes()
+	if before < 50 {
+		t.Skipf("tree too small to prune meaningfully (%d nodes)", before)
+	}
+	collapses := cls.PruneToSize(31)
+	if collapses == 0 {
+		t.Fatal("no collapses performed")
+	}
+	if got := cls.NumNodes(); got > 31 {
+		t.Errorf("pruned to %d nodes, want <= 31", got)
+	}
+}
+
+func TestPruneKeepsAccuracyReasonable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Clean signal: heavy pruning should barely hurt, because the extra
+	// nodes were fitting noise.
+	x, y := synthClassification(rng, 1000, 3, 0.1)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Accuracy(cls.PredictBatch(x), y)
+	cls.PruneToSize(15)
+	pruned := Accuracy(cls.PredictBatch(x), y)
+	if pruned < full-0.15 {
+		t.Errorf("pruning cost too much accuracy: %.3f → %.3f", full, pruned)
+	}
+	if pruned < 0.7 {
+		t.Errorf("pruned accuracy %.3f collapsed", pruned)
+	}
+}
+
+func TestPrunedLeavesHaveValidDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthClassification(rng, 500, 4, 0.2)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls.PruneToSize(9)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.Leaf {
+			if n.Feature != -1 {
+				t.Error("pruned leaf keeps a split feature")
+			}
+			sum := 0.0
+			for _, p := range n.Probs {
+				if p < 0 {
+					t.Error("negative probability after pruning")
+				}
+				sum += p
+			}
+			if sum < 0.99 || sum > 1.01 {
+				t.Errorf("pruned leaf probs sum to %v", sum)
+			}
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(cls.Root)
+}
+
+func TestPruneRegressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthRegression(rng, 800, 0.2)
+	reg, err := TrainRegressor(x, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := reg.NumNodes()
+	reg.PruneToSize(21)
+	if reg.NumNodes() > 21 || reg.NumNodes() >= before {
+		t.Errorf("regressor pruning failed: %d → %d", before, reg.NumNodes())
+	}
+	// Predictions stay within the training hull.
+	p := reg.Predict([]float64{0.5, 0.5})
+	lo, hi := y[0], y[0]
+	for _, v := range y {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if p < lo || p > hi {
+		t.Errorf("pruned prediction %v outside training range [%v,%v]", p, lo, hi)
+	}
+}
+
+func TestPruneSingleLeafNoop(t *testing.T) {
+	reg, err := TrainRegressor([][]float64{{1}, {2}}, []float64{5, 5}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.PruneToSize(1); got != 0 {
+		t.Errorf("pruning a leaf performed %d collapses", got)
+	}
+}
+
+func TestPruneShrinksSerializedSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := synthClassification(rng, 1200, 4, 0.25)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := SizeBytes(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cls.PruneToSize(63)
+	after, err := SizeBytes(cls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("pruning did not shrink the model: %d → %d bytes", before, after)
+	}
+	t.Logf("model size: %d → %d bytes (the paper's 6 KB regime)", before, after)
+}

@@ -1,0 +1,132 @@
+package mltree
+
+// Regressor is a CART regression tree minimizing mean squared error; it
+// backs the reconfiguration engine's latency predictor (§3.3, Figure 9).
+type Regressor struct {
+	Root        *Node
+	NumFeatures int
+	Importance  []float64 // normalized variance-reduction per feature
+}
+
+// TrainRegressor grows an MSE CART tree on (x, y).
+func TrainRegressor(x [][]float64, y []float64, cfg Config) (*Regressor, error) {
+	numFeatures, err := checkDataset(x, len(y))
+	if err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	reg := &Regressor{NumFeatures: numFeatures, Importance: make([]float64, numFeatures)}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	b := &regressorBuilder{x: x, y: y, cfg: cfg, features: featureSet(cfg, numFeatures), reg: reg}
+	reg.Root = b.grow(idx, 1)
+	normalize(reg.Importance)
+	return reg, nil
+}
+
+type regressorBuilder struct {
+	x        [][]float64
+	y        []float64
+	cfg      Config
+	features []int
+	reg      *Regressor
+}
+
+// mse returns the mean, total count and variance (MSE around the mean)
+// over idx.
+func (b *regressorBuilder) mse(idx []int) (mean, total, variance float64) {
+	for _, i := range idx {
+		mean += b.y[i]
+	}
+	total = float64(len(idx))
+	mean /= total
+	for _, i := range idx {
+		d := b.y[i] - mean
+		variance += d * d
+	}
+	variance /= total
+	return mean, total, variance
+}
+
+func (b *regressorBuilder) grow(idx []int, depth int) *Node {
+	mean, total, variance := b.mse(idx)
+	if variance == 0 || total < b.cfg.MinSamplesSplit || (b.cfg.MaxDepth > 0 && depth > b.cfg.MaxDepth) {
+		return &Node{Leaf: true, Value: mean, Samples: total, Impurity: variance, Feature: -1}
+	}
+
+	bestDecrease := b.cfg.MinImpurityDecrease
+	bestFeature, bestThreshold := -1, 0.0
+	for _, f := range b.features {
+		sortByFeature(idx, b.x, f)
+		// Incremental sums for variance of the left/right partitions.
+		var lSum, lSumSq float64
+		var tSum, tSumSq float64
+		for _, i := range idx {
+			tSum += b.y[i]
+			tSumSq += b.y[i] * b.y[i]
+		}
+		for i := 0; i < len(idx)-1; i++ {
+			v := b.y[idx[i]]
+			lSum += v
+			lSumSq += v * v
+			xi, xj := b.x[idx[i]][f], b.x[idx[i+1]][f]
+			if xi == xj {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := total - nl
+			if nl < b.cfg.MinSamplesLeaf || nr < b.cfg.MinSamplesLeaf {
+				continue
+			}
+			varL := lSumSq/nl - (lSum/nl)*(lSum/nl)
+			rSum := tSum - lSum
+			rSumSq := tSumSq - lSumSq
+			varR := rSumSq/nr - (rSum/nr)*(rSum/nr)
+			decrease := variance - (nl*varL+nr*varR)/total
+			if decrease > bestDecrease {
+				bestDecrease = decrease
+				bestFeature = f
+				bestThreshold = (xi + xj) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &Node{Leaf: true, Value: mean, Samples: total, Impurity: variance, Feature: -1}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if b.x[i][bestFeature] <= bestThreshold {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &Node{Leaf: true, Value: mean, Samples: total, Impurity: variance, Feature: -1}
+	}
+	accumulateImportance(b.reg.Importance, bestFeature, total*bestDecrease)
+	n := &Node{Feature: bestFeature, Threshold: bestThreshold, Samples: total, Impurity: variance}
+	n.Left = b.grow(li, depth+1)
+	n.Right = b.grow(ri, depth+1)
+	return n
+}
+
+// Predict returns the regression estimate for x.
+func (r *Regressor) Predict(x []float64) float64 { return r.Root.route(x).Value }
+
+// PredictBatch evaluates each row of x.
+func (r *Regressor) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, row := range x {
+		out[i] = r.Predict(row)
+	}
+	return out
+}
+
+// Depth reports the tree height.
+func (r *Regressor) Depth() int { return r.Root.depth() }
+
+// NumNodes reports the total node count.
+func (r *Regressor) NumNodes() int { return r.Root.count() }

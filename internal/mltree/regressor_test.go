@@ -1,0 +1,146 @@
+package mltree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthRegression: y = 3*x0 + step(x1) + noise.
+func synthRegression(rng *rand.Rand, n int, noise float64) (x [][]float64, y []float64) {
+	for i := 0; i < n; i++ {
+		f0, f1 := rng.Float64(), rng.Float64()
+		target := 3*f0 + 2*math.Floor(f1*4) + noise*rng.NormFloat64()
+		x = append(x, []float64{f0, f1})
+		y = append(y, target)
+	}
+	return x, y
+}
+
+func TestRegressorFitsStepFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 500; i++ {
+		v := rng.Float64()
+		x = append(x, []float64{v})
+		if v > 0.5 {
+			y = append(y, 10)
+		} else {
+			y = append(y, -10)
+		}
+	}
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Predict([]float64{0.9}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Predict(0.9) = %v, want 10", got)
+	}
+	if got := reg.Predict([]float64{0.1}); math.Abs(got+10) > 1e-9 {
+		t.Errorf("Predict(0.1) = %v, want -10", got)
+	}
+}
+
+func TestRegressorHighR2OnSmoothTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synthRegression(rng, 2000, 0.05)
+	train, test := Split(len(x), 0.7, rng)
+	reg, err := TrainRegressor(gather(x, train), gatherFloats(y, train), Config{MaxDepth: 10, MinSamplesLeaf: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := reg.PredictBatch(gather(x, test))
+	if r2 := R2(pred, gatherFloats(y, test)); r2 < 0.95 {
+		t.Errorf("R² = %.3f, want >= 0.95", r2)
+	}
+}
+
+func TestRegressorValidation(t *testing.T) {
+	if _, err := TrainRegressor(nil, nil, Config{}); err == nil {
+		t.Error("accepted empty dataset")
+	}
+	if _, err := TrainRegressor([][]float64{{1}}, []float64{1, 2}, Config{}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := TrainRegressor([][]float64{{math.Inf(1)}}, []float64{1}, Config{}); err == nil {
+		t.Error("accepted infinite feature")
+	}
+}
+
+func TestRegressorConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	reg, err := TrainRegressor(x, y, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.NumNodes() != 1 {
+		t.Errorf("constant target grew %d nodes, want 1 leaf", reg.NumNodes())
+	}
+	if got := reg.Predict([]float64{99}); got != 7 {
+		t.Errorf("Predict = %v, want 7", got)
+	}
+}
+
+func TestRegressorImportanceNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthRegression(rng, 600, 0.1)
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range reg.Importance {
+		if v < 0 {
+			t.Errorf("negative importance %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("importance sum = %v, want 1", sum)
+	}
+}
+
+func TestPropertyRegressorPredictionWithinTrainingRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthRegression(rng, 400, 0.1)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range y {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		pt := []float64{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))}
+		p := reg.Predict(pt)
+		// Leaf means can never leave the hull of training targets.
+		return p >= lo-1e-9 && p <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledRegressorMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x, y := synthRegression(rng, 500, 0.1)
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := reg.Compile()
+	for i := 0; i < 100; i++ {
+		pt := []float64{rng.Float64(), rng.Float64()}
+		if reg.Predict(pt) != cc.PredictValue(pt) {
+			t.Fatalf("compiled mismatch at %v", pt)
+		}
+	}
+	if cc.NumNodes() != reg.NumNodes() {
+		t.Errorf("compiled nodes %d != tree nodes %d", cc.NumNodes(), reg.NumNodes())
+	}
+}

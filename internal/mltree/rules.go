@@ -1,0 +1,81 @@
+package mltree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rule extraction: §6.3 notes that "insights from trained models can
+// inform the design of new heuristics, bridging the gap between manual
+// rule design and adaptive learning-based optimization". Rules renders
+// the learned tree as a nested if/else over named features so a human
+// can read the decision boundaries the model found.
+
+// Rules renders the classifier as indented if/else text. featureNames
+// maps feature indices to names (nil falls back to f<i>); classNames
+// maps labels (nil falls back to class <i>).
+func (c *Classifier) Rules(featureNames, classNames []string) string {
+	var sb strings.Builder
+	renderRules(&sb, c.Root, 0, featureNames, func(n *Node) string {
+		name := fmt.Sprintf("class %d", n.Label)
+		if classNames != nil && n.Label < len(classNames) {
+			name = classNames[n.Label]
+		}
+		conf := 0.0
+		if n.Label < len(n.Probs) {
+			conf = n.Probs[n.Label]
+		}
+		return fmt.Sprintf("→ %s (%.0f%% of %.0f samples)", name, conf*100, n.Samples)
+	})
+	return sb.String()
+}
+
+// Rules renders the regressor as indented if/else text with leaf values.
+func (r *Regressor) Rules(featureNames []string) string {
+	var sb strings.Builder
+	renderRules(&sb, r.Root, 0, featureNames, func(n *Node) string {
+		return fmt.Sprintf("→ %.4g (%.0f samples)", n.Value, n.Samples)
+	})
+	return sb.String()
+}
+
+func renderRules(sb *strings.Builder, n *Node, depth int, names []string, leaf func(*Node) string) {
+	indent := strings.Repeat("  ", depth)
+	if n.Leaf {
+		fmt.Fprintf(sb, "%s%s\n", indent, leaf(n))
+		return
+	}
+	fname := fmt.Sprintf("f%d", n.Feature)
+	if names != nil && n.Feature < len(names) {
+		fname = names[n.Feature]
+	}
+	fmt.Fprintf(sb, "%sif %s <= %.6g:\n", indent, fname, n.Threshold)
+	renderRules(sb, n.Left, depth+1, names, leaf)
+	fmt.Fprintf(sb, "%selse:\n", indent)
+	renderRules(sb, n.Right, depth+1, names, leaf)
+}
+
+// TopSplits lists the first maxDepth levels of splits in breadth-first
+// order — the coarse heuristic a human would transcribe.
+func (c *Classifier) TopSplits(featureNames []string, maxDepth int) []string {
+	var out []string
+	type item struct {
+		n     *Node
+		depth int
+	}
+	queue := []item{{c.Root, 1}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		if it.n == nil || it.n.Leaf || it.depth > maxDepth {
+			continue
+		}
+		fname := fmt.Sprintf("f%d", it.n.Feature)
+		if featureNames != nil && it.n.Feature < len(featureNames) {
+			fname = featureNames[it.n.Feature]
+		}
+		out = append(out, fmt.Sprintf("level %d: %s <= %.6g", it.depth, fname, it.n.Threshold))
+		queue = append(queue, item{it.n.Left, it.depth + 1}, item{it.n.Right, it.depth + 1})
+	}
+	return out
+}

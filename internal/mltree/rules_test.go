@@ -1,0 +1,76 @@
+package mltree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestRulesRendering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthClassification(rng, 400, 2, 0)
+	cls, err := TrainClassifier(x, y, 2, nil, Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cls.Rules([]string{"alpha", "beta"}, []string{"left", "right"})
+	if !strings.Contains(out, "if alpha <=") && !strings.Contains(out, "if beta <=") {
+		t.Errorf("rules missing named splits:\n%s", out)
+	}
+	if !strings.Contains(out, "→ left") || !strings.Contains(out, "→ right") {
+		t.Errorf("rules missing class names:\n%s", out)
+	}
+	if !strings.Contains(out, "else:") {
+		t.Errorf("rules missing else branches:\n%s", out)
+	}
+}
+
+func TestRulesFallbackNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := synthClassification(rng, 200, 2, 0)
+	cls, err := TrainClassifier(x, y, 2, nil, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := cls.Rules(nil, nil)
+	if !strings.Contains(out, "f0") && !strings.Contains(out, "f1") {
+		t.Errorf("fallback feature names missing:\n%s", out)
+	}
+	if !strings.Contains(out, "class ") {
+		t.Errorf("fallback class names missing:\n%s", out)
+	}
+}
+
+func TestRegressorRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, y := synthRegression(rng, 300, 0.05)
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := reg.Rules([]string{"u", "v"})
+	if !strings.Contains(out, "→ ") {
+		t.Errorf("regressor rules missing leaf values:\n%s", out)
+	}
+}
+
+func TestTopSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x, y := synthClassification(rng, 400, 3, 0.05)
+	cls, err := TrainClassifier(x, y, 3, nil, Config{MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits := cls.TopSplits([]string{"alpha", "beta"}, 2)
+	if len(splits) == 0 {
+		t.Fatal("no splits extracted")
+	}
+	if !strings.HasPrefix(splits[0], "level 1:") {
+		t.Errorf("first split not level 1: %q", splits[0])
+	}
+	for _, s := range splits {
+		if strings.Contains(s, "level 3") {
+			t.Errorf("depth bound violated: %q", s)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package mltree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Serialization for trained models. The paper stresses the deployed
+// decision tree needs only ~6 KB of storage; SizeBytes lets callers
+// verify their trained model stays in that regime.
+
+// WriteClassifier gob-encodes c to w.
+func WriteClassifier(w io.Writer, c *Classifier) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// ReadClassifier decodes a classifier written by WriteClassifier.
+func ReadClassifier(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("mltree: decode classifier: %w", err)
+	}
+	if c.Root == nil {
+		return nil, fmt.Errorf("mltree: decoded classifier has no tree")
+	}
+	return &c, nil
+}
+
+// WriteRegressor gob-encodes r to w.
+func WriteRegressor(w io.Writer, r *Regressor) error {
+	return gob.NewEncoder(w).Encode(r)
+}
+
+// ReadRegressor decodes a regressor written by WriteRegressor.
+func ReadRegressor(r io.Reader) (*Regressor, error) {
+	var reg Regressor
+	if err := gob.NewDecoder(r).Decode(&reg); err != nil {
+		return nil, fmt.Errorf("mltree: decode regressor: %w", err)
+	}
+	if reg.Root == nil {
+		return nil, fmt.Errorf("mltree: decoded regressor has no tree")
+	}
+	return &reg, nil
+}
+
+// SizeBytes reports the serialized size of a model (classifier or
+// regressor) in bytes — the paper's "6 KB" storage metric.
+func SizeBytes(model any) (int, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(model); err != nil {
+		return 0, err
+	}
+	return buf.Len(), nil
+}

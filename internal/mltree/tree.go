@@ -1,0 +1,156 @@
+// Package mltree is a from-scratch CART decision-tree library providing
+// the two models Misam uses: a weighted gini classifier for dataflow
+// selection (§3.1) and a mean-squared-error regression tree for the
+// reconfiguration engine's latency predictor (§3.3). It includes class
+// weighting for imbalanced corpora, gini-decrease feature importance
+// (Figure 4), k-fold cross-validation, gob serialization (the paper's
+// 6 KB deployed model), and a flattened "compiled" inference path
+// mirroring the paper's hand-unrolled decision logic (§5.5).
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Node is one node of a decision tree. Interior nodes route x to Left
+// when x[Feature] <= Threshold, else Right. Leaves carry the predicted
+// Label (classification), Value (regression), and class Probs.
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node
+	Right     *Node
+
+	Leaf     bool
+	Label    int
+	Value    float64
+	Probs    []float64
+	Samples  float64 // total sample weight reaching this node
+	Impurity float64
+}
+
+// depth reports the height of the subtree (a lone leaf has depth 1).
+func (n *Node) depth() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	l, r := n.Left.depth(), n.Right.depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// count reports the number of nodes in the subtree.
+func (n *Node) count() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + n.Left.count() + n.Right.count()
+}
+
+// route walks x down to a leaf.
+func (n *Node) route(x []float64) *Node {
+	for !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n
+}
+
+// Config controls tree growth for both classifiers and regressors.
+type Config struct {
+	// MaxDepth limits tree height; 0 means unlimited.
+	MaxDepth int
+	// MinSamplesSplit is the minimum weighted sample count needed to
+	// attempt a split (default 2).
+	MinSamplesSplit float64
+	// MinSamplesLeaf is the minimum weighted sample count each child must
+	// retain (default 1).
+	MinSamplesLeaf float64
+	// MinImpurityDecrease rejects splits that improve impurity by less
+	// than this (weighted by the node's share of samples).
+	MinImpurityDecrease float64
+	// Features optionally restricts splitting to a subset of feature
+	// indices (the paper's pruned four-feature deployment). Nil uses all.
+	Features []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinSamplesSplit < 2 {
+		c.MinSamplesSplit = 2
+	}
+	if c.MinSamplesLeaf < 1 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// checkDataset validates shared training preconditions.
+func checkDataset(x [][]float64, n int) (numFeatures int, err error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("mltree: empty training set")
+	}
+	if len(x) != n {
+		return 0, fmt.Errorf("mltree: %d samples but %d targets", len(x), n)
+	}
+	numFeatures = len(x[0])
+	for i, row := range x {
+		if len(row) != numFeatures {
+			return 0, fmt.Errorf("mltree: sample %d has %d features, want %d", i, len(row), numFeatures)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("mltree: sample %d feature %d is not finite", i, j)
+			}
+		}
+	}
+	return numFeatures, nil
+}
+
+// featureSet resolves cfg.Features to a concrete index list.
+func featureSet(cfg Config, numFeatures int) []int {
+	if cfg.Features != nil {
+		return cfg.Features
+	}
+	all := make([]int, numFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// sortByFeature orders idx by x[i][f] ascending.
+func sortByFeature(idx []int, x [][]float64, f int) {
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]][f] < x[idx[b]][f] })
+}
+
+// accumulateImportance adds a split's weighted impurity decrease into imp.
+func accumulateImportance(imp []float64, feature int, decrease float64) {
+	imp[feature] += decrease
+}
+
+// normalize scales a vector to sum to 1 (no-op for a zero vector).
+func normalize(v []float64) {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	if sum == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}

@@ -1,0 +1,203 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/features"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+)
+
+// TestThresholdMonotonicity: raising the threshold can only make the
+// engine switch at the same or smaller amortization, never later.
+func TestThresholdMonotonicity(t *testing.T) {
+	_, base := trainSmall(t)
+	rng := rand.New(rand.NewSource(31))
+	a := sparse.Uniform(rng, 3000, 3000, 0.001)
+	bm := sparse.Uniform(rng, 3000, 256, 0.05)
+	v := features.Extract(a, bm)
+
+	minUnits := func(threshold float64) float64 {
+		eng := NewEngine(base.Predictor, DefaultTimeModel(), threshold)
+		for units := 1.0; units <= 1<<26; units *= 2 {
+			eng.ForceLoad(sim.Design1)
+			if d := eng.Decide(v, sim.Design4, units); d.Target == sim.Design4 {
+				return units
+			}
+		}
+		return 1 << 27
+	}
+	loose := minUnits(0.8)
+	strict := minUnits(0.05)
+	if loose > strict {
+		t.Errorf("loose threshold switches at %v units, strict at %v; monotonicity violated", loose, strict)
+	}
+}
+
+// TestDecideNeverSwitchesToSlowerPrediction: if the predictor thinks the
+// proposal is slower, the engine must keep the current design regardless
+// of amortization.
+func TestDecideNeverSwitchesToSlowerPrediction(t *testing.T) {
+	_, eng := trainSmall(t)
+	rng := rand.New(rand.NewSource(32))
+	found := false
+	for i := 0; i < 30 && !found; i++ {
+		a := sparse.Uniform(rng, 500+i*50, 500+i*50, 0.01)
+		bm := sparse.DenseRandom(rng, 500+i*50, 64)
+		v := features.Extract(a, bm)
+		// Find a (current, proposal) ordering where the proposal is
+		// predicted slower.
+		for _, cur := range sim.AllDesigns {
+			for _, prop := range sim.AllDesigns {
+				if cur == prop {
+					continue
+				}
+				if eng.Predictor.Predict(v, prop) > eng.Predictor.Predict(v, cur) {
+					eng.ForceLoad(cur)
+					if d := eng.Decide(v, prop, 1e12); d.Target != cur {
+						t.Fatalf("engine switched %v→%v despite predicted slowdown", cur, prop)
+					}
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no predicted-slower pair found in the sweep")
+	}
+}
+
+func TestPartialReconfigMonotoneInFraction(t *testing.T) {
+	m := DefaultTimeModel()
+	f := func(aIn, bIn uint8) bool {
+		fa := float64(aIn) / 255
+		fb := float64(bIn) / 255
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return m.PartialReconfig(sim.Design1, fa) <= m.PartialReconfig(sim.Design1, fb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStreamSwitchesOnStructureChange: a matrix whose character changes
+// mid-stream should trigger at least one free (shared-bitstream) design
+// change when starting from Design 2.
+func TestStreamSwitchesOnStructureChange(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design2)
+	rng := rand.New(rand.NewSource(33))
+
+	// Top half regular banded, bottom half heavy-tailed.
+	const n = 20000
+	m := sparse.NewCOO(n, n)
+	upper := sparse.Banded(rng, n/2, n, 4, 0.8)
+	for r := 0; r < upper.Rows; r++ {
+		cols, vals := upper.Row(r)
+		for i, c := range cols {
+			m.Append(r, c, vals[i])
+		}
+	}
+	lower := sparse.PowerLaw(rng, n/2, n, n*3, 1.5)
+	for r := 0; r < lower.Rows; r++ {
+		cols, vals := lower.Row(r)
+		for i, c := range cols {
+			m.Append(n/2+r, c, vals[i])
+		}
+	}
+	m.Normalize()
+	a := m.ToCSR()
+	b := sparse.DenseRandom(rng, n, 32)
+
+	// An imbalance-keyed selector: Design 3 for heavy-tailed tiles,
+	// Design 2 otherwise — both on the shared bitstream, so every switch
+	// the engine accepts must be free.
+	sel := imbalanceSelector{}
+	res, err := eng.Stream(rng, sel, a, b, 2500, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) < 5 {
+		t.Fatalf("expected several tiles, got %d", len(res.Outcomes))
+	}
+	proposals := map[sim.DesignID]bool{}
+	for _, o := range res.Outcomes {
+		proposals[o.Proposed] = true
+		if o.Decision.Target != sim.Design2 && o.Decision.Target != sim.Design3 {
+			t.Fatalf("engine left the shared bitstream: %v", o.Decision.Target)
+		}
+	}
+	if !proposals[sim.Design2] || !proposals[sim.Design3] {
+		t.Fatalf("structure change not visible in proposals: %v", proposals)
+	}
+	// Every accepted D2↔D3 move shares the bitstream: zero switch cost.
+	if res.ReconfigSeconds != 0 {
+		t.Errorf("shared-bitstream stream paid %.2fs reconfiguration", res.ReconfigSeconds)
+	}
+	if res.TotalSeconds != res.ComputeSeconds+res.ReconfigSeconds {
+		t.Error("stream totals inconsistent")
+	}
+}
+
+// imbalanceSelector proposes Design 3 for heavy-tailed tiles and Design 2
+// otherwise.
+type imbalanceSelector struct{}
+
+func (imbalanceSelector) Select(v features.Vector) sim.DesignID {
+	if v[features.ALoadImbalanceRow] > 4 {
+		return sim.Design3
+	}
+	return sim.Design2
+}
+
+// TestDecideProposalEqualsLoaded is the trivial fast path.
+func TestDecideProposalEqualsLoaded(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design3)
+	var v features.Vector
+	d := eng.Decide(v, sim.Design3, 100)
+	if d.Reconfigure || d.Target != sim.Design3 || d.ReconfigSeconds != 0 {
+		t.Errorf("no-op proposal mishandled: %+v", d)
+	}
+}
+
+// TestDecideClampsUnits: remainingUnits below 1 behaves like 1.
+func TestDecideClampsUnits(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design1)
+	var v features.Vector
+	a := eng.Decide(v, sim.Design2, 0)
+	b := eng.Decide(v, sim.Design2, 1)
+	if a.Target != b.Target {
+		t.Error("units clamp changed the decision")
+	}
+}
+
+// TestEngineConcurrentUse exercises the engine from several goroutines;
+// run with -race to verify the state guard.
+func TestEngineConcurrentUse(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design1)
+	var v features.Vector
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				d := eng.Decide(v, sim.AllDesigns[(g+i)%4], float64(i+1))
+				eng.Apply(d)
+				eng.Loaded()
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if _, ok := eng.Loaded(); !ok {
+		t.Error("engine lost its state under concurrency")
+	}
+}

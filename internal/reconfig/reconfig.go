@@ -1,0 +1,405 @@
+// Package reconfig implements Misam's reconfiguration engine (§3.3): a
+// latency-predictor model estimates how the predicted-best design and the
+// currently loaded design would perform, a reconfiguration-time model
+// prices the bitstream switch (3–4 s full reconfiguration on the U55C,
+// §6.1; zero between Designs 2 and 3, which share a bitstream), and a
+// user-tunable threshold decides whether switching pays off. A streaming
+// executor applies the decision at tile granularity over large matrices.
+package reconfig
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"misam/internal/dataset"
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+)
+
+// Mode selects how a design switch is realized (§6.1): a full bitstream
+// load, partial reconfiguration of a dynamic region, or a CGRA-style
+// context switch ("reconfiguration times in the microsecond to
+// millisecond range").
+type Mode int
+
+const (
+	// FullBitstream reprograms the whole fabric (3–4 s on the U55C).
+	FullBitstream Mode = iota
+	// PartialRegion reprograms only a dynamic region sized to the target
+	// design's footprint ("several hundred milliseconds" for small
+	// regions, §6.1).
+	PartialRegion
+	// CGRA models a coarse-grained reconfigurable array context switch.
+	CGRA
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case FullBitstream:
+		return "full"
+	case PartialRegion:
+		return "partial"
+	case CGRA:
+		return "cgra"
+	default:
+		return "unknown"
+	}
+}
+
+// TimeModel prices FPGA reconfiguration.
+type TimeModel struct {
+	// PCIeBandwidth is the host→card link (6.4 GB/s over PCIe Gen4 x8,
+	// §6.1).
+	PCIeBandwidth float64
+	// ProgramBase is the fabric-programming floor, "the primary
+	// contributor to this overhead" (§6.1).
+	ProgramBase float64
+	// ProgramPerByte scales programming time with bitstream size.
+	ProgramPerByte float64
+	// PartialBase and PartialFraction model partial reconfiguration of a
+	// dynamic region covering `fraction` of the fabric (§6.1: "several
+	// hundred milliseconds" for small regions, approaching full
+	// reconfiguration as the region grows).
+	PartialBase float64
+	// CGRASeconds is the context-switch time of a CGRA target (§6.1
+	// places it in the microsecond-to-millisecond range).
+	CGRASeconds float64
+	// Mode selects the switching mechanism; the zero value is
+	// FullBitstream, the paper's prototype.
+	Mode Mode
+}
+
+// DefaultTimeModel reproduces the §6.1 measurements: full bitstream
+// switches land in the 3–4 s window.
+func DefaultTimeModel() TimeModel {
+	return TimeModel{
+		PCIeBandwidth:  6.4e9,
+		ProgramBase:    2.6,
+		ProgramPerByte: 1.2e-8,
+		PartialBase:    0.15,
+		CGRASeconds:    500e-6,
+	}
+}
+
+// WithMode returns a copy of the model switched to the given mode.
+func (m TimeModel) WithMode(mode Mode) TimeModel {
+	m.Mode = mode
+	return m
+}
+
+// FullReconfig returns the seconds to load design id from scratch.
+func (m TimeModel) FullReconfig(id sim.DesignID) float64 {
+	bytes := float64(sim.BitstreamBytes(id))
+	return bytes/m.PCIeBandwidth + m.ProgramBase + bytes*m.ProgramPerByte
+}
+
+// PartialReconfig returns the seconds to reprogram a dynamic region
+// covering fraction of the fabric.
+func (m TimeModel) PartialReconfig(id sim.DesignID, fraction float64) float64 {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	return m.PartialBase + fraction*m.FullReconfig(id)
+}
+
+// Switch returns the cost of moving from design `from` to design `to`:
+// zero when they share a bitstream ("transitions between design 2 and
+// design 3 do not incur reconfiguration overhead", §5.2); otherwise the
+// cost of the model's reconfiguration mode.
+func (m TimeModel) Switch(from, to sim.DesignID) float64 {
+	if sim.SharedBitstream(from, to) {
+		return 0
+	}
+	switch m.Mode {
+	case PartialRegion:
+		// The dynamic region must cover the target design's largest
+		// resource class.
+		return m.PartialReconfig(to, sim.DesignResources(to).Max()/100)
+	case CGRA:
+		return m.CGRASeconds
+	default:
+		return m.FullReconfig(to)
+	}
+}
+
+// LatencyPredictor is the engine's secondary model (§3.3): one regression
+// tree per design over the matrix features, trained on simulated
+// latencies and achieving the Figure 9 accuracy. Separate trees per
+// design guarantee the predictor can always distinguish designs — a
+// single tree with a design one-hot can pool all four into one leaf and
+// predict zero gain everywhere (compare BenchmarkAblationOneHotPredictor).
+type LatencyPredictor struct {
+	Regs [sim.NumDesigns]*mltree.Regressor
+}
+
+// TrainLatencyPredictor fits the per-design regression trees on a
+// labelled corpus.
+func TrainLatencyPredictor(c *dataset.Corpus, cfg mltree.Config) (*LatencyPredictor, error) {
+	x := c.X()
+	p := &LatencyPredictor{}
+	for _, id := range sim.AllDesigns {
+		y := make([]float64, len(c.Samples))
+		for i := range c.Samples {
+			y[i] = dataset.LatencyTarget(c.Samples[i].LatencySec[id])
+		}
+		reg, err := mltree.TrainRegressor(x, y, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("reconfig: train latency predictor for %v: %w", id, err)
+		}
+		p.Regs[id] = reg
+	}
+	return p, nil
+}
+
+// Predict estimates the latency in seconds of running a workload with the
+// given features on the given design.
+func (p *LatencyPredictor) Predict(v features.Vector, id sim.DesignID) float64 {
+	return dataset.LatencyFromTarget(p.Regs[id].Predict(v.Slice()))
+}
+
+// PredictTarget returns the raw log10-milliseconds regression output,
+// the space in which Figure 9's MAE is reported.
+func (p *LatencyPredictor) PredictTarget(v features.Vector, id sim.DesignID) float64 {
+	return p.Regs[id].Predict(v.Slice())
+}
+
+// Engine combines the predictor, the time model and the threshold rule.
+// Its bitstream state is guarded by a mutex, so concurrent host threads
+// may consult one engine safely; the models themselves are immutable
+// after training.
+type Engine struct {
+	Predictor *LatencyPredictor
+	Times     TimeModel
+	// Threshold is the §3.3 knob: "reconfiguration is triggered only when
+	// its overhead is less than [Threshold] of the expected gain"
+	// (default 0.20).
+	Threshold float64
+
+	mu       sync.Mutex
+	loaded   sim.DesignID
+	hasState bool
+}
+
+// NewEngine returns an engine with no bitstream loaded yet.
+func NewEngine(p *LatencyPredictor, times TimeModel, threshold float64) *Engine {
+	if threshold <= 0 {
+		threshold = 0.20
+	}
+	return &Engine{Predictor: p, Times: times, Threshold: threshold}
+}
+
+// Loaded reports the currently loaded design; ok is false before the
+// first load.
+func (e *Engine) Loaded() (sim.DesignID, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.loaded, e.hasState
+}
+
+// ForceLoad installs a bitstream unconditionally (initial programming).
+func (e *Engine) ForceLoad(id sim.DesignID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.loaded, e.hasState = id, true
+}
+
+// Decision is the engine's verdict for one workload (or tile stream).
+type Decision struct {
+	// Target is the design that will execute.
+	Target sim.DesignID
+	// Reconfigure reports whether a bitstream switch was triggered.
+	Reconfigure bool
+	// PredictedCurrent and PredictedBest are per-unit latency estimates
+	// for the loaded design and the proposed design.
+	PredictedCurrent float64
+	PredictedBest    float64
+	// ReconfigSeconds is the switch overhead charged (0 if none needed).
+	ReconfigSeconds float64
+	// Gain is the predicted total saving (over remaining work) of
+	// switching, before overhead.
+	Gain float64
+}
+
+// Decide evaluates whether to switch to `proposed` for a workload with
+// the given features. remainingUnits is the amortization factor — how
+// many more tile-sized units of this workload will run on whichever
+// bitstream is chosen (§5.2: "the reconfiguration cost is amortized over
+// tiled processing"); pass 1 for a one-shot workload.
+func (e *Engine) Decide(v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+	if remainingUnits < 1 {
+		remainingUnits = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.hasState {
+		// Nothing loaded: programming is mandatory, so pick the proposal.
+		return Decision{
+			Target:          proposed,
+			Reconfigure:     true,
+			PredictedBest:   e.Predictor.Predict(v, proposed),
+			ReconfigSeconds: e.Times.FullReconfig(proposed),
+		}
+	}
+	cur := e.Predictor.Predict(v, e.loaded)
+	best := e.Predictor.Predict(v, proposed)
+	d := Decision{
+		Target:           e.loaded,
+		PredictedCurrent: cur,
+		PredictedBest:    best,
+	}
+	if proposed == e.loaded {
+		d.Target = proposed
+		return d
+	}
+	overhead := e.Times.Switch(e.loaded, proposed)
+	gain := (cur - best) * remainingUnits
+	d.Gain = gain
+	if gain > 0 && overhead < e.Threshold*gain {
+		d.Target = proposed
+		d.Reconfigure = overhead > 0
+		d.ReconfigSeconds = overhead
+	}
+	return d
+}
+
+// Apply commits a decision to the engine's bitstream state.
+func (e *Engine) Apply(d Decision) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.loaded, e.hasState = d.Target, true
+}
+
+// Tile streaming (§3.3): "large matrices are divided into smaller tiles
+// of varying sizes, typically ranging from 10k to 50k ... tile sizes are
+// selected randomly from within this range" to avoid dimension bias.
+
+// StreamTileMin and StreamTileMax bound the random tile heights.
+const (
+	StreamTileMin = 10_000
+	StreamTileMax = 50_000
+)
+
+// RandomRowTiles partitions `rows` of A into random-height tiles in
+// [minRows, maxRows].
+func RandomRowTiles(rng *rand.Rand, rows, minRows, maxRows int) []sim.Span {
+	if minRows < 1 {
+		minRows = 1
+	}
+	if maxRows < minRows {
+		maxRows = minRows
+	}
+	var tiles []sim.Span
+	for lo := 0; lo < rows; {
+		h := minRows
+		if maxRows > minRows {
+			h += rng.Intn(maxRows - minRows + 1)
+		}
+		hi := lo + h
+		if hi > rows {
+			hi = rows
+		}
+		tiles = append(tiles, sim.Span{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return tiles
+}
+
+// SliceRows extracts A[lo:hi, :] as a CSR sharing no storage with A.
+func SliceRows(a *sparse.CSR, lo, hi int) *sparse.CSR {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > a.Rows {
+		hi = a.Rows
+	}
+	out := &sparse.CSR{Rows: hi - lo, Cols: a.Cols, RowPtr: make([]int, hi-lo+1)}
+	base := a.RowPtr[lo]
+	n := a.RowPtr[hi] - base
+	out.ColIdx = append([]int(nil), a.ColIdx[base:base+n]...)
+	out.Val = append([]float64(nil), a.Val[base:base+n]...)
+	for r := lo; r < hi; r++ {
+		out.RowPtr[r-lo+1] = a.RowPtr[r+1] - base
+	}
+	return out
+}
+
+// TileOutcome records one streamed tile's execution.
+type TileOutcome struct {
+	Tile        sim.Span
+	Proposed    sim.DesignID
+	Decision    Decision
+	ActualSec   float64 // simulated latency on the chosen design
+	OptimalSec  float64 // simulated latency on the per-tile best design
+	ReconfigSec float64
+}
+
+// StreamResult summarizes a streamed execution.
+type StreamResult struct {
+	Outcomes []TileOutcome
+	// TotalSeconds includes compute and reconfigurations.
+	TotalSeconds float64
+	// ComputeSeconds excludes reconfiguration overhead.
+	ComputeSeconds float64
+	// ReconfigSeconds is the total switching time paid.
+	ReconfigSeconds float64
+	// OracleSeconds is the per-tile-optimal compute time with free
+	// reconfiguration — the "best design" bar of Figure 8.
+	OracleSeconds float64
+	Reconfigs     int
+}
+
+// Selector proposes a design for a feature vector (the root package's
+// trained classifier satisfies this).
+type Selector interface {
+	Select(v features.Vector) sim.DesignID
+}
+
+// Stream executes A×B tile-by-tile under the engine's control: features
+// are extracted per tile, the selector proposes a design, and the engine
+// decides whether switching pays off given the remaining tile count.
+func (e *Engine) Stream(rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int) (StreamResult, error) {
+	tiles := RandomRowTiles(rng, a.Rows, minTile, maxTile)
+	var res StreamResult
+	for i, span := range tiles {
+		tile := SliceRows(a, span.Lo, span.Hi)
+		v := features.Extract(tile, b)
+		proposed := sel.Select(v)
+		dec := e.Decide(v, proposed, float64(len(tiles)-i))
+		e.Apply(dec)
+
+		actual, err := sim.SimulateDesign(dec.Target, tile, b)
+		if err != nil {
+			return res, fmt.Errorf("reconfig: tile %d: %w", i, err)
+		}
+		all, err := sim.SimulateAll(tile, b)
+		if err != nil {
+			return res, err
+		}
+		opt := all[sim.BestDesign(all)].Seconds
+
+		out := TileOutcome{
+			Tile:        span,
+			Proposed:    proposed,
+			Decision:    dec,
+			ActualSec:   actual.Seconds,
+			OptimalSec:  opt,
+			ReconfigSec: dec.ReconfigSeconds,
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		res.ComputeSeconds += actual.Seconds
+		res.ReconfigSeconds += dec.ReconfigSeconds
+		res.OracleSeconds += opt
+		if dec.Reconfigure {
+			res.Reconfigs++
+		}
+	}
+	res.TotalSeconds = res.ComputeSeconds + res.ReconfigSeconds
+	return res, nil
+}

@@ -1,0 +1,250 @@
+package reconfig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/dataset"
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+)
+
+func TestFullReconfigInPaperWindow(t *testing.T) {
+	m := DefaultTimeModel()
+	for _, id := range sim.AllDesigns {
+		got := m.FullReconfig(id)
+		// §6.1: "full bitstream reconfiguration ... typically takes 3–4
+		// seconds".
+		if got < 3.0 || got > 4.2 {
+			t.Errorf("%v full reconfig %.2fs outside the 3–4s window", id, got)
+		}
+	}
+}
+
+func TestPartialReconfigCheaperForSmallRegions(t *testing.T) {
+	m := DefaultTimeModel()
+	small := m.PartialReconfig(sim.Design1, 0.05)
+	full := m.FullReconfig(sim.Design1)
+	// §6.1: small dynamic regions take "several hundred milliseconds".
+	if small > 0.5 {
+		t.Errorf("small-region partial reconfig %.2fs, want sub-half-second", small)
+	}
+	if m.PartialReconfig(sim.Design1, 1) < full {
+		t.Error("full-fabric partial reconfig should not undercut full reconfig")
+	}
+	if m.PartialReconfig(sim.Design1, -1) != m.PartialReconfig(sim.Design1, 0) {
+		t.Error("fraction not clamped")
+	}
+}
+
+func TestSwitchSharedBitstreamIsFree(t *testing.T) {
+	m := DefaultTimeModel()
+	if got := m.Switch(sim.Design2, sim.Design3); got != 0 {
+		t.Errorf("D2→D3 switch cost %.2f, want 0 (shared bitstream)", got)
+	}
+	if got := m.Switch(sim.Design1, sim.Design4); got == 0 {
+		t.Error("D1→D4 switch should cost a full reconfiguration")
+	}
+	if got := m.Switch(sim.Design1, sim.Design1); got != 0 {
+		t.Error("no-op switch should be free")
+	}
+}
+
+// trainSmall builds a corpus, predictor and engine for engine tests.
+func trainSmall(t *testing.T) (*dataset.Corpus, *Engine) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	c, err := dataset.GenerateClassifier(rng, 100, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := TrainLatencyPredictor(c, mltree.Config{MaxDepth: 12, MinSamplesLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, NewEngine(p, DefaultTimeModel(), 0.20)
+}
+
+func TestLatencyPredictorTracksSimulator(t *testing.T) {
+	c, eng := trainSmall(t)
+	var pred, truth []float64
+	for _, s := range c.Samples {
+		for _, id := range sim.AllDesigns {
+			pred = append(pred, eng.Predictor.PredictTarget(s.Features, id))
+			truth = append(truth, dataset.LatencyTarget(s.LatencySec[id]))
+		}
+	}
+	r2 := mltree.R2(pred, truth)
+	if r2 < 0.9 {
+		t.Errorf("latency predictor training R² = %.3f, want >= 0.9", r2)
+	}
+}
+
+func TestDecideFirstLoadAlwaysSwitches(t *testing.T) {
+	_, eng := trainSmall(t)
+	var v features.Vector
+	d := eng.Decide(v, sim.Design2, 1)
+	if !d.Reconfigure || d.Target != sim.Design2 {
+		t.Errorf("cold engine should program the proposal: %+v", d)
+	}
+	if d.ReconfigSeconds <= 0 {
+		t.Error("initial programming should cost time")
+	}
+}
+
+func TestDecideKeepsCurrentWhenGainSmall(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design1)
+	// A single small unit: 3.5s of reconfiguration can never beat a
+	// microsecond-scale gain.
+	rng := rand.New(rand.NewSource(5))
+	a := sparse.Uniform(rng, 200, 200, 0.02)
+	b := sparse.DenseRandom(rng, 200, 64)
+	v := features.Extract(a, b)
+	d := eng.Decide(v, sim.Design2, 1)
+	if d.Reconfigure || d.Target != sim.Design1 {
+		t.Errorf("engine switched for a tiny workload: %+v", d)
+	}
+}
+
+func TestDecideSwitchesWhenAmortized(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design1)
+	// Find a workload where Design 4 clearly beats Design 1 and scale the
+	// remaining units until the amortized gain dwarfs the 3.5s switch.
+	rng := rand.New(rand.NewSource(6))
+	a := sparse.Uniform(rng, 2000, 2000, 0.002)
+	b := sparse.Uniform(rng, 2000, 2000, 0.0005)
+	v := features.Extract(a, b)
+	cur := eng.Predictor.Predict(v, sim.Design1)
+	best := eng.Predictor.Predict(v, sim.Design4)
+	if best >= cur {
+		t.Skip("predictor does not favor Design 4 on this draw")
+	}
+	units := eng.Times.FullReconfig(sim.Design4)/(eng.Threshold*(cur-best)) + 10
+	d := eng.Decide(v, sim.Design4, units)
+	if !d.Reconfigure || d.Target != sim.Design4 {
+		t.Errorf("engine refused an amortized win: %+v (gain %.3f)", d, d.Gain)
+	}
+}
+
+func TestDecideSharedBitstreamSwitchIsFree(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design2)
+	rng := rand.New(rand.NewSource(7))
+	a := sparse.Imbalanced(rng, 1500, 1500, 15000, 0.01, 0.9)
+	b := sparse.DenseRandom(rng, 1500, 32)
+	v := features.Extract(a, b)
+	cur := eng.Predictor.Predict(v, sim.Design2)
+	best := eng.Predictor.Predict(v, sim.Design3)
+	if best >= cur {
+		t.Skip("predictor does not favor Design 3 on this draw")
+	}
+	d := eng.Decide(v, sim.Design3, 1)
+	if d.Target != sim.Design3 {
+		t.Errorf("free D2→D3 switch refused: %+v", d)
+	}
+	if d.ReconfigSeconds != 0 {
+		t.Errorf("shared-bitstream switch charged %.2fs", d.ReconfigSeconds)
+	}
+}
+
+func TestApplyUpdatesState(t *testing.T) {
+	_, eng := trainSmall(t)
+	if _, ok := eng.Loaded(); ok {
+		t.Fatal("fresh engine should have no bitstream")
+	}
+	eng.Apply(Decision{Target: sim.Design3})
+	if id, ok := eng.Loaded(); !ok || id != sim.Design3 {
+		t.Errorf("Loaded = %v, %v", id, ok)
+	}
+}
+
+func TestRandomRowTilesCoverAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(rowsIn uint16, minIn, maxIn uint8) bool {
+		rows := int(rowsIn)%5000 + 1
+		minT := int(minIn)%100 + 1
+		maxT := minT + int(maxIn)%200
+		tiles := RandomRowTiles(rng, rows, minT, maxT)
+		prev := 0
+		for i, s := range tiles {
+			if s.Lo != prev {
+				return false
+			}
+			prev = s.Hi
+			h := s.Hi - s.Lo
+			if h > maxT {
+				return false
+			}
+			// Only the final tile may undershoot the minimum.
+			if h < minT && i != len(tiles)-1 {
+				return false
+			}
+		}
+		return prev == rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := sparse.Uniform(rng, 50, 40, 0.2)
+	s := SliceRows(a, 10, 30)
+	if s.Rows != 20 || s.Cols != 40 {
+		t.Fatalf("slice dims %dx%d", s.Rows, s.Cols)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid slice: %v", err)
+	}
+	for r := 0; r < 20; r++ {
+		cols, vals := s.Row(r)
+		origCols, origVals := a.Row(r + 10)
+		if len(cols) != len(origCols) {
+			t.Fatalf("row %d length mismatch", r)
+		}
+		for i := range cols {
+			if cols[i] != origCols[i] || vals[i] != origVals[i] {
+				t.Fatalf("row %d entry %d mismatch", r, i)
+			}
+		}
+	}
+	// Clamping.
+	whole := SliceRows(a, -5, 99)
+	if whole.Rows != 50 {
+		t.Errorf("clamped slice rows %d, want 50", whole.Rows)
+	}
+}
+
+type fixedSelector struct{ id sim.DesignID }
+
+func (f fixedSelector) Select(features.Vector) sim.DesignID { return f.id }
+
+func TestStreamExecutesAllTiles(t *testing.T) {
+	_, eng := trainSmall(t)
+	eng.ForceLoad(sim.Design1)
+	rng := rand.New(rand.NewSource(10))
+	a := sparse.Uniform(rng, 3000, 1000, 0.01)
+	b := sparse.DenseRandom(rng, 1000, 64)
+	res, err := eng.Stream(rng, fixedSelector{sim.Design1}, a, b, 500, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) < 3 {
+		t.Fatalf("expected multiple tiles, got %d", len(res.Outcomes))
+	}
+	if res.Reconfigs != 0 {
+		t.Errorf("fixed selector on loaded design should never reconfigure, got %d", res.Reconfigs)
+	}
+	if res.TotalSeconds != res.ComputeSeconds+res.ReconfigSeconds {
+		t.Error("totals inconsistent")
+	}
+	if res.OracleSeconds > res.ComputeSeconds+1e-12 {
+		t.Error("oracle cannot be slower than the executed schedule")
+	}
+}

@@ -1,0 +1,243 @@
+// Package server exposes a trained Misam framework over HTTP — the
+// deployment shape a host-side selection service takes: clients POST a
+// workload (MatrixMarket payloads or generator specs) and receive the
+// selected design, the reconfiguration verdict and the predicted and
+// simulated latencies as JSON.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"misam"
+	"misam/internal/sim"
+)
+
+// Server wraps a framework behind an http.Handler. The framework's
+// engine state (loaded bitstream) is shared across requests, mirroring a
+// host daemon fronting one FPGA; the engine itself is concurrency-safe
+// and the analyze path is additionally serialized so reports stay
+// consistent with the bitstream state they describe.
+type Server struct {
+	fw *misam.Framework
+	mu sync.Mutex
+}
+
+// New returns a Server for the framework.
+func New(fw *misam.Framework) *Server { return &Server{fw: fw} }
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// designInfo is one design's static description.
+type designInfo struct {
+	Name      string  `json:"name"`
+	Scheduler string  `json:"scheduler"`
+	ChannelsA int     `json:"channels_a"`
+	ChannelsB int     `json:"channels_b"`
+	ChannelsC int     `json:"channels_c"`
+	PEGs      int     `json:"pegs"`
+	Freq      float64 `json:"freq_mhz"`
+	Compress  bool    `json:"compressed_b"`
+	LUT       float64 `json:"lut_percent"`
+	BRAM      float64 `json:"bram_percent"`
+}
+
+func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
+	var out []designInfo
+	for _, id := range sim.AllDesigns {
+		cfg := sim.GetConfig(id)
+		res := sim.DesignResources(id)
+		out = append(out, designInfo{
+			Name:      id.String(),
+			Scheduler: cfg.SchedulerA.String(),
+			ChannelsA: cfg.ChA, ChannelsB: cfg.ChB, ChannelsC: cfg.ChC,
+			PEGs: cfg.PEG, Freq: cfg.FreqMHz, Compress: cfg.CompressedB,
+			LUT: res.LUT, BRAM: res.BRAM,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// analyzeRequest carries the two operands, each as either a MatrixMarket
+// document or a generator spec (uniform:<rows>:<cols>:<density>,
+// dense:<cols>, powerlaw:<n>:<nnz>, banded:<n>:<halfbw>, or "self" for B).
+type analyzeRequest struct {
+	AMatrixMarket string `json:"a_mtx,omitempty"`
+	BMatrixMarket string `json:"b_mtx,omitempty"`
+	ASpec         string `json:"a_spec,omitempty"`
+	BSpec         string `json:"b_spec,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+}
+
+// analyzeResponse is the framework report plus baseline estimates.
+type analyzeResponse struct {
+	Design           string  `json:"design"`
+	Reconfigured     bool    `json:"reconfigured"`
+	ReconfigSeconds  float64 `json:"reconfig_seconds"`
+	PreprocessMs     float64 `json:"preprocess_ms"`
+	InferenceMs      float64 `json:"inference_ms"`
+	PredictedMs      float64 `json:"predicted_ms"`
+	SimulatedMs      float64 `json:"simulated_ms"`
+	PEUtilization    float64 `json:"pe_utilization"`
+	EnergyMillijoule float64 `json:"energy_mj"`
+	CPUMs            float64 `json:"cpu_ms"`
+	GPUMs            float64 `json:"gpu_ms"`
+	TrapezoidMs      float64 `json:"trapezoid_ms"`
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	a, err := loadOperand(req.AMatrixMarket, req.ASpec, req.Seed, nil)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("matrix A: %w", err))
+		return
+	}
+	b, err := loadOperand(req.BMatrixMarket, req.BSpec, req.Seed+1, a)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("matrix B: %w", err))
+		return
+	}
+	if a.Cols != b.Rows {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		return
+	}
+	s.mu.Lock()
+	rep, err := s.fw.Analyze(a, b)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	cmp := misam.CompareBaselines(a, b)
+	writeJSON(w, http.StatusOK, analyzeResponse{
+		Design:           rep.Design.String(),
+		Reconfigured:     rep.Reconfigured,
+		ReconfigSeconds:  rep.ReconfigSec,
+		PreprocessMs:     rep.PreprocessSeconds * 1e3,
+		InferenceMs:      rep.InferenceSeconds * 1e3,
+		PredictedMs:      rep.PredictedSeconds * 1e3,
+		SimulatedMs:      rep.SimulatedSeconds * 1e3,
+		PEUtilization:    rep.PEUtilization,
+		EnergyMillijoule: rep.EnergyJoules * 1e3,
+		CPUMs:            cmp.CPUSeconds * 1e3,
+		GPUMs:            cmp.GPUSeconds * 1e3,
+		TrapezoidMs:      cmp.TrapezoidSeconds * 1e3,
+	})
+}
+
+// loadOperand resolves one matrix from its MatrixMarket document or
+// generator spec.
+func loadOperand(mtx, spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, error) {
+	switch {
+	case mtx != "" && spec != "":
+		return nil, fmt.Errorf("give either a MatrixMarket document or a spec, not both")
+	case mtx != "":
+		return misam.ReadMatrixMarket(strings.NewReader(mtx))
+	case spec != "":
+		return parseSpec(spec, seed, prev)
+	default:
+		return nil, fmt.Errorf("missing operand")
+	}
+}
+
+// parseSpec mirrors the CLI generator grammar.
+func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, error) {
+	if spec == "self" {
+		if prev == nil {
+			return nil, fmt.Errorf("'self' is only valid for matrix B")
+		}
+		return prev, nil
+	}
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("spec %q: missing field %d", spec, i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < 1 || v > 4<<20 {
+			return 0, fmt.Errorf("spec %q: bad field %d", spec, i)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "uniform":
+		rows, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("uniform needs a density")
+		}
+		dens, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || dens < 0 || dens > 1 {
+			return nil, fmt.Errorf("bad density %q", parts[3])
+		}
+		return misam.RandUniform(seed, rows, cols, dens), nil
+	case "dense":
+		cols, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		rows := cols
+		if prev != nil {
+			rows = prev.Cols
+		}
+		return misam.RandDense(seed, rows, cols), nil
+	case "powerlaw":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		nnz, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return misam.RandPowerLaw(seed, n, n, nnz, 1.9), nil
+	case "banded":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		half, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return misam.RandBanded(seed, n, n, half, 0.8), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", parts[0])
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

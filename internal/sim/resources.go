@@ -1,0 +1,120 @@
+package sim
+
+// Resource model: Table 2's post-synthesis utilization estimates for the
+// Xilinx Alveo U55C, and the §6.2 multi-tenant packing analysis built on
+// them.
+
+// Resources is the fraction of each U55C resource class a design consumes
+// (Table 2), expressed in percent.
+type Resources struct {
+	LUT, FF, BRAM, URAM, DSP float64
+}
+
+// Max returns the largest single utilization — the binding constraint for
+// replicating the design.
+func (r Resources) Max() float64 {
+	m := r.LUT
+	for _, v := range []float64{r.FF, r.BRAM, r.URAM, r.DSP} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// add returns the componentwise sum.
+func (r Resources) add(o Resources) Resources {
+	return Resources{r.LUT + o.LUT, r.FF + o.FF, r.BRAM + o.BRAM, r.URAM + o.URAM, r.DSP + o.DSP}
+}
+
+// fits reports whether the cumulative utilization stays within limit
+// percent of every resource class.
+func (r Resources) fits(limit float64) bool {
+	return r.LUT <= limit && r.FF <= limit && r.BRAM <= limit && r.URAM <= limit && r.DSP <= limit
+}
+
+// DesignResources returns the Table 2 utilization for a design. Designs 2
+// and 3 share a bitstream and hence a resource footprint.
+func DesignResources(id DesignID) Resources {
+	switch id {
+	case Design1:
+		return Resources{LUT: 33.20, FF: 23.61, BRAM: 60.71, URAM: 26.67, DSP: 29.00}
+	case Design2, Design3:
+		return Resources{LUT: 43.03, FF: 30.35, BRAM: 48.02, URAM: 40.00, DSP: 30.68}
+	case Design4:
+		return Resources{LUT: 30.53, FF: 21.15, BRAM: 24.21, URAM: 30.00, DSP: 20.49}
+	default:
+		return Resources{}
+	}
+}
+
+// BitstreamBytes models each design's bitstream size. §6.1 reports
+// 50–80 MB bitstreams on the U55C; the denser designs produce the larger
+// files.
+func BitstreamBytes(id DesignID) int64 {
+	switch id {
+	case Design1:
+		return 60 << 20
+	case Design2, Design3:
+		return 80 << 20
+	case Design4:
+		return 50 << 20
+	default:
+		return 64 << 20
+	}
+}
+
+// MaxInstances reports how many independent copies of a design fit on the
+// fabric within limit percent of every resource class — the §6.2
+// multi-tenancy estimate ("1 instance of Design 1, 2 instances of
+// Design 2 or 3, and up to 2 instances of Design 4"). A limit below 100
+// reserves headroom for the static shell and routing feasibility.
+func MaxInstances(id DesignID, limit float64) int {
+	res := DesignResources(id)
+	if res.Max() <= 0 {
+		return 0
+	}
+	n := 0
+	total := Resources{}
+	for {
+		next := total.add(res)
+		if !next.fits(limit) {
+			return n
+		}
+		total = next
+		n++
+	}
+}
+
+// CanCoLocate reports whether the given mix of designs fits concurrently
+// within limit percent of every resource class ("any remaining FPGA
+// capacity can be used to co-locate additional workloads", §6.2).
+func CanCoLocate(ids []DesignID, limit float64) bool {
+	total := Resources{}
+	for _, id := range ids {
+		total = total.add(DesignResources(id))
+	}
+	return total.fits(limit)
+}
+
+// TrapezoidAreas lists the §6.2 area costs (mm²) of Trapezoid's ASIC
+// configurations, used to report its fixed-function overhead: "area costs
+// of 69.7mm², 57.6mm², and 51.2mm² ... up to 26.5% of the chip area
+// becomes idle".
+var TrapezoidAreas = []float64{69.7, 57.6, 51.2}
+
+// TrapezoidIdleFraction returns the worst-case idle silicon fraction when
+// the largest Trapezoid configuration runs a workload needing only the
+// smallest: (69.7-51.2)/69.7 ≈ 26.5%.
+func TrapezoidIdleFraction() float64 {
+	max, min := TrapezoidAreas[0], TrapezoidAreas[0]
+	for _, a := range TrapezoidAreas {
+		if a > max {
+			max = a
+		}
+		if a < min {
+			min = a
+		}
+	}
+	return (max - min) / max
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDesignResourcesMatchTable2(t *testing.T) {
+	d1 := DesignResources(Design1)
+	if d1.LUT != 33.20 || d1.BRAM != 60.71 || d1.DSP != 29.00 {
+		t.Errorf("Design 1 resources %+v disagree with Table 2", d1)
+	}
+	d2 := DesignResources(Design2)
+	d3 := DesignResources(Design3)
+	if d2 != d3 {
+		t.Error("Designs 2 and 3 share a bitstream and must share resources")
+	}
+	d4 := DesignResources(Design4)
+	if d4.BRAM != 24.21 {
+		t.Errorf("Design 4 BRAM %v, want 24.21", d4.BRAM)
+	}
+	if DesignResources(DesignID(42)) != (Resources{}) {
+		t.Error("invalid design should have zero resources")
+	}
+}
+
+func TestResourceMax(t *testing.T) {
+	r := Resources{LUT: 10, FF: 20, BRAM: 60, URAM: 30, DSP: 5}
+	if r.Max() != 60 {
+		t.Errorf("Max = %v, want 60", r.Max())
+	}
+}
+
+func TestMaxInstancesMatchesSection62(t *testing.T) {
+	// §6.2: "1 instance of Design 1, 2 instances of Design 2 or 3".
+	if got := MaxInstances(Design1, 100); got != 1 {
+		t.Errorf("Design 1 instances = %d, want 1", got)
+	}
+	if got := MaxInstances(Design2, 100); got != 2 {
+		t.Errorf("Design 2 instances = %d, want 2", got)
+	}
+	if got := MaxInstances(Design3, 100); got != 2 {
+		t.Errorf("Design 3 instances = %d, want 2", got)
+	}
+	// Design 4 packs to 3 by pure fabric arithmetic; the paper's "up to 2"
+	// reserves shell/routing headroom, reproduced with a ~75% limit.
+	if got := MaxInstances(Design4, 100); got != 3 {
+		t.Errorf("Design 4 instances at 100%% = %d, want 3", got)
+	}
+	if got := MaxInstances(Design4, 75); got != 2 {
+		t.Errorf("Design 4 instances at 75%% = %d, want 2 (paper's estimate)", got)
+	}
+	if got := MaxInstances(DesignID(42), 100); got != 0 {
+		t.Errorf("invalid design instances = %d, want 0", got)
+	}
+}
+
+func TestCanCoLocate(t *testing.T) {
+	// D1 + D4: BRAM 60.71 + 24.21 = 84.92 <= 100 → fits.
+	if !CanCoLocate([]DesignID{Design1, Design4}, 100) {
+		t.Error("Design 1 + Design 4 should co-locate")
+	}
+	// Two D1 instances: BRAM 121.42 > 100 → rejected.
+	if CanCoLocate([]DesignID{Design1, Design1}, 100) {
+		t.Error("two Design 1 instances cannot fit (BRAM bound)")
+	}
+	if !CanCoLocate(nil, 100) {
+		t.Error("empty mix trivially fits")
+	}
+}
+
+func TestTrapezoidIdleFraction(t *testing.T) {
+	// §6.2: "up to 26.5% of the chip area becomes idle".
+	if got := TrapezoidIdleFraction(); math.Abs(got-0.265) > 0.005 {
+		t.Errorf("idle fraction %.3f, want ≈0.265", got)
+	}
+}
+
+func TestBitstreamSizesInPaperRange(t *testing.T) {
+	// §6.1: bitstreams of 50–80 MB.
+	for _, id := range AllDesigns {
+		sz := BitstreamBytes(id)
+		if sz < 50<<20 || sz > 80<<20 {
+			t.Errorf("%v bitstream %d bytes outside 50–80 MB", id, sz)
+		}
+	}
+}

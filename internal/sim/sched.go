@@ -1,0 +1,154 @@
+package sim
+
+// The PE scheduler of Figure 6: elements are issued in traversal order to
+// each PE; an element updating output row r cannot issue within
+// DepGapCycles of the previous element of row r on the same PE; the
+// scheduler may fill the resulting bubbles by issuing a later element of
+// a different row from within a bounded lookahead window.
+
+// Elem is one unit of scheduled work: the A nonzero at (Row, Col), whose
+// processing occupies the PE for Service cycles (ceil(B-row width / SIMD)).
+type Elem struct {
+	Row, Col int
+	Service  int64
+}
+
+// Issue records one scheduled element for trace-level inspection (used by
+// the Figure 6 toy-timeline experiment).
+type Issue struct {
+	Cycle int64
+	Elem  Elem
+}
+
+// PESchedule is the outcome of scheduling one PE's queue.
+type PESchedule struct {
+	// Makespan is the cycle at which the PE finishes its last element.
+	Makespan int64
+	// Busy is the total cycles the PE spent processing elements.
+	Busy int64
+	// Bubbles is the total idle cycles injected by dependency stalls.
+	Bubbles int64
+	// Issues is the per-element trace; populated only when tracing.
+	Issues []Issue
+}
+
+// schedulePE runs greedy windowed list scheduling over elems for one PE.
+// depGap is the load/store dependency distance in issue slots: an element
+// of row r may not start until depGap slots (each lasting the previous
+// element's service time) after the previous issue of row r, modelling
+// the read-modify-write latency of the row's accumulator. window bounds
+// the lookahead (>=1); trace retains the issue list.
+func schedulePE(elems []Elem, depGap int64, window int, trace bool) PESchedule {
+	var s PESchedule
+	if len(elems) == 0 {
+		return s
+	}
+	if window < 1 {
+		window = 1
+	}
+	// lastIssue maps row → earliest next start time (issue + depGap·service).
+	lastIssue := make(map[int]int64, 64)
+	done := make([]bool, len(elems))
+	head := 0
+	remaining := len(elems)
+	t := int64(0)
+	for remaining > 0 {
+		// Advance head past completed elements.
+		for head < len(elems) && done[head] {
+			head++
+		}
+		// Scan up to `window` live elements for the first whose row
+		// dependency is satisfied at time t. Track the earliest time any
+		// of them becomes ready so we can jump on a full stall.
+		chosen := -1
+		nextReady := int64(-1)
+		live := 0
+		for i := head; i < len(elems) && live < window; i++ {
+			if done[i] {
+				continue
+			}
+			live++
+			ready := int64(0)
+			if rel, ok := lastIssue[elems[i].Row]; ok {
+				ready = rel
+			}
+			if ready <= t {
+				chosen = i
+				break
+			}
+			if nextReady < 0 || ready < nextReady {
+				nextReady = ready
+			}
+		}
+		if chosen < 0 {
+			// Bubble: nothing in the window is ready. Jump to the first
+			// release time ("padding with inefficient zeros", §3.2.2).
+			s.Bubbles += nextReady - t
+			t = nextReady
+			continue
+		}
+		e := elems[chosen]
+		done[chosen] = true
+		remaining--
+		if trace {
+			s.Issues = append(s.Issues, Issue{Cycle: t, Elem: e})
+		}
+		svc := e.Service
+		if svc < 1 {
+			svc = 1
+		}
+		lastIssue[e.Row] = t + depGap*svc
+		s.Busy += svc
+		t += svc
+	}
+	s.Makespan = t
+	return s
+}
+
+// PEGSchedule aggregates the PE schedules of one processing element group.
+type PEGSchedule struct {
+	Makespan int64
+	Busy     int64
+	Bubbles  int64
+	Capacity int64 // PEs × makespan, the denominator of utilization
+	PEs      []PESchedule
+}
+
+// schedulePEG distributes elems (already in traversal order) to numPEs
+// queues using the design's assignment rule, schedules each PE, and
+// reports the group makespan (the PEG finishes when its slowest PE does,
+// §3.2.1). For RowWise designs the column-modulo rule of §3.2.3 is
+// applied hierarchically: the PEG level consumed col % PEGs, so within
+// the group the PE index is (col / colStride) % numPEs; direct callers
+// use colStride 1 for the flat column_num%PE rule.
+func schedulePEG(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, trace bool) PEGSchedule {
+	if colStride < 1 {
+		colStride = 1
+	}
+	queues := make([][]Elem, numPEs)
+	switch traversal {
+	case ColWise:
+		// Round-robin in traversal order (§3.2.1).
+		for i, e := range elems {
+			queues[i%numPEs] = append(queues[i%numPEs], e)
+		}
+	case RowWise:
+		// Design 3: "elements are assigned to PEs based on the column
+		// index modulo the PE count (column_num%PE)" (§3.2.3).
+		for _, e := range elems {
+			queues[(e.Col/colStride)%numPEs] = append(queues[(e.Col/colStride)%numPEs], e)
+		}
+	}
+	g := PEGSchedule{PEs: make([]PESchedule, numPEs)}
+	for p, q := range queues {
+		ps := schedulePE(q, depGap, window, trace)
+		g.PEs[p] = ps
+		g.Busy += ps.Busy
+		g.Bubbles += ps.Bubbles
+		if ps.Makespan > g.Makespan {
+			g.Makespan = ps.Makespan
+		}
+	}
+	g.Capacity = int64(numPEs) * g.Makespan
+	return g
+}

@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"fmt"
+
+	"misam/internal/sparse"
+)
+
+// Result is the outcome of simulating one design on one workload.
+type Result struct {
+	Design DesignID
+
+	// Cycles is the end-to-end cycle count; Seconds converts it with the
+	// design's Table 2 clock.
+	Cycles  int64
+	Seconds float64
+
+	// Breakdown of where cycles went. Per tile the engine charges
+	// max(compute, A read, B read) plus broadcast fill and drain, since
+	// streaming overlaps I/O with compute; the C write-back is charged
+	// once at the end (§3.2.1).
+	ComputeCycles   int64
+	AReadCycles     int64
+	BReadCycles     int64
+	BroadcastCycles int64
+	CWriteCycles    int64
+
+	// Tiles is the number of B row tiles processed.
+	Tiles int
+	// Bubbles counts dependency-stall cycles across all PEs and tiles.
+	Bubbles int64
+	// PEUtilization is busy cycles / (PEs × makespan), aggregated.
+	PEUtilization float64
+	// Flops is the useful multiply-accumulate count of the product.
+	Flops int64
+	// COutputs is the (estimated) number of C entries written back.
+	COutputs int64
+}
+
+// Throughput reports useful GFLOP/s (2 ops per multiply-accumulate).
+func (r Result) Throughput() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return 2 * float64(r.Flops) / r.Seconds / 1e9
+}
+
+// Simulate runs design cfg on the product A×B and returns the cycle-level
+// result. A and B are CSR; B's storage format (dense stream vs 64-bit COO)
+// follows cfg.CompressedB.
+func Simulate(cfg Config, a, b *sparse.CSR) (Result, error) {
+	if a.Cols != b.Rows {
+		return Result{}, fmt.Errorf("sim: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	res := Result{Design: cfg.ID}
+
+	// Per-column service times: processing one A element walks the
+	// matching B row through the SIMD lanes (§3.2.1). For compressed B
+	// only the stored nonzeros are walked (§3.2.4).
+	bRowNNZ := make([]int, b.Rows)
+	for r := 0; r < b.Rows; r++ {
+		bRowNNZ[r] = b.RowNNZ(r)
+	}
+	var service func(col int) int64
+	if cfg.CompressedB {
+		service = func(col int) int64 {
+			return ceilDiv64(int64(bRowNNZ[col]), int64(cfg.SIMDWidth))
+		}
+	} else {
+		dense := ceilDiv64(int64(b.Cols), int64(cfg.SIMDWidth))
+		service = func(int) int64 { return dense }
+	}
+
+	// Tile B's rows; Design 4 packs sparse rows by nnz budget.
+	var tiles []Span
+	if cfg.CompressedB {
+		tiles = SparsityAwareRowTiles(b, cfg.BRAMCapacityNNZ)
+	} else {
+		tiles = DenseRowTiles(b.Rows, cfg.BRAMRowsPerTile)
+	}
+	res.Tiles = len(tiles)
+
+	// Bin A's elements by tile in the design's traversal order.
+	var perTile [][]Elem
+	if cfg.SchedulerA == ColWise {
+		perTile = binByTileColWise(a.ToCSC(), tiles, service)
+	} else {
+		perTile = binByTileRowWise(a, tiles, service)
+	}
+
+	// Per-tile B nonzero counts for compressed reads.
+	tileNNZ := make([]int64, len(tiles))
+	for t, s := range tiles {
+		tileNNZ[t] = int64(b.RowPtr[s.Hi] - b.RowPtr[s.Lo])
+	}
+
+	var busy, capacity int64
+	for t, s := range tiles {
+		elems := perTile[t]
+		if len(elems) == 0 && tileNNZ[t] == 0 {
+			continue // nothing to stream or compute for this tile
+		}
+		// Read B tile over ChB channels.
+		var bRead int64
+		if cfg.CompressedB {
+			bRead = ceilDiv64(tileNNZ[t], int64(cfg.BCOOElemsPerRead*cfg.ChB))
+		} else {
+			bRead = ceilDiv64(int64(s.Rows())*int64(b.Cols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
+		}
+		// Stream A elements for this tile over ChA channels.
+		aRead := ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
+		// Broadcast fill: B forwards PEG-to-PEG down the chain (§3.2.1).
+		bcast := int64(cfg.PEG)
+
+		// Schedule each PEG's share; the tile completes when the slowest
+		// PEG does.
+		var compute, tileBusy int64
+		for _, g := range splitByPEG(elems, cfg.PEG, cfg.SchedulerA) {
+			gs := schedulePEG(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, false)
+			tileBusy += gs.Busy
+			res.Bubbles += gs.Bubbles
+			if gs.Makespan > compute {
+				compute = gs.Makespan
+			}
+		}
+		// Row-wise designs spread each output row over many PEGs, so the
+		// partial vectors must merge across accumulator groups before
+		// write-back (see mergeCycles).
+		if cfg.SchedulerA == RowWise {
+			compute += mergeCycles(elems, cfg)
+		}
+		// Utilization counts idle lanes against the straggler PEG's
+		// makespan — the §3.2.2 "bubbles plus padding" effect.
+		busy += tileBusy
+		capacity += int64(cfg.PEs()) * compute
+
+		res.ComputeCycles += compute
+		res.AReadCycles += aRead
+		res.BReadCycles += bRead
+		res.BroadcastCycles += bcast
+		res.Cycles += max64(compute, max64(aRead, bRead)) + bcast + cfg.DepGapCycles
+	}
+
+	// C write-back once the URAM accumulators hold the final tile sums.
+	res.Flops = int64(flopCount(a, bRowNNZ))
+	res.COutputs = estimateCOutputs(a, bRowNNZ, b.Cols)
+	res.CWriteCycles = ceilDiv64(res.COutputs, int64(cfg.CElemsPerWrite*cfg.ChC))
+	res.Cycles += res.CWriteCycles
+
+	if capacity > 0 {
+		res.PEUtilization = float64(busy) / float64(capacity)
+	}
+	res.Seconds = float64(res.Cycles) / (cfg.FreqMHz * 1e6)
+	return res, nil
+}
+
+// SimulateDesign is shorthand for Simulate(GetConfig(id), a, b).
+func SimulateDesign(id DesignID, a, b *sparse.CSR) (Result, error) {
+	return Simulate(GetConfig(id), a, b)
+}
+
+// SimulateAll runs every design on the workload and returns the results
+// indexed by DesignID.
+func SimulateAll(a, b *sparse.CSR) ([NumDesigns]Result, error) {
+	var out [NumDesigns]Result
+	for _, id := range AllDesigns {
+		r, err := SimulateDesign(id, a, b)
+		if err != nil {
+			return out, err
+		}
+		out[id] = r
+	}
+	return out, nil
+}
+
+// BestDesign returns the design with the lowest simulated latency.
+func BestDesign(results [NumDesigns]Result) DesignID {
+	best := Design1
+	for _, id := range AllDesigns {
+		if results[id].Seconds < results[best].Seconds {
+			best = id
+		}
+	}
+	return best
+}
+
+// splitByPEG partitions elements across processing element groups,
+// preserving traversal order within each group. Column-wise designs pin
+// output rows to PEGs (row % PEGs), matching §3.2.1's partitioning of A
+// across PEG FIFOs. Design 3's row-wise scheduling instead pins columns
+// (col % PEGs): a single heavy row then spreads over the whole
+// accelerator, which is exactly how it "better accommodates irregular
+// sparsity patterns" (§3.2.3) — at the price of a cross-PEG merge of
+// partial C rows (mergeCycles).
+func splitByPEG(elems []Elem, pegs int, traversal Traversal) [][]Elem {
+	out := make([][]Elem, pegs)
+	for _, e := range elems {
+		var p int
+		if traversal == RowWise {
+			p = e.Col % pegs
+		} else {
+			p = e.Row % pegs
+		}
+		out[p] = append(out[p], e)
+	}
+	return out
+}
+
+// mergeCycles charges Design 3's reduction of per-PEG partial C rows:
+// each output row touched by k distinct PEGs needs k-1 vector merges of
+// Service width, spread over the ACC accumulator groups. Regular dense-ish
+// workloads touch every PEG per row (expensive — why Design 2 beats
+// Design 3 there); skewed workloads touch few (cheap).
+func mergeCycles(elems []Elem, cfg Config) int64 {
+	type rowPeg struct{ row, peg int }
+	seen := make(map[rowPeg]struct{}, len(elems))
+	perRow := make(map[int]int64, 256)
+	var svc int64 = 1
+	var total int64
+	for _, e := range elems {
+		key := rowPeg{e.Row, e.Col % cfg.PEG}
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		perRow[e.Row]++
+		if e.Service > svc {
+			svc = e.Service
+		}
+	}
+	for _, k := range perRow {
+		if k > 1 {
+			total += (k - 1) * svc
+		}
+	}
+	return ceilDiv64(total, int64(cfg.ACC))
+}
+
+// ScheduleOptions configures direct scheduling of a whole matrix, used by
+// the Figure 6 toy-timeline experiment and the scheduler tests.
+type ScheduleOptions struct {
+	PEGs      int
+	PEsPerPEG int
+	Traversal Traversal
+	DepGap    int64
+	Window    int
+	Trace     bool
+	// Service maps an A column to the element's service time; nil means
+	// one cycle per element (the toy setting).
+	Service func(col int) int64
+}
+
+// ScheduleA schedules all of A as a single tile under opt and returns the
+// per-PEG schedules.
+func ScheduleA(a *sparse.CSR, opt ScheduleOptions) []PEGSchedule {
+	if opt.PEGs < 1 {
+		opt.PEGs = 1
+	}
+	if opt.PEsPerPEG < 1 {
+		opt.PEsPerPEG = 1
+	}
+	if opt.DepGap < 1 {
+		opt.DepGap = 2
+	}
+	if opt.Window < 1 {
+		opt.Window = 16
+	}
+	svc := opt.Service
+	if svc == nil {
+		svc = func(int) int64 { return 1 }
+	}
+	tiles := []Span{{0, a.Cols}}
+	var perTile [][]Elem
+	if opt.Traversal == ColWise {
+		perTile = binByTileColWise(a.ToCSC(), tiles, svc)
+	} else {
+		perTile = binByTileRowWise(a, tiles, svc)
+	}
+	groups := splitByPEG(perTile[0], opt.PEGs, opt.Traversal)
+	out := make([]PEGSchedule, opt.PEGs)
+	for p, g := range groups {
+		out[p] = schedulePEG(g, opt.PEsPerPEG, opt.Traversal, opt.PEGs, opt.DepGap, opt.Window, opt.Trace)
+	}
+	return out
+}
+
+// Makespan reports the overall makespan of a set of PEG schedules (the
+// slowest group finishes last).
+func Makespan(groups []PEGSchedule) int64 {
+	var m int64
+	for _, g := range groups {
+		if g.Makespan > m {
+			m = g.Makespan
+		}
+	}
+	return m
+}
+
+// flopCount mirrors spgemm.FlopCount using precomputed B row counts.
+func flopCount(a *sparse.CSR, bRowNNZ []int) int64 {
+	var total int64
+	for _, c := range a.ColIdx {
+		total += int64(bRowNNZ[c])
+	}
+	return total
+}
+
+// estimateCOutputs bounds nnz(C) per output row by min(Σ nnz(B rows), N)
+// — cheap, exact for dense B, and an upper bound otherwise. The write-back
+// cost model uses it so large products pay proportionally for ch_C
+// bandwidth.
+func estimateCOutputs(a *sparse.CSR, bRowNNZ []int, n int) int64 {
+	var total int64
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		var ub int64
+		for _, c := range cols {
+			ub += int64(bRowNNZ[c])
+		}
+		if ub > int64(n) {
+			ub = int64(n)
+		}
+		total += ub
+	}
+	return total
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

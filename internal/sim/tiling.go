@@ -1,0 +1,118 @@
+package sim
+
+import "misam/internal/sparse"
+
+// Span is a half-open row interval [Lo, Hi) of matrix B.
+type Span struct{ Lo, Hi int }
+
+// Rows reports the span height.
+func (s Span) Rows() int { return s.Hi - s.Lo }
+
+// DenseRowTiles splits rows into fixed-height tiles (the §3.2.1 scheme:
+// "row tiling is based on BRAM capacity (4096 entries)").
+func DenseRowTiles(rows, tileRows int) []Span {
+	if rows <= 0 {
+		return nil
+	}
+	if tileRows < 1 {
+		tileRows = 1
+	}
+	tiles := make([]Span, 0, (rows+tileRows-1)/tileRows)
+	for lo := 0; lo < rows; lo += tileRows {
+		hi := lo + tileRows
+		if hi > rows {
+			hi = rows
+		}
+		tiles = append(tiles, Span{lo, hi})
+	}
+	return tiles
+}
+
+// SparsityAwareRowTiles implements Design 4's packing analysis (§3.2.4):
+// BRAM stores coalesced sparse rows, so tiles accumulate whole rows of B
+// until capacityNNZ nonzeros are packed, maximizing nonzeros per tile
+// while minimizing wasted space. A row with more nonzeros than the
+// capacity gets a tile of its own (streamed in chunks by the simulator).
+func SparsityAwareRowTiles(b *sparse.CSR, capacityNNZ int) []Span {
+	if b.Rows == 0 {
+		return nil
+	}
+	if capacityNNZ < 1 {
+		capacityNNZ = 1
+	}
+	var tiles []Span
+	lo, acc := 0, 0
+	for r := 0; r < b.Rows; r++ {
+		n := b.RowNNZ(r)
+		if acc > 0 && acc+n > capacityNNZ {
+			tiles = append(tiles, Span{lo, r})
+			lo, acc = r, 0
+		}
+		acc += n
+	}
+	tiles = append(tiles, Span{lo, b.Rows})
+	return tiles
+}
+
+// tileIndex builds a column→tile lookup so a single pass over A can bin
+// its nonzeros by the B row tile they touch ("each tile of A must access
+// a specific set of B rows", §3.2.4).
+func tileIndex(tiles []Span, cols int) []int {
+	idx := make([]int, cols)
+	for t, s := range tiles {
+		for c := s.Lo; c < s.Hi && c < cols; c++ {
+			idx[c] = t
+		}
+	}
+	return idx
+}
+
+// binByTileColWise walks A column-major (via its CSC form) and groups
+// elements by B row tile, preserving column-major order within each tile
+// — the traversal order of Designs 1, 2 and 4.
+func binByTileColWise(aCSC *sparse.CSC, tiles []Span, service func(col int) int64) [][]Elem {
+	out := make([][]Elem, len(tiles))
+	for _, s := range tiles {
+		for c := s.Lo; c < s.Hi && c < aCSC.Cols; c++ {
+			rows, _ := aCSC.Col(c)
+			if len(rows) == 0 {
+				continue
+			}
+			t := tileOf(tiles, c)
+			svc := service(c)
+			for _, r := range rows {
+				out[t] = append(out[t], Elem{Row: r, Col: c, Service: svc})
+			}
+		}
+	}
+	return out
+}
+
+// binByTileRowWise walks A row-major (CSR) and groups elements by B row
+// tile, preserving row-major order within each tile — Design 3's order.
+func binByTileRowWise(a *sparse.CSR, tiles []Span, service func(col int) int64) [][]Elem {
+	out := make([][]Elem, len(tiles))
+	idx := tileIndex(tiles, a.Cols)
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		for _, c := range cols {
+			t := idx[c]
+			out[t] = append(out[t], Elem{Row: r, Col: c, Service: service(c)})
+		}
+	}
+	return out
+}
+
+// tileOf locates the tile containing column c by binary search.
+func tileOf(tiles []Span, c int) int {
+	lo, hi := 0, len(tiles)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if tiles[mid].Hi <= c {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

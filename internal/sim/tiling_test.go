@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+func TestDenseRowTiles(t *testing.T) {
+	tiles := DenseRowTiles(10000, 4096)
+	if len(tiles) != 3 {
+		t.Fatalf("got %d tiles, want 3", len(tiles))
+	}
+	if tiles[0] != (Span{0, 4096}) || tiles[2] != (Span{8192, 10000}) {
+		t.Errorf("tile bounds wrong: %v", tiles)
+	}
+	if DenseRowTiles(0, 4096) != nil {
+		t.Error("zero rows should produce no tiles")
+	}
+	if got := DenseRowTiles(5, 0); len(got) != 5 {
+		t.Errorf("tileRows clamp failed: %v", got)
+	}
+}
+
+func TestSparsityAwareRowTilesRespectsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := sparse.Uniform(rng, 2000, 2000, 0.01)
+	cap := 500
+	tiles := SparsityAwareRowTiles(b, cap)
+	prev := 0
+	for _, s := range tiles {
+		if s.Lo != prev {
+			t.Fatalf("tiles not contiguous at %v", s)
+		}
+		prev = s.Hi
+		nnz := b.RowPtr[s.Hi] - b.RowPtr[s.Lo]
+		// Budget may only be exceeded by single-row tiles.
+		if nnz > cap && s.Rows() > 1 {
+			t.Errorf("tile %v holds %d nnz over budget %d", s, nnz, cap)
+		}
+	}
+	if prev != b.Rows {
+		t.Fatalf("tiles cover %d rows, want %d", prev, b.Rows)
+	}
+}
+
+func TestSparsityAwarePacksMoreRowsWhenSparser(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sparseB := sparse.Uniform(rng, 4000, 4000, 0.001)
+	denserB := sparse.Uniform(rng, 4000, 4000, 0.01)
+	ts := SparsityAwareRowTiles(sparseB, 1000)
+	td := SparsityAwareRowTiles(denserB, 1000)
+	if len(ts) >= len(td) {
+		t.Errorf("sparser B should need fewer tiles: %d vs %d", len(ts), len(td))
+	}
+}
+
+func TestTileOf(t *testing.T) {
+	tiles := []Span{{0, 10}, {10, 20}, {20, 25}}
+	cases := map[int]int{0: 0, 9: 0, 10: 1, 19: 1, 20: 2, 24: 2}
+	for c, want := range cases {
+		if got := tileOf(tiles, c); got != want {
+			t.Errorf("tileOf(%d) = %d, want %d", c, got, want)
+		}
+	}
+}
+
+func TestPropertyBinningPreservesElements(t *testing.T) {
+	f := func(seed int64, tileIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sparse.Uniform(rng, 60, 80, 0.1)
+		tileRows := int(tileIn)%30 + 1
+		tiles := DenseRowTiles(80, tileRows)
+		svc := func(int) int64 { return 1 }
+		for _, bins := range [][][]Elem{
+			binByTileColWise(a.ToCSC(), tiles, svc),
+			binByTileRowWise(a, tiles, svc),
+		} {
+			total := 0
+			for ti, es := range bins {
+				total += len(es)
+				for _, e := range es {
+					if e.Col < tiles[ti].Lo || e.Col >= tiles[ti].Hi {
+						return false
+					}
+				}
+			}
+			if total != a.NNZ() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinOrdering(t *testing.T) {
+	// Column-wise bins must be column-major; row-wise bins row-major.
+	rng := rand.New(rand.NewSource(3))
+	a := sparse.Uniform(rng, 30, 30, 0.2)
+	tiles := []Span{{0, 30}}
+	svc := func(int) int64 { return 1 }
+	colBins := binByTileColWise(a.ToCSC(), tiles, svc)[0]
+	for i := 1; i < len(colBins); i++ {
+		p, q := colBins[i-1], colBins[i]
+		if q.Col < p.Col || (q.Col == p.Col && q.Row < p.Row) {
+			t.Fatal("column-wise binning out of order")
+		}
+	}
+	rowBins := binByTileRowWise(a, tiles, svc)[0]
+	for i := 1; i < len(rowBins); i++ {
+		p, q := rowBins[i-1], rowBins[i]
+		if q.Row < p.Row || (q.Row == p.Row && q.Col < p.Col) {
+			t.Fatal("row-wise binning out of order")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTimeline draws traced PEG schedules as the ASCII equivalent of
+// Figure 6's timelines: one row per PE, one column per cycle. Each issue
+// is shown as the output-row label ('0'–'9', then 'a'–'z' cycling) with
+// '-' marking the remaining service cycles and '.' marking idle
+// (dependency-bubble) cycles. maxCycles truncates wide schedules.
+//
+//	PEG0.PE0 |0-.1-...|
+//	PEG0.PE1 |2-3-....|
+//
+// Schedules must have been produced with tracing enabled; untraced
+// groups render as a summary line.
+func RenderTimeline(groups []PEGSchedule, maxCycles int) string {
+	if maxCycles <= 0 {
+		maxCycles = 80
+	}
+	var sb strings.Builder
+	span := Makespan(groups)
+	width := span
+	truncated := false
+	if width > int64(maxCycles) {
+		width = int64(maxCycles)
+		truncated = true
+	}
+	for p, g := range groups {
+		for pe, ps := range g.PEs {
+			if ps.Busy > 0 && len(ps.Issues) == 0 {
+				fmt.Fprintf(&sb, "PEG%d.PE%d | %d elements, makespan %d (untraced)\n", p, pe, ps.Busy, ps.Makespan)
+				continue
+			}
+			row := make([]byte, width)
+			for i := range row {
+				row[i] = '.'
+			}
+			for _, is := range ps.Issues {
+				if is.Cycle >= width {
+					continue
+				}
+				row[is.Cycle] = rowLabel(is.Elem.Row)
+				svc := is.Elem.Service
+				if svc < 1 {
+					svc = 1
+				}
+				for c := is.Cycle + 1; c < is.Cycle+svc && c < width; c++ {
+					row[c] = '-'
+				}
+			}
+			// Trim trailing idle cells beyond this PE's makespan.
+			for i := ps.Makespan; i < width; i++ {
+				row[i] = ' '
+			}
+			fmt.Fprintf(&sb, "PEG%d.PE%d |%s|\n", p, pe, row)
+		}
+	}
+	if truncated {
+		fmt.Fprintf(&sb, "(truncated at %d of %d cycles)\n", width, span)
+	}
+	return sb.String()
+}
+
+// rowLabel maps an output row index to a single display character.
+func rowLabel(row int) byte {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	return digits[row%len(digits)]
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"misam/internal/sparse"
+)
+
+func traceToy(t *testing.T, trav Traversal) []PEGSchedule {
+	t.Helper()
+	m := sparse.NewCOO(4, 4)
+	m.Append(0, 0, 1)
+	m.Append(0, 2, 1)
+	m.Append(1, 1, 1)
+	m.Append(2, 3, 1)
+	m.Normalize()
+	return ScheduleA(m.ToCSR(), ScheduleOptions{
+		PEGs: 1, PEsPerPEG: 2, Traversal: trav, DepGap: 2, Window: 8, Trace: true,
+	})
+}
+
+func TestRenderTimelineShowsIssues(t *testing.T) {
+	out := RenderTimeline(traceToy(t, ColWise), 40)
+	if !strings.Contains(out, "PEG0.PE0") || !strings.Contains(out, "PEG0.PE1") {
+		t.Fatalf("missing PE rows:\n%s", out)
+	}
+	// Output rows 0, 1, 2 must all appear as labels.
+	for _, label := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, label) {
+			t.Errorf("timeline missing row label %q:\n%s", label, out)
+		}
+	}
+}
+
+func TestRenderTimelineTruncates(t *testing.T) {
+	m := sparse.NewCOO(1, 30)
+	for c := 0; c < 30; c++ {
+		m.Append(0, c, 1)
+	}
+	m.Normalize()
+	groups := ScheduleA(m.ToCSR(), ScheduleOptions{
+		PEGs: 1, PEsPerPEG: 1, Traversal: ColWise, DepGap: 2, Window: 4, Trace: true,
+	})
+	out := RenderTimeline(groups, 10)
+	if !strings.Contains(out, "truncated") {
+		t.Errorf("expected truncation notice:\n%s", out)
+	}
+}
+
+func TestRenderTimelineUntracedSummary(t *testing.T) {
+	groups := traceToy(t, ColWise)
+	// Strip the traces to exercise the summary path.
+	for p := range groups {
+		for pe := range groups[p].PEs {
+			groups[p].PEs[pe].Issues = nil
+		}
+	}
+	out := RenderTimeline(groups, 40)
+	if !strings.Contains(out, "untraced") {
+		t.Errorf("expected untraced summary:\n%s", out)
+	}
+}
+
+func TestRenderTimelineServiceDashes(t *testing.T) {
+	groups := []PEGSchedule{{
+		Makespan: 4,
+		PEs: []PESchedule{{
+			Makespan: 4,
+			Busy:     4,
+			Issues:   []Issue{{Cycle: 0, Elem: Elem{Row: 5, Col: 0, Service: 4}}},
+		}},
+	}}
+	out := RenderTimeline(groups, 40)
+	if !strings.Contains(out, "5---") {
+		t.Errorf("service continuation not rendered:\n%s", out)
+	}
+}
+
+func TestRowLabelCycles(t *testing.T) {
+	if rowLabel(0) != '0' || rowLabel(10) != 'a' || rowLabel(36) != '0' {
+		t.Error("row labels wrong")
+	}
+}

@@ -1,0 +1,167 @@
+package sparse
+
+// Conversions between the four matrix formats. All conversions preserve
+// the nonzero set exactly; CSR/CSC outputs always satisfy Validate.
+
+// ToCSR converts a normalized COO matrix to CSR.
+func (m *COO) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, len(m.Entries)),
+		Val:    make([]float64, len(m.Entries)),
+	}
+	for _, e := range m.Entries {
+		out.RowPtr[e.Row+1]++
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	// Entries are row-major after Normalize, so a straight copy lands each
+	// row's columns already sorted.
+	for i, e := range m.Entries {
+		out.ColIdx[i] = e.Col
+		out.Val[i] = e.Val
+	}
+	return out
+}
+
+// ToCSC converts a normalized COO matrix to CSC.
+func (m *COO) ToCSC() *CSC {
+	return m.ToCSR().ToCSC()
+}
+
+// ToDense expands a COO matrix to dense form.
+func (m *COO) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for _, e := range m.Entries {
+		d.Add(e.Row, e.Col, e.Val)
+	}
+	return d
+}
+
+// ToCOO converts a CSR matrix to normalized COO.
+func (m *CSR) ToCOO() *COO {
+	out := &COO{Rows: m.Rows, Cols: m.Cols, Entries: make([]Entry, 0, m.NNZ())}
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out.Entries = append(out.Entries, Entry{Row: r, Col: m.ColIdx[i], Val: m.Val[i]})
+		}
+	}
+	return out
+}
+
+// ToCSC converts CSR to CSC with a counting pass (no sort needed; scanning
+// rows in order leaves each column's row indices sorted).
+func (m *CSR) ToCSC() *CSC {
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int, m.Cols+1),
+		RowIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	next := make([]int, m.Cols)
+	copy(next, out.ColPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := m.ColIdx[i]
+			out.RowIdx[next[c]] = r
+			out.Val[next[c]] = m.Val[i]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// ToDense expands a CSR matrix to dense form.
+func (m *CSR) ToDense() *Dense {
+	d := NewDense(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			d.Set(r, m.ColIdx[i], m.Val[i])
+		}
+	}
+	return d
+}
+
+// Transpose returns the CSR form of the transpose. It reuses the CSC
+// conversion: the CSC arrays of A are exactly the CSR arrays of Aᵀ.
+func (m *CSR) Transpose() *CSR {
+	csc := m.ToCSC()
+	return &CSR{Rows: m.Cols, Cols: m.Rows, RowPtr: csc.ColPtr, ColIdx: csc.RowIdx, Val: csc.Val}
+}
+
+// ToCSR converts CSC to CSR.
+func (m *CSC) ToCSR() *CSR {
+	out := &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: make([]int, m.Rows+1),
+		ColIdx: make([]int, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, r := range m.RowIdx {
+		out.RowPtr[r+1]++
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	next := make([]int, m.Rows)
+	copy(next, out.RowPtr[:m.Rows])
+	for c := 0; c < m.Cols; c++ {
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			r := m.RowIdx[i]
+			out.ColIdx[next[r]] = c
+			out.Val[next[r]] = m.Val[i]
+			next[r]++
+		}
+	}
+	return out
+}
+
+// ToDense expands a CSC matrix to dense form.
+func (m *CSC) ToDense() *Dense { return m.ToCSR().ToDense() }
+
+// ToCSR converts a dense matrix to CSR, dropping exact zeros.
+func (m *Dense) ToCSR() *CSR {
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int, m.Rows+1)}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if v := m.At(r, c); v != 0 {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Val = append(out.Val, v)
+			}
+		}
+		out.RowPtr[r+1] = len(out.ColIdx)
+	}
+	return out
+}
+
+// ToCOO converts a dense matrix to normalized COO, dropping exact zeros.
+func (m *Dense) ToCOO() *COO { return m.ToCSR().ToCOO() }
+
+// EqualCSR reports exact structural and value equality of two CSR matrices.
+func EqualCSR(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}

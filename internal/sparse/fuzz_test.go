@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrixMarket hardens the parser: arbitrary input must either
+// produce a structurally valid matrix or an error — never a panic or an
+// invalid CSR.
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 4.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 1 1.0\n3 1 2.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 9999\n1 1 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ReadMatrixMarket(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("parser accepted input yielding invalid CSR: %v\ninput: %q", verr, input)
+		}
+		// A parsed matrix must survive a write/read round trip.
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, m); err != nil {
+			t.Fatalf("write failed on parsed matrix: %v", err)
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !EqualCSR(m, back) {
+			t.Fatal("round trip changed the matrix")
+		}
+	})
+}
+
+// FuzzNormalize hardens COO normalization against arbitrary entry soups.
+func FuzzNormalize(f *testing.F) {
+	f.Add(3, 3, []byte{0, 0, 1, 1, 2, 2})
+	f.Add(1, 1, []byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, rows, cols int, coords []byte) {
+		if rows < 1 || cols < 1 || rows > 50 || cols > 50 {
+			return
+		}
+		m := NewCOO(rows, cols)
+		for i := 0; i+1 < len(coords); i += 2 {
+			m.Append(int(coords[i])%rows, int(coords[i+1])%cols, float64(coords[i])+1)
+		}
+		m.Normalize()
+		if err := m.Validate(); err != nil {
+			t.Fatalf("Normalize produced invalid COO: %v", err)
+		}
+		csr := m.ToCSR()
+		if err := csr.Validate(); err != nil {
+			t.Fatalf("ToCSR produced invalid CSR: %v", err)
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generators for the sparsity-pattern families the paper evaluates.
+// Each takes an explicit *rand.Rand so corpora are reproducible.
+
+// sampleRow fills row r of a COO matrix with k distinct random columns.
+// For k close to cols it switches to a dense Bernoulli-style scan to avoid
+// quadratic rejection sampling.
+func sampleRow(rng *rand.Rand, m *COO, r, cols, k int) {
+	if k <= 0 {
+		return
+	}
+	if k > cols {
+		k = cols
+	}
+	if k*3 >= cols {
+		// Reservoir-free selection: choose k of cols via partial shuffle.
+		perm := rng.Perm(cols)[:k]
+		for _, c := range perm {
+			m.Append(r, c, randVal(rng))
+		}
+		return
+	}
+	seen := make(map[int]struct{}, k)
+	for len(seen) < k {
+		c := rng.Intn(cols)
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		m.Append(r, c, randVal(rng))
+	}
+}
+
+// randVal draws a nonzero value uniform in [-1, 1) excluding exact zero.
+func randVal(rng *rand.Rand) float64 {
+	for {
+		v := rng.Float64()*2 - 1
+		if v != 0 {
+			return v
+		}
+	}
+}
+
+// Uniform generates a rows×cols matrix with the given density where every
+// position is equally likely to be nonzero. Row populations are fixed at
+// round(density*cols) per row (with remainder spread over leading rows) so
+// the target nnz is met exactly.
+func Uniform(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	if density < 0 {
+		density = 0
+	}
+	if density > 1 {
+		density = 1
+	}
+	total := int(math.Round(density * float64(rows) * float64(cols)))
+	return UniformNNZ(rng, rows, cols, total)
+}
+
+// UniformNNZ generates a rows×cols matrix with exactly nnz uniformly
+// placed nonzeros (capped at rows*cols).
+func UniformNNZ(rng *rand.Rand, rows, cols, nnz int) *CSR {
+	if nnz > rows*cols {
+		nnz = rows * cols
+	}
+	m := NewCOO(rows, cols)
+	if rows > 0 {
+		base, rem := nnz/rows, nnz%rows
+		for r := 0; r < rows; r++ {
+			k := base
+			if r < rem {
+				k++
+			}
+			sampleRow(rng, m, r, cols, k)
+		}
+	}
+	m.Normalize()
+	return m.ToCSR()
+}
+
+// PowerLaw generates a graph-like matrix whose row degrees follow a
+// truncated power law with exponent alpha (alpha around 1.5–2.5 mimics
+// web/social/peer-to-peer graphs such as p2p-Gnutella or wiki-RfA).
+// The total nonzero count approximates nnz.
+func PowerLaw(rng *rand.Rand, rows, cols, nnz int, alpha float64) *CSR {
+	if rows == 0 || cols == 0 || nnz <= 0 {
+		return NewCOO(rows, cols).ToCSR()
+	}
+	// Draw unnormalized degrees d_r ∝ (r+1)^-alpha, scale to hit nnz, and
+	// waterfill: head rows that saturate at cols hand their overflow to
+	// the rows that still have headroom, so the target nnz is met even
+	// for dense-headed degree distributions.
+	weights := make([]float64, rows)
+	for i := range weights {
+		weights[i] = math.Pow(float64(i+1), -alpha)
+	}
+	degrees := make([]int, rows)
+	remaining := nnz
+	for pass := 0; pass < 8 && remaining > 0; pass++ {
+		sum := 0.0
+		for i, w := range weights {
+			if degrees[i] < cols {
+				sum += w
+			}
+		}
+		if sum == 0 {
+			break
+		}
+		progress := false
+		for i, w := range weights {
+			if degrees[i] >= cols {
+				continue
+			}
+			k := int(math.Round(w / sum * float64(remaining)))
+			if pass == 0 && k < 1 {
+				k = 1
+			}
+			if degrees[i]+k > cols {
+				k = cols - degrees[i]
+			}
+			if k > 0 {
+				degrees[i] += k
+				progress = true
+			}
+		}
+		assigned := 0
+		for _, d := range degrees {
+			assigned += d
+		}
+		remaining = nnz - assigned
+		if !progress {
+			break
+		}
+	}
+	perm := rng.Perm(rows)
+	m := NewCOO(rows, cols)
+	for i, p := range perm {
+		sampleRow(rng, m, p, cols, degrees[i])
+	}
+	m.Normalize()
+	return m.ToCSR()
+}
+
+// Banded generates a scientific-computing style banded matrix: nonzeros
+// lie within |r-c| <= halfBandwidth and appear with probability fill.
+// FEM/CFD matrices (goodwin, sme3Db, ramage02) have this character.
+func Banded(rng *rand.Rand, rows, cols, halfBandwidth int, fill float64) *CSR {
+	m := NewCOO(rows, cols)
+	for r := 0; r < rows; r++ {
+		lo := r - halfBandwidth
+		if lo < 0 {
+			lo = 0
+		}
+		hi := r + halfBandwidth
+		if hi >= cols {
+			hi = cols - 1
+		}
+		for c := lo; c <= hi; c++ {
+			if c == r && c < cols {
+				// Keep the diagonal: solvers rely on it, and it dominates
+				// the band structure the feature extractor sees.
+				m.Append(r, c, randVal(rng))
+				continue
+			}
+			if rng.Float64() < fill {
+				m.Append(r, c, randVal(rng))
+			}
+		}
+	}
+	m.Normalize()
+	return m.ToCSR()
+}
+
+// Block generates a block-structured matrix: the rows×cols grid is split
+// into blockSize×blockSize tiles; each tile is active with probability
+// blockDensity, and active tiles are filled at innerDensity. Structured
+// circuit and multi-physics matrices (opt1, gupta2) look like this.
+func Block(rng *rand.Rand, rows, cols, blockSize int, blockDensity, innerDensity float64) *CSR {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	m := NewCOO(rows, cols)
+	for br := 0; br < rows; br += blockSize {
+		for bc := 0; bc < cols; bc += blockSize {
+			if rng.Float64() >= blockDensity {
+				continue
+			}
+			rmax := min(br+blockSize, rows)
+			cmax := min(bc+blockSize, cols)
+			for r := br; r < rmax; r++ {
+				for c := bc; c < cmax; c++ {
+					if rng.Float64() < innerDensity {
+						m.Append(r, c, randVal(rng))
+					}
+				}
+			}
+		}
+	}
+	m.Normalize()
+	return m.ToCSR()
+}
+
+// DNNPruned generates a weight-matrix-like pattern at the given density.
+// When structured is true, pruning removes whole groups of `group`
+// consecutive columns per row (mimicking STR-style structured pruning used
+// for the paper's MS workloads); otherwise pruning is unstructured.
+func DNNPruned(rng *rand.Rand, rows, cols int, density float64, structured bool, group int) *CSR {
+	if !structured {
+		return Uniform(rng, rows, cols, density)
+	}
+	if group < 1 {
+		group = 4
+	}
+	m := NewCOO(rows, cols)
+	groupsPerRow := (cols + group - 1) / group
+	keep := int(math.Round(density * float64(groupsPerRow)))
+	if keep < 1 && density > 0 {
+		keep = 1
+	}
+	for r := 0; r < rows; r++ {
+		for _, g := range rng.Perm(groupsPerRow)[:keep] {
+			lo := g * group
+			hi := min(lo+group, cols)
+			for c := lo; c < hi; c++ {
+				m.Append(r, c, randVal(rng))
+			}
+		}
+	}
+	m.Normalize()
+	return m.ToCSR()
+}
+
+// DenseRandom generates a fully dense matrix with uniform values, in CSR
+// form, e.g. the D operand of MS×D workloads.
+func DenseRandom(rng *rand.Rand, rows, cols int) *CSR {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int, rows+1)}
+	m.ColIdx = make([]int, 0, rows*cols)
+	m.Val = make([]float64, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.ColIdx = append(m.ColIdx, c)
+			m.Val = append(m.Val, randVal(rng))
+		}
+		m.RowPtr[r+1] = len(m.ColIdx)
+	}
+	return m
+}
+
+// Identity returns the n×n identity in CSR form.
+func Identity(n int) *CSR {
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1), ColIdx: make([]int, n), Val: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		m.RowPtr[i+1] = i + 1
+		m.ColIdx[i] = i
+		m.Val[i] = 1
+	}
+	return m
+}
+
+// Imbalanced generates a matrix where a fraction of "heavy" rows hold most
+// nonzeros, producing the high A_load_imbalance_row values that drive the
+// selector toward Design 3.
+func Imbalanced(rng *rand.Rand, rows, cols, nnz int, heavyFrac, heavyShare float64) *CSR {
+	heavyRows := int(float64(rows) * heavyFrac)
+	if heavyRows < 1 {
+		heavyRows = 1
+	}
+	heavyNNZ := int(float64(nnz) * heavyShare)
+	lightNNZ := nnz - heavyNNZ
+	m := NewCOO(rows, cols)
+	perm := rng.Perm(rows)
+	for i, r := range perm {
+		var k int
+		if i < heavyRows {
+			k = heavyNNZ / heavyRows
+		} else if rows > heavyRows {
+			k = lightNNZ / (rows - heavyRows)
+		}
+		sampleRow(rng, m, r, cols, k)
+	}
+	m.Normalize()
+	return m.ToCSR()
+}

@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Matrix Market exchange format support (coordinate real general), the
+// format the SuiteSparse collection uses. Only the subset needed to load
+// and store SpGEMM inputs is implemented.
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format (1-based
+// indices, "%%MatrixMarket matrix coordinate real general" header).
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.Rows, m.Cols, m.NNZ()); err != nil {
+		return err
+	}
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", r+1, m.ColIdx[i]+1, m.Val[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file into CSR. It
+// accepts "general", "symmetric" (mirrored off-diagonal entries) and
+// "pattern" (values set to 1) qualifiers.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket input")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 4 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	pattern := header[3] == "pattern"
+	symmetric := len(header) >= 5 && header[4] == "symmetric"
+
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket size line %q: %v", line, err)
+		}
+		break
+	}
+	m := &COO{Rows: rows, Cols: cols, Entries: make([]Entry, 0, nnz)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return nil, fmt.Errorf("sparse: bad MatrixMarket entry %q", line)
+		}
+		ri, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad row index %q: %v", f[0], err)
+		}
+		ci, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("sparse: bad column index %q: %v", f[1], err)
+		}
+		v := 1.0
+		if !pattern {
+			if len(f) < 3 {
+				return nil, fmt.Errorf("sparse: missing value in entry %q", line)
+			}
+			v, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sparse: bad value %q: %v", f[2], err)
+			}
+		}
+		m.Append(ri-1, ci-1, v)
+		if symmetric && ri != ci {
+			m.Append(ci-1, ri-1, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m.ToCSR(), nil
+}

@@ -1,0 +1,92 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := Uniform(rng, 30, 20, 0.15)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !EqualCSR(m, got) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 5.0
+3 3 1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d, want 4 (mirrored off-diagonal)", m.NNZ())
+	}
+	if m.At(0, 1) != 5 || m.At(1, 0) != 5 {
+		t.Error("symmetric entry not mirrored")
+	}
+}
+
+func TestMatrixMarketPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if m.At(0, 1) != 1 || m.At(1, 0) != 1 {
+		t.Error("pattern values should default to 1")
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 y 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 z\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1.0\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error for %q", i, in)
+		}
+	}
+}
+
+func TestMatrixMarketSkipsComments(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+2 2 1
+% another
+1 1 4.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if m.At(0, 0) != 4.5 {
+		t.Errorf("At(0,0) = %v, want 4.5", m.At(0, 0))
+	}
+}

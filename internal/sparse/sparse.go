@@ -1,0 +1,286 @@
+// Package sparse provides the sparse-matrix substrate used throughout the
+// Misam reproduction: coordinate (COO), compressed sparse row (CSR),
+// compressed sparse column (CSC) and dense formats, conversions between
+// them, and a family of random generators that produce the sparsity
+// patterns the paper evaluates (uniform, power-law graphs, banded
+// scientific matrices, block-structured matrices, and pruned DNN weights).
+//
+// All formats store float64 values and use int indices. CSR and CSC keep
+// their index arrays sorted within each row/column, which the feature
+// extractor and the accelerator simulator rely on.
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Entry is a single nonzero element in coordinate format.
+type Entry struct {
+	Row, Col int
+	Val      float64
+}
+
+// COO is a matrix in coordinate (triplet) format. Entries are kept in
+// row-major order (by Row, then Col) once Normalize has been called.
+type COO struct {
+	Rows, Cols int
+	Entries    []Entry
+}
+
+// NewCOO returns an empty COO matrix with the given dimensions.
+func NewCOO(rows, cols int) *COO {
+	return &COO{Rows: rows, Cols: cols}
+}
+
+// Append adds a nonzero entry. It does not check for duplicates; call
+// Normalize to sort and coalesce.
+func (m *COO) Append(row, col int, val float64) {
+	m.Entries = append(m.Entries, Entry{Row: row, Col: col, Val: val})
+}
+
+// NNZ reports the number of stored entries.
+func (m *COO) NNZ() int { return len(m.Entries) }
+
+// Density reports NNZ / (Rows*Cols), or 0 for an empty shape.
+func (m *COO) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(len(m.Entries)) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// Normalize sorts entries row-major and sums duplicates. Entries that sum
+// to exactly zero are kept: explicit zeros are legal in sparse formats and
+// the simulator treats them as scheduled work, matching real accelerators
+// that do not re-inspect values.
+func (m *COO) Normalize() {
+	if len(m.Entries) == 0 {
+		return
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		a, b := m.Entries[i], m.Entries[j]
+		if a.Row != b.Row {
+			return a.Row < b.Row
+		}
+		return a.Col < b.Col
+	})
+	out := m.Entries[:1]
+	for _, e := range m.Entries[1:] {
+		last := &out[len(out)-1]
+		if e.Row == last.Row && e.Col == last.Col {
+			last.Val += e.Val
+		} else {
+			out = append(out, e)
+		}
+	}
+	m.Entries = out
+}
+
+// Validate checks structural invariants: indices in range and entries in
+// strictly increasing row-major order (i.e. Normalize has run).
+func (m *COO) Validate() error {
+	for i, e := range m.Entries {
+		if e.Row < 0 || e.Row >= m.Rows || e.Col < 0 || e.Col >= m.Cols {
+			return fmt.Errorf("sparse: COO entry %d (%d,%d) out of range %dx%d", i, e.Row, e.Col, m.Rows, m.Cols)
+		}
+		if i > 0 {
+			p := m.Entries[i-1]
+			if e.Row < p.Row || (e.Row == p.Row && e.Col <= p.Col) {
+				return fmt.Errorf("sparse: COO entries not strictly row-major at %d", i)
+			}
+		}
+	}
+	return nil
+}
+
+// CSR is a matrix in compressed sparse row format. RowPtr has length
+// Rows+1; row r owns ColIdx[RowPtr[r]:RowPtr[r+1]] with matching Val.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ reports the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Density reports NNZ / (Rows*Cols), or 0 for an empty shape.
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// RowNNZ reports the number of nonzeros in row r.
+func (m *CSR) RowNNZ(r int) int { return m.RowPtr[r+1] - m.RowPtr[r] }
+
+// Row returns the column indices and values of row r. The returned slices
+// alias the matrix storage and must not be modified.
+func (m *CSR) Row(r int) ([]int, []float64) {
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	return m.ColIdx[lo:hi], m.Val[lo:hi]
+}
+
+// At returns the value at (r, c), using binary search within the row.
+func (m *CSR) At(r, c int) float64 {
+	cols, vals := m.Row(r)
+	i := sort.SearchInts(cols, c)
+	if i < len(cols) && cols[i] == c {
+		return vals[i]
+	}
+	return 0
+}
+
+// Validate checks structural invariants: monotone RowPtr spanning the
+// index arrays and strictly increasing, in-range column indices per row.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: CSR RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.Rows] != len(m.ColIdx) || len(m.ColIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: CSR pointer bounds inconsistent")
+	}
+	for r := 0; r < m.Rows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("sparse: CSR RowPtr decreases at row %d", r)
+		}
+		prev := -1
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := m.ColIdx[i]
+			if c < 0 || c >= m.Cols {
+				return fmt.Errorf("sparse: CSR column %d out of range in row %d", c, r)
+			}
+			if c <= prev {
+				return fmt.Errorf("sparse: CSR columns not strictly increasing in row %d", r)
+			}
+			prev = c
+		}
+	}
+	return nil
+}
+
+// CSC is a matrix in compressed sparse column format. ColPtr has length
+// Cols+1; column c owns RowIdx[ColPtr[c]:ColPtr[c+1]] with matching Val.
+type CSC struct {
+	Rows, Cols int
+	ColPtr     []int
+	RowIdx     []int
+	Val        []float64
+}
+
+// NNZ reports the number of stored entries.
+func (m *CSC) NNZ() int { return len(m.RowIdx) }
+
+// Density reports NNZ / (Rows*Cols), or 0 for an empty shape.
+func (m *CSC) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// ColNNZ reports the number of nonzeros in column c.
+func (m *CSC) ColNNZ(c int) int { return m.ColPtr[c+1] - m.ColPtr[c] }
+
+// Col returns the row indices and values of column c. The returned slices
+// alias the matrix storage and must not be modified.
+func (m *CSC) Col(c int) ([]int, []float64) {
+	lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+	return m.RowIdx[lo:hi], m.Val[lo:hi]
+}
+
+// Validate checks structural invariants, mirroring CSR.Validate.
+func (m *CSC) Validate() error {
+	if len(m.ColPtr) != m.Cols+1 {
+		return fmt.Errorf("sparse: CSC ColPtr length %d, want %d", len(m.ColPtr), m.Cols+1)
+	}
+	if m.ColPtr[0] != 0 || m.ColPtr[m.Cols] != len(m.RowIdx) || len(m.RowIdx) != len(m.Val) {
+		return fmt.Errorf("sparse: CSC pointer bounds inconsistent")
+	}
+	for c := 0; c < m.Cols; c++ {
+		if m.ColPtr[c] > m.ColPtr[c+1] {
+			return fmt.Errorf("sparse: CSC ColPtr decreases at column %d", c)
+		}
+		prev := -1
+		for i := m.ColPtr[c]; i < m.ColPtr[c+1]; i++ {
+			r := m.RowIdx[i]
+			if r < 0 || r >= m.Rows {
+				return fmt.Errorf("sparse: CSC row %d out of range in column %d", r, c)
+			}
+			if r <= prev {
+				return fmt.Errorf("sparse: CSC rows not strictly increasing in column %d", c)
+			}
+			prev = r
+		}
+	}
+	return nil
+}
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewDense returns a zeroed dense matrix.
+func NewDense(rows, cols int) *Dense {
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the value at (r, c).
+func (m *Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Add accumulates v into (r, c).
+func (m *Dense) Add(r, c int, v float64) { m.Data[r*m.Cols+c] += v }
+
+// NNZ counts entries whose magnitude exceeds 0 exactly.
+func (m *Dense) NNZ() int {
+	n := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AlmostEqual reports whether two dense matrices agree elementwise within
+// tol, using a relative-or-absolute comparison suitable for accumulated
+// floating-point sums.
+func (m *Dense) AlmostEqual(o *Dense, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		w := o.Data[i]
+		diff := math.Abs(v - w)
+		scale := math.Max(math.Abs(v), math.Abs(w))
+		if diff > tol && diff > tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest elementwise absolute difference between
+// two same-shaped dense matrices. It panics on shape mismatch.
+func (m *Dense) MaxAbsDiff(o *Dense) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("sparse: MaxAbsDiff shape mismatch")
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		d := math.Abs(v - o.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,282 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOONormalizeSortsAndCoalesces(t *testing.T) {
+	m := NewCOO(3, 3)
+	m.Append(2, 1, 1)
+	m.Append(0, 0, 2)
+	m.Append(2, 1, 3)
+	m.Append(1, 2, 4)
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3 after coalescing", m.NNZ())
+	}
+	if got := m.Entries[2]; got.Row != 2 || got.Col != 1 || got.Val != 4 {
+		t.Fatalf("coalesced entry = %+v, want {2 1 4}", got)
+	}
+}
+
+func TestCOOValidateDetectsOutOfRange(t *testing.T) {
+	m := NewCOO(2, 2)
+	m.Append(2, 0, 1)
+	m.Normalize()
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range row")
+	}
+}
+
+func TestCSRAt(t *testing.T) {
+	m := NewCOO(3, 4)
+	m.Append(0, 1, 5)
+	m.Append(2, 3, -2)
+	m.Normalize()
+	c := m.ToCSR()
+	if got := c.At(0, 1); got != 5 {
+		t.Errorf("At(0,1) = %v, want 5", got)
+	}
+	if got := c.At(0, 0); got != 0 {
+		t.Errorf("At(0,0) = %v, want 0", got)
+	}
+	if got := c.At(2, 3); got != -2 {
+		t.Errorf("At(2,3) = %v, want -2", got)
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	m := Identity(5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", m.NNZ())
+	}
+	for i := 0; i < 5; i++ {
+		if m.At(i, i) != 1 {
+			t.Errorf("At(%d,%d) = %v, want 1", i, i, m.At(i, i))
+		}
+	}
+}
+
+func TestDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := Uniform(rng, 100, 100, 0.1)
+	if got := m.Density(); math.Abs(got-0.1) > 0.01 {
+		t.Errorf("Density = %v, want ~0.1", got)
+	}
+	if m.NNZ() != 1000 {
+		t.Errorf("NNZ = %d, want exactly 1000", m.NNZ())
+	}
+}
+
+func TestUniformDensityClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Uniform(rng, 10, 10, 1.5)
+	if m.NNZ() != 100 {
+		t.Errorf("NNZ = %d, want 100 for clamped density", m.NNZ())
+	}
+	m = Uniform(rng, 10, 10, -0.5)
+	if m.NNZ() != 0 {
+		t.Errorf("NNZ = %d, want 0 for negative density", m.NNZ())
+	}
+}
+
+func TestDenseRandomIsFullyDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DenseRandom(rng, 7, 9)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.NNZ() != 63 {
+		t.Errorf("NNZ = %d, want 63", m.NNZ())
+	}
+}
+
+func TestBandedKeepsDiagonalAndBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := Banded(rng, 50, 50, 3, 0.5)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for r := 0; r < 50; r++ {
+		cols, _ := m.Row(r)
+		if m.At(r, r) == 0 {
+			t.Fatalf("diagonal (%d,%d) missing", r, r)
+		}
+		for _, c := range cols {
+			if d := c - r; d < -3 || d > 3 {
+				t.Fatalf("entry (%d,%d) outside band", r, c)
+			}
+		}
+	}
+}
+
+func TestPowerLawDegreesAreSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := PowerLaw(rng, 500, 500, 5000, 2.0)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	maxRow, sum := 0, 0
+	for r := 0; r < m.Rows; r++ {
+		n := m.RowNNZ(r)
+		sum += n
+		if n > maxRow {
+			maxRow = n
+		}
+	}
+	avg := float64(sum) / float64(m.Rows)
+	if float64(maxRow) < 5*avg {
+		t.Errorf("max row %d not skewed vs avg %.1f", maxRow, avg)
+	}
+}
+
+func TestImbalancedConcentratesNNZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := Imbalanced(rng, 200, 200, 4000, 0.05, 0.8)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	maxRow := 0
+	for r := 0; r < m.Rows; r++ {
+		if n := m.RowNNZ(r); n > maxRow {
+			maxRow = n
+		}
+	}
+	avg := float64(m.NNZ()) / float64(m.Rows)
+	if float64(maxRow) < 4*avg {
+		t.Errorf("imbalance too small: max %d vs avg %.1f", maxRow, avg)
+	}
+}
+
+func TestDNNPrunedStructuredDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := DNNPruned(rng, 256, 512, 0.2, true, 8)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if d := m.Density(); math.Abs(d-0.2) > 0.05 {
+		t.Errorf("density = %v, want ~0.2", d)
+	}
+	// Structured pruning keeps whole groups: within any kept group of 8,
+	// all columns should be present for that row.
+	cols, _ := m.Row(0)
+	groups := map[int]int{}
+	for _, c := range cols {
+		groups[c/8]++
+	}
+	for g, n := range groups {
+		if n != 8 {
+			t.Errorf("group %d has %d columns, want full group of 8", g, n)
+		}
+	}
+}
+
+// randCSR builds a random valid CSR from quick-check inputs.
+func randCSR(rng *rand.Rand, rows, cols int, density float64) *CSR {
+	return Uniform(rng, rows, cols, density)
+}
+
+func TestPropertyConversionRoundTrips(t *testing.T) {
+	f := func(seed int64, rowsIn, colsIn uint8, densIn uint8) bool {
+		rows := int(rowsIn)%40 + 1
+		cols := int(colsIn)%40 + 1
+		density := float64(densIn%100) / 100
+		rng := rand.New(rand.NewSource(seed))
+		m := randCSR(rng, rows, cols, density)
+		if m.Validate() != nil {
+			return false
+		}
+		// CSR -> COO -> CSR
+		if !EqualCSR(m, m.ToCOO().ToCSR()) {
+			return false
+		}
+		// CSR -> CSC -> CSR
+		if !EqualCSR(m, m.ToCSC().ToCSR()) {
+			return false
+		}
+		// CSR -> Dense -> CSR (values are never exactly zero by construction)
+		if !EqualCSR(m, m.ToDense().ToCSR()) {
+			return false
+		}
+		// Transpose twice is identity.
+		return EqualCSR(m, m.Transpose().Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransposeSwapsAt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randCSR(rng, 15, 23, 0.2)
+		tr := m.Transpose()
+		if tr.Rows != m.Cols || tr.Cols != m.Rows {
+			return false
+		}
+		for r := 0; r < m.Rows; r++ {
+			cols, vals := m.Row(r)
+			for i, c := range cols {
+				if tr.At(c, r) != vals[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCSCValidAfterConversion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randCSR(rng, 20, 20, 0.3)
+		return m.ToCSC().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenseAlmostEqual(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 2)
+	a.Set(0, 0, 1.0)
+	b.Set(0, 0, 1.0+1e-12)
+	if !a.AlmostEqual(b, 1e-9) {
+		t.Error("AlmostEqual rejected tiny difference")
+	}
+	b.Set(1, 1, 0.5)
+	if a.AlmostEqual(b, 1e-9) {
+		t.Error("AlmostEqual accepted large difference")
+	}
+	if a.AlmostEqual(NewDense(2, 3), 1e-9) {
+		t.Error("AlmostEqual accepted shape mismatch")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := NewDense(2, 2)
+	b := NewDense(2, 2)
+	b.Set(1, 0, -3)
+	if got := a.MaxAbsDiff(b); got != 3 {
+		t.Errorf("MaxAbsDiff = %v, want 3", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxAbsDiff did not panic on shape mismatch")
+		}
+	}()
+	a.MaxAbsDiff(NewDense(1, 1))
+}

@@ -1,0 +1,66 @@
+package sparse
+
+import "strings"
+
+// Spy renders the matrix's sparsity footprint as an ASCII density plot,
+// the textual equivalent of the matrix thumbnails in the paper's
+// Figure 3. The matrix is partitioned into a width×height grid of cells;
+// each cell prints a glyph by its nonzero density: ' ' empty, '.' < 1 %,
+// ':' < 10 %, '+' < 40 %, '#' otherwise.
+func Spy(m *CSR, width, height int) string {
+	if width < 1 {
+		width = 32
+	}
+	if height < 1 {
+		height = 16
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return strings.Repeat(strings.Repeat(" ", width)+"\n", height)
+	}
+	if height > m.Rows {
+		height = m.Rows
+	}
+	if width > m.Cols {
+		width = m.Cols
+	}
+	counts := make([]int, width*height)
+	for r := 0; r < m.Rows; r++ {
+		gr := r * height / m.Rows
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			counts[gr*width+c*width/m.Cols]++
+		}
+	}
+	var sb strings.Builder
+	sb.Grow((width + 3) * height)
+	for gr := 0; gr < height; gr++ {
+		sb.WriteByte('|')
+		for gc := 0; gc < width; gc++ {
+			// Cell area in original coordinates.
+			r0, r1 := gr*m.Rows/height, (gr+1)*m.Rows/height
+			c0, c1 := gc*m.Cols/width, (gc+1)*m.Cols/width
+			area := (r1 - r0) * (c1 - c0)
+			if area <= 0 {
+				area = 1
+			}
+			sb.WriteByte(densityGlyph(float64(counts[gr*width+gc]) / float64(area)))
+		}
+		sb.WriteString("|\n")
+	}
+	return sb.String()
+}
+
+func densityGlyph(d float64) byte {
+	switch {
+	case d <= 0:
+		return ' '
+	case d < 0.01:
+		return '.'
+	case d < 0.10:
+		return ':'
+	case d < 0.40:
+		return '+'
+	default:
+		return '#'
+	}
+}

@@ -1,0 +1,79 @@
+package sparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSpyDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := DenseRandom(rng, 64, 64)
+	out := Spy(m, 8, 4)
+	if strings.Count(out, "#") != 32 {
+		t.Errorf("dense spy should be all '#':\n%s", out)
+	}
+	if strings.Count(out, "\n") != 4 {
+		t.Errorf("expected 4 rows:\n%s", out)
+	}
+}
+
+func TestSpyEmpty(t *testing.T) {
+	m := NewCOO(64, 64).ToCSR()
+	out := Spy(m, 8, 4)
+	if strings.ContainsAny(out, ".:+#") {
+		t.Errorf("empty matrix should render blank:\n%s", out)
+	}
+}
+
+func TestSpyDiagonal(t *testing.T) {
+	m := Identity(64)
+	out := Spy(m, 8, 8)
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	for i, line := range lines {
+		// The diagonal cell (i,i) must be marked, off-band cells blank.
+		cells := line[1 : len(line)-1]
+		if cells[i] == ' ' {
+			t.Errorf("diagonal cell (%d,%d) blank:\n%s", i, i, out)
+		}
+		for j := 0; j < len(cells); j++ {
+			if j != i && cells[j] != ' ' {
+				t.Errorf("off-diagonal cell (%d,%d) = %q:\n%s", i, j, cells[j], out)
+			}
+		}
+	}
+}
+
+func TestSpyBandedShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Banded(rng, 200, 200, 10, 0.9)
+	out := Spy(m, 10, 10)
+	// The band hugs the diagonal: corners must be empty.
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	topRight := lines[0][10] // last cell of first row (before '|')
+	bottomLeft := lines[9][1]
+	if topRight != ' ' || bottomLeft != ' ' {
+		t.Errorf("banded spy corners not blank:\n%s", out)
+	}
+}
+
+func TestSpyClampsGrid(t *testing.T) {
+	m := Identity(2)
+	out := Spy(m, 100, 100) // grid larger than the matrix
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("grid not clamped to matrix dims:\n%s", out)
+	}
+	// Degenerate arguments fall back to defaults.
+	if Spy(m, -1, -1) == "" {
+		t.Error("negative grid should use defaults")
+	}
+}
+
+func TestDensityGlyphThresholds(t *testing.T) {
+	cases := map[float64]byte{0: ' ', 0.005: '.', 0.05: ':', 0.2: '+', 0.9: '#'}
+	for d, want := range cases {
+		if got := densityGlyph(d); got != want {
+			t.Errorf("glyph(%v) = %q, want %q", d, got, want)
+		}
+	}
+}

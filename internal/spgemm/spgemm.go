@@ -1,0 +1,227 @@
+// Package spgemm implements the three canonical SpGEMM dataflows the
+// paper's Figure 2 describes — inner product, outer product, and row-wise
+// (Gustavson) product — plus a dense oracle used to cross-check them.
+//
+// Each kernel reports an OpCount describing the work it performed. The
+// counts differ across dataflows for the same product (e.g. inner product
+// performs index intersections that row-wise product avoids), and the
+// baseline cost models in internal/baseline consume them.
+package spgemm
+
+import (
+	"fmt"
+	"sort"
+
+	"misam/internal/sparse"
+)
+
+// OpCount tallies the work a dataflow performed. The fields correspond to
+// the cost drivers §2.1 attributes to each dataflow.
+type OpCount struct {
+	// Multiplies is the number of scalar multiply-accumulates executed
+	// (useful partial products).
+	Multiplies int
+	// IndexMatches is the number of index comparisons performed during
+	// intersection (inner product) or merging.
+	IndexMatches int
+	// PartialProducts is the number of partial results materialized before
+	// final accumulation (outer product's off-chip traffic driver).
+	PartialProducts int
+	// AFetches / BFetches count operand element reads, including redundant
+	// re-fetches (inner product re-reads B's columns once per A row).
+	AFetches int
+	BFetches int
+	// OutputsWritten counts C entries written.
+	OutputsWritten int
+}
+
+// Dataflow identifies one of the three canonical SpGEMM dataflows.
+type Dataflow int
+
+const (
+	InnerProduct Dataflow = iota
+	OuterProduct
+	RowWiseProduct
+)
+
+// String returns the paper's abbreviation for the dataflow.
+func (d Dataflow) String() string {
+	switch d {
+	case InnerProduct:
+		return "IP"
+	case OuterProduct:
+		return "OP"
+	case RowWiseProduct:
+		return "RW"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", int(d))
+	}
+}
+
+// Dataflows lists all canonical dataflows in a stable order.
+var Dataflows = []Dataflow{InnerProduct, OuterProduct, RowWiseProduct}
+
+// Multiply runs the requested dataflow on A (CSR) and B (CSR) and returns
+// C in CSR form together with the operation counts.
+func Multiply(d Dataflow, a, b *sparse.CSR) (*sparse.CSR, OpCount, error) {
+	if a.Cols != b.Rows {
+		return nil, OpCount{}, fmt.Errorf("spgemm: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	switch d {
+	case InnerProduct:
+		c, ops := Inner(a, b.ToCSC())
+		return c, ops, nil
+	case OuterProduct:
+		c, ops := Outer(a.ToCSC(), b)
+		return c, ops, nil
+	case RowWiseProduct:
+		c, ops := RowWise(a, b)
+		return c, ops, nil
+	default:
+		return nil, OpCount{}, fmt.Errorf("spgemm: unknown dataflow %v", d)
+	}
+}
+
+// Inner computes C = A×B with the inner-product dataflow: each row of A
+// (CSR) is intersected against each column of B (CSC). This is the
+// dataflow that "suffers from redundant fetching of B's columns — once per
+// row of A" (§2.1), visible in the BFetches count.
+func Inner(a *sparse.CSR, b *sparse.CSC) (*sparse.CSR, OpCount) {
+	var ops OpCount
+	out := &sparse.CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	for r := 0; r < a.Rows; r++ {
+		aCols, aVals := a.Row(r)
+		ops.AFetches += len(aCols)
+		for c := 0; c < b.Cols; c++ {
+			bRows, bVals := b.Col(c)
+			ops.BFetches += len(bRows)
+			// Two-pointer intersection of the sorted index lists.
+			sum := 0.0
+			hit := false
+			i, j := 0, 0
+			for i < len(aCols) && j < len(bRows) {
+				ops.IndexMatches++
+				switch {
+				case aCols[i] == bRows[j]:
+					sum += aVals[i] * bVals[j]
+					ops.Multiplies++
+					hit = true
+					i++
+					j++
+				case aCols[i] < bRows[j]:
+					i++
+				default:
+					j++
+				}
+			}
+			if hit {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Val = append(out.Val, sum)
+				ops.OutputsWritten++
+			}
+		}
+		out.RowPtr[r+1] = len(out.ColIdx)
+	}
+	return out, ops
+}
+
+// Outer computes C = A×B with the outer-product dataflow: column k of A
+// (CSC) is paired with row k of B (CSR), producing rank-1 partial
+// matrices that are merged at the end. PartialProducts counts the
+// materialized intermediate entries — the "partial matrices of C [that]
+// can exceed on-chip memory limits" (§2.1).
+func Outer(a *sparse.CSC, b *sparse.CSR) (*sparse.CSR, OpCount) {
+	var ops OpCount
+	partial := sparse.NewCOO(a.Rows, b.Cols)
+	for k := 0; k < a.Cols; k++ {
+		aRows, aVals := a.Col(k)
+		bCols, bVals := b.Row(k)
+		ops.AFetches += len(aRows)
+		ops.BFetches += len(bCols)
+		for i, r := range aRows {
+			for j, c := range bCols {
+				partial.Append(r, c, aVals[i]*bVals[j])
+				ops.Multiplies++
+				ops.PartialProducts++
+			}
+		}
+	}
+	// Merge phase: sort + coalesce, the decoupled accumulation step.
+	partial.Normalize()
+	ops.OutputsWritten = partial.NNZ()
+	return partial.ToCSR(), ops
+}
+
+// RowWise computes C = A×B with the row-wise (Gustavson) dataflow: each
+// nonzero A[r,k] scales row k of B into an accumulator for C's row r. No
+// index matching is needed; fetches of B rows follow A's irregular column
+// pattern (§2.1).
+func RowWise(a, b *sparse.CSR) (*sparse.CSR, OpCount) {
+	var ops OpCount
+	out := &sparse.CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int, a.Rows+1)}
+	acc := make(map[int]float64)
+	for r := 0; r < a.Rows; r++ {
+		clear(acc)
+		aCols, aVals := a.Row(r)
+		ops.AFetches += len(aCols)
+		for i, k := range aCols {
+			bCols, bVals := b.Row(k)
+			ops.BFetches += len(bCols)
+			for j, c := range bCols {
+				acc[c] += aVals[i] * bVals[j]
+				ops.Multiplies++
+			}
+		}
+		cols := make([]int, 0, len(acc))
+		for c := range acc {
+			cols = append(cols, c)
+		}
+		sort.Ints(cols)
+		for _, c := range cols {
+			out.ColIdx = append(out.ColIdx, c)
+			out.Val = append(out.Val, acc[c])
+			ops.OutputsWritten++
+		}
+		out.RowPtr[r+1] = len(out.ColIdx)
+	}
+	return out, ops
+}
+
+// DenseOracle computes C = A×B by expanding both operands to dense form
+// and running the textbook triple loop. It is the correctness reference
+// for the sparse kernels.
+func DenseOracle(a, b *sparse.CSR) *sparse.Dense {
+	da, db := a.ToDense(), b.ToDense()
+	c := sparse.NewDense(a.Rows, b.Cols)
+	for i := 0; i < da.Rows; i++ {
+		for k := 0; k < da.Cols; k++ {
+			v := da.At(i, k)
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < db.Cols; j++ {
+				if w := db.At(k, j); w != 0 {
+					c.Add(i, j, v*w)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// FlopCount returns the number of useful multiply-accumulates in A×B,
+// i.e. the number of (A[i,k], B[k,j]) nonzero pairings. It equals
+// OpCount.Multiplies for every dataflow and is the work metric the
+// throughput figures normalize by.
+func FlopCount(a, b *sparse.CSR) int {
+	// For each k, nnz(A[:,k]) * nnz(B[k,:]).
+	colNNZ := make([]int, a.Cols)
+	for _, c := range a.ColIdx {
+		colNNZ[c]++
+	}
+	total := 0
+	for k := 0; k < a.Cols; k++ {
+		total += colNNZ[k] * b.RowNNZ(k)
+	}
+	return total
+}

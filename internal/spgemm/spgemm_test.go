@@ -1,0 +1,172 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+func small(t *testing.T) (*sparse.CSR, *sparse.CSR) {
+	t.Helper()
+	a := sparse.NewCOO(2, 3)
+	a.Append(0, 0, 1)
+	a.Append(0, 2, 2)
+	a.Append(1, 1, 3)
+	a.Normalize()
+	b := sparse.NewCOO(3, 2)
+	b.Append(0, 0, 4)
+	b.Append(1, 1, 5)
+	b.Append(2, 0, 6)
+	b.Normalize()
+	return a.ToCSR(), b.ToCSR()
+}
+
+func TestAllDataflowsMatchOracleOnSmall(t *testing.T) {
+	a, b := small(t)
+	want := DenseOracle(a, b)
+	for _, d := range Dataflows {
+		c, ops, err := Multiply(d, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if !c.ToDense().AlmostEqual(want, 1e-12) {
+			t.Errorf("%v: wrong product", d)
+		}
+		if ops.Multiplies != FlopCount(a, b) {
+			t.Errorf("%v: Multiplies = %d, want %d", d, ops.Multiplies, FlopCount(a, b))
+		}
+	}
+}
+
+func TestMultiplyDimensionMismatch(t *testing.T) {
+	a, _ := small(t)
+	if _, _, err := Multiply(RowWiseProduct, a, a); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestDataflowString(t *testing.T) {
+	if InnerProduct.String() != "IP" || OuterProduct.String() != "OP" || RowWiseProduct.String() != "RW" {
+		t.Error("unexpected dataflow abbreviations")
+	}
+	if Dataflow(99).String() != "Dataflow(99)" {
+		t.Error("unknown dataflow formatting")
+	}
+}
+
+func TestUnknownDataflowError(t *testing.T) {
+	a, b := small(t)
+	if _, _, err := Multiply(Dataflow(99), a, b); err == nil {
+		t.Fatal("expected error for unknown dataflow")
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := sparse.Uniform(rng, 12, 12, 0.3)
+	id := sparse.Identity(12)
+	for _, d := range Dataflows {
+		c, _, err := Multiply(d, a, id)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if !sparse.EqualCSR(a, c) {
+			t.Errorf("%v: A×I != A", d)
+		}
+	}
+}
+
+func TestPropertyDataflowsAgree(t *testing.T) {
+	f := func(seed int64, mIn, kIn, nIn, dIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mIn)%15 + 1
+		k := int(kIn)%15 + 1
+		n := int(nIn)%15 + 1
+		dens := float64(dIn%90+5) / 100
+		a := sparse.Uniform(rng, m, k, dens)
+		b := sparse.Uniform(rng, k, n, dens)
+		want := DenseOracle(a, b)
+		for _, d := range Dataflows {
+			c, ops, err := Multiply(d, a, b)
+			if err != nil {
+				return false
+			}
+			if !c.ToDense().AlmostEqual(want, 1e-9) {
+				return false
+			}
+			if c.Validate() != nil {
+				return false
+			}
+			if ops.Multiplies != FlopCount(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInnerProductRefetchesB(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := sparse.Uniform(rng, 20, 20, 0.4)
+	b := sparse.Uniform(rng, 20, 20, 0.4)
+	_, ipOps, _ := Multiply(InnerProduct, a, b)
+	_, rwOps, _ := Multiply(RowWiseProduct, a, b)
+	// §2.1: inner product re-fetches B's columns once per A row, so its
+	// BFetches exceed row-wise's.
+	if ipOps.BFetches <= rwOps.BFetches {
+		t.Errorf("inner BFetches %d not greater than row-wise %d", ipOps.BFetches, rwOps.BFetches)
+	}
+	// Row-wise needs no index matching.
+	if rwOps.IndexMatches != 0 {
+		t.Errorf("row-wise IndexMatches = %d, want 0", rwOps.IndexMatches)
+	}
+	if ipOps.IndexMatches == 0 {
+		t.Error("inner product should perform index matches")
+	}
+}
+
+func TestOuterProductMaterializesPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := sparse.Uniform(rng, 25, 25, 0.3)
+	b := sparse.Uniform(rng, 25, 25, 0.3)
+	_, opOps, _ := Multiply(OuterProduct, a, b)
+	if opOps.PartialProducts != opOps.Multiplies {
+		t.Errorf("outer product partials %d != multiplies %d", opOps.PartialProducts, opOps.Multiplies)
+	}
+	if opOps.PartialProducts < opOps.OutputsWritten {
+		t.Error("partial products cannot be fewer than final outputs")
+	}
+	_, rwOps, _ := Multiply(RowWiseProduct, a, b)
+	if rwOps.PartialProducts != 0 {
+		t.Errorf("row-wise PartialProducts = %d, want 0", rwOps.PartialProducts)
+	}
+}
+
+func TestEmptyOperands(t *testing.T) {
+	empty := sparse.NewCOO(5, 5).ToCSR()
+	id := sparse.Identity(5)
+	for _, d := range Dataflows {
+		c, ops, err := Multiply(d, empty, id)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if c.NNZ() != 0 || ops.Multiplies != 0 {
+			t.Errorf("%v: empty×I should be empty", d)
+		}
+	}
+}
+
+func TestFlopCountMatchesOracleWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := sparse.Uniform(rng, 30, 18, 0.25)
+	b := sparse.Uniform(rng, 18, 22, 0.25)
+	_, ops, _ := Multiply(RowWiseProduct, a, b)
+	if ops.Multiplies != FlopCount(a, b) {
+		t.Errorf("FlopCount %d != kernel multiplies %d", FlopCount(a, b), ops.Multiplies)
+	}
+}

@@ -1,0 +1,49 @@
+package spgemm
+
+import "misam/internal/sparse"
+
+// Symbolic computes the exact per-row output population of C = A×B
+// without touching values — the symbolic phase real SpGEMM libraries run
+// first to size allocations, and the exact counterpart of the capped
+// upper bound the cycle simulator uses for its C write-back estimate.
+// It runs in O(flops) with O(cols) scratch.
+func Symbolic(a, b *sparse.CSR) []int {
+	out := make([]int, a.Rows)
+	mark := make([]int, b.Cols)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for r := 0; r < a.Rows; r++ {
+		count := 0
+		aCols, _ := a.Row(r)
+		for _, k := range aCols {
+			bCols, _ := b.Row(k)
+			for _, c := range bCols {
+				if mark[c] != r {
+					mark[c] = r
+					count++
+				}
+			}
+		}
+		out[r] = count
+	}
+	return out
+}
+
+// SymbolicNNZ sums the symbolic row populations.
+func SymbolicNNZ(a, b *sparse.CSR) int {
+	total := 0
+	for _, n := range Symbolic(a, b) {
+		total += n
+	}
+	return total
+}
+
+// FillIn reports nnz(C)/nnz(A), the growth factor graph analysts watch
+// when squaring adjacency matrices.
+func FillIn(a, b *sparse.CSR) float64 {
+	if a.NNZ() == 0 {
+		return 0
+	}
+	return float64(SymbolicNNZ(a, b)) / float64(a.NNZ())
+}

@@ -1,0 +1,61 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+func TestSymbolicMatchesNumeric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := sparse.Uniform(rng, rng.Intn(25)+1, rng.Intn(25)+1, rng.Float64())
+		b := sparse.Uniform(rng, a.Cols, rng.Intn(25)+1, rng.Float64())
+		c, _ := RowWise(a, b)
+		rows := Symbolic(a, b)
+		for r := 0; r < a.Rows; r++ {
+			if rows[r] != c.RowNNZ(r) {
+				return false
+			}
+		}
+		return SymbolicNNZ(a, b) == c.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := sparse.Uniform(rng, 40, 40, 0.1)
+	rows := Symbolic(a, sparse.Identity(40))
+	for r := 0; r < 40; r++ {
+		if rows[r] != a.RowNNZ(r) {
+			t.Fatalf("row %d symbolic %d != nnz %d", r, rows[r], a.RowNNZ(r))
+		}
+	}
+}
+
+func TestFillIn(t *testing.T) {
+	id := sparse.Identity(10)
+	if got := FillIn(id, id); got != 1 {
+		t.Errorf("I×I fill-in = %v, want 1", got)
+	}
+	empty := sparse.NewCOO(5, 5).ToCSR()
+	if got := FillIn(empty, empty); got != 0 {
+		t.Errorf("empty fill-in = %v, want 0", got)
+	}
+	// Squaring a path graph grows the neighborhood: fill-in above 1.
+	m := sparse.NewCOO(20, 20)
+	for i := 0; i < 19; i++ {
+		m.Append(i, i+1, 1)
+		m.Append(i+1, i, 1)
+	}
+	m.Normalize()
+	path := m.ToCSR()
+	if got := FillIn(path, path); got <= 1 {
+		t.Errorf("path² fill-in = %v, want > 1", got)
+	}
+}

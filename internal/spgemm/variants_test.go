@@ -1,0 +1,145 @@
+package spgemm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"misam/internal/sparse"
+)
+
+// variantResult names one kernel realization for the cross-check.
+type variantResult struct {
+	name string
+	c    *sparse.CSR
+	ops  OpCount
+}
+
+func runAllVariants(a, b *sparse.CSR) []variantResult {
+	rw, rwOps := RowWise(a, b)
+	rd, rdOps := RowWiseDense(a, b)
+	esc, escOps := OuterESC(a.ToCSC(), b)
+	op, opOps := Outer(a.ToCSC(), b)
+	ip, ipOps := Inner(a, b.ToCSC())
+	ih, ihOps := InnerHash(a, b.ToCSC())
+	return []variantResult{
+		{"RowWise", rw, rwOps},
+		{"RowWiseDense", rd, rdOps},
+		{"OuterESC", esc, escOps},
+		{"Outer", op, opOps},
+		{"Inner", ip, ipOps},
+		{"InnerHash", ih, ihOps},
+	}
+}
+
+func TestPropertyAllVariantsAgree(t *testing.T) {
+	f := func(seed int64, mIn, kIn, nIn, dIn uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := int(mIn)%12 + 1
+		k := int(kIn)%12 + 1
+		n := int(nIn)%12 + 1
+		dens := float64(dIn%90+5) / 100
+		a := sparse.Uniform(rng, m, k, dens)
+		b := sparse.Uniform(rng, k, n, dens)
+		want := DenseOracle(a, b)
+		for _, v := range runAllVariants(a, b) {
+			if !v.c.ToDense().AlmostEqual(want, 1e-9) {
+				t.Logf("%s disagrees with oracle", v.name)
+				return false
+			}
+			if v.c.Validate() != nil {
+				t.Logf("%s produced invalid CSR", v.name)
+				return false
+			}
+			if v.ops.Multiplies != FlopCount(a, b) {
+				t.Logf("%s multiplies %d, want %d", v.name, v.ops.Multiplies, FlopCount(a, b))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantsExactStructuralAgreement(t *testing.T) {
+	// The row-wise and ESC variants produce identical structure (they
+	// never emit a row/column pair absent from the flop pattern).
+	rng := rand.New(rand.NewSource(1))
+	a := sparse.Uniform(rng, 30, 25, 0.2)
+	b := sparse.Uniform(rng, 25, 20, 0.2)
+	rw, _ := RowWise(a, b)
+	rd, _ := RowWiseDense(a, b)
+	esc, _ := OuterESC(a.ToCSC(), b)
+	if !sparse.EqualCSR(structureOf(rw), structureOf(rd)) {
+		t.Error("RowWiseDense structure differs from RowWise")
+	}
+	if !sparse.EqualCSR(structureOf(rw), structureOf(esc)) {
+		t.Error("OuterESC structure differs from RowWise")
+	}
+}
+
+// structureOf replaces values with 1 so EqualCSR compares patterns only
+// (accumulation order perturbs low-order bits).
+func structureOf(m *sparse.CSR) *sparse.CSR {
+	out := &sparse.CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: m.RowPtr, ColIdx: m.ColIdx, Val: make([]float64, m.NNZ())}
+	for i := range out.Val {
+		out.Val[i] = 1
+	}
+	return out
+}
+
+func TestOuterESCCountsPartials(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := sparse.Uniform(rng, 20, 20, 0.3)
+	b := sparse.Uniform(rng, 20, 20, 0.3)
+	_, ops := OuterESC(a.ToCSC(), b)
+	if ops.PartialProducts != FlopCount(a, b) {
+		t.Errorf("ESC partials %d, want flops %d", ops.PartialProducts, FlopCount(a, b))
+	}
+	if ops.OutputsWritten > ops.PartialProducts {
+		t.Error("outputs cannot exceed partials")
+	}
+}
+
+func TestRowWiseDenseScratchIsClean(t *testing.T) {
+	// Reusing the kernel must not leak accumulator state across calls.
+	rng := rand.New(rand.NewSource(3))
+	a := sparse.Uniform(rng, 15, 15, 0.3)
+	b := sparse.Uniform(rng, 15, 15, 0.3)
+	c1, _ := RowWiseDense(a, b)
+	c2, _ := RowWiseDense(a, b)
+	if !sparse.EqualCSR(c1, c2) {
+		t.Error("RowWiseDense is not deterministic across calls")
+	}
+}
+
+func TestInnerHashEmptyRow(t *testing.T) {
+	// Rows of A with no nonzeros must produce empty C rows.
+	m := sparse.NewCOO(3, 3)
+	m.Append(1, 1, 2)
+	m.Normalize()
+	a := m.ToCSR()
+	b := sparse.Identity(3)
+	c, _ := InnerHash(a, b.ToCSC())
+	if c.RowNNZ(0) != 0 || c.RowNNZ(2) != 0 || c.At(1, 1) != 2 {
+		t.Error("InnerHash mishandled empty rows")
+	}
+}
+
+func BenchmarkRowWiseVariants(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	a := sparse.Uniform(rng, 2000, 2000, 0.005)
+	bm := sparse.Uniform(rng, 2000, 2000, 0.005)
+	b.Run("hashmap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RowWise(a, bm)
+		}
+	})
+	b.Run("dense-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RowWiseDense(a, bm)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math/rand"
+
+	"misam/internal/sparse"
+)
+
+// DNN model catalog: the architectures the paper derives its moderately
+// sparse and dense matrices from ("VGG, ResNet, MobileNet, and
+// ImageNet-scale models", §4). Convolutions are represented by their
+// im2col weight matrices: out_channels × (in_channels × k × k).
+
+// DNNLayer is one weight tensor.
+type DNNLayer struct {
+	Name        string
+	OutChannels int
+	InChannels  int
+	Kernel      int // 1 for fully connected layers
+}
+
+// WeightShape returns the im2col weight-matrix dimensions.
+func (l DNNLayer) WeightShape() (rows, cols int) {
+	return l.OutChannels, l.InChannels * l.Kernel * l.Kernel
+}
+
+// DNNModel is a named architecture.
+type DNNModel struct {
+	Name   string
+	Layers []DNNLayer
+}
+
+// ResNet50 lists the distinct weight shapes of ResNet-50's stages.
+var ResNet50 = DNNModel{Name: "ResNet-50", Layers: []DNNLayer{
+	{"conv1", 64, 3, 7},
+	{"conv2.1x1a", 64, 64, 1}, {"conv2.3x3", 64, 64, 3}, {"conv2.1x1b", 256, 64, 1},
+	{"conv3.1x1a", 128, 256, 1}, {"conv3.3x3", 128, 128, 3}, {"conv3.1x1b", 512, 128, 1},
+	{"conv4.1x1a", 256, 512, 1}, {"conv4.3x3", 256, 256, 3}, {"conv4.1x1b", 1024, 256, 1},
+	{"conv5.1x1a", 512, 1024, 1}, {"conv5.3x3", 512, 512, 3}, {"conv5.1x1b", 2048, 512, 1},
+	{"fc", 1000, 2048, 1},
+}}
+
+// VGG16 lists VGG-16's weight shapes.
+var VGG16 = DNNModel{Name: "VGG-16", Layers: []DNNLayer{
+	{"conv1_1", 64, 3, 3}, {"conv1_2", 64, 64, 3},
+	{"conv2_1", 128, 64, 3}, {"conv2_2", 128, 128, 3},
+	{"conv3_1", 256, 128, 3}, {"conv3_2", 256, 256, 3}, {"conv3_3", 256, 256, 3},
+	{"conv4_1", 512, 256, 3}, {"conv4_2", 512, 512, 3}, {"conv4_3", 512, 512, 3},
+	{"conv5_1", 512, 512, 3}, {"conv5_2", 512, 512, 3}, {"conv5_3", 512, 512, 3},
+	{"fc6", 4096, 25088, 1}, {"fc7", 4096, 4096, 1}, {"fc8", 1000, 4096, 1},
+}}
+
+// MobileNetV1 lists MobileNet's pointwise layers (the depthwise stages
+// are channel-diagonal and do not form SpGEMM workloads).
+var MobileNetV1 = DNNModel{Name: "MobileNet-V1", Layers: []DNNLayer{
+	{"conv1", 32, 3, 3},
+	{"pw1", 64, 32, 1}, {"pw2", 128, 64, 1}, {"pw3", 128, 128, 1},
+	{"pw4", 256, 128, 1}, {"pw5", 256, 256, 1}, {"pw6", 512, 256, 1},
+	{"pw7", 512, 512, 1}, {"pw8", 1024, 512, 1}, {"pw9", 1024, 1024, 1},
+	{"fc", 1000, 1024, 1},
+}}
+
+// BERTBase lists the transformer FFN and projection shapes of BERT-base
+// (the paper's LLM-adjacent regime in Figure 1).
+var BERTBase = DNNModel{Name: "BERT-base", Layers: []DNNLayer{
+	{"attn.qkv", 2304, 768, 1}, {"attn.out", 768, 768, 1},
+	{"ffn.up", 3072, 768, 1}, {"ffn.down", 768, 3072, 1},
+}}
+
+// Models lists the catalog.
+var Models = []DNNModel{ResNet50, VGG16, MobileNetV1, BERTBase}
+
+// PrunedWorkloads generates one MS×D workload per layer of a model:
+// the structurally pruned weight matrix times a dense activation block
+// of the given sequence length. reduction caps layer dimensions.
+func (m DNNModel) PrunedWorkloads(rng *rand.Rand, density float64, seqLen, reduction int) []Workload {
+	if reduction < 1 {
+		reduction = 1
+	}
+	var out []Workload
+	for _, l := range m.Layers {
+		rows, cols := l.WeightShape()
+		rows, cols = capShapeDim(rows, reduction), capShapeDim(cols, reduction)
+		w := sparse.DNNPruned(rng, rows, cols, density, true, 4)
+		act := sparse.DenseRandom(rng, cols, seqLen)
+		out = append(out, Workload{
+			Name:     m.Name + "/" + l.Name,
+			Category: MSxD,
+			A:        w,
+			B:        act,
+		})
+	}
+	return out
+}
+
+// capShapeDim bounds a layer dimension under the reduction factor.
+func capShapeDim(d, reduction int) int {
+	maxDim := 8192 / reduction
+	if maxDim < 64 {
+		maxDim = 64
+	}
+	if d > maxDim {
+		return maxDim
+	}
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// TotalWeights reports the dense parameter count of the model's catalog
+// layers.
+func (m DNNModel) TotalWeights() int64 {
+	var total int64
+	for _, l := range m.Layers {
+		r, c := l.WeightShape()
+		total += int64(r) * int64(c)
+	}
+	return total
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCatalogShapes(t *testing.T) {
+	// Spot-check published shapes.
+	r, c := VGG16.Layers[13].WeightShape() // fc6
+	if r != 4096 || c != 25088 {
+		t.Errorf("VGG fc6 = %dx%d, want 4096x25088", r, c)
+	}
+	r, c = ResNet50.Layers[0].WeightShape() // conv1: 64 × 3·7·7
+	if r != 64 || c != 147 {
+		t.Errorf("ResNet conv1 = %dx%d, want 64x147", r, c)
+	}
+	r, c = BERTBase.Layers[2].WeightShape() // ffn.up
+	if r != 3072 || c != 768 {
+		t.Errorf("BERT ffn.up = %dx%d, want 3072x768", r, c)
+	}
+}
+
+func TestCatalogParameterCounts(t *testing.T) {
+	// VGG-16 has ~138M parameters; our conv+fc catalog covers the vast
+	// majority of them.
+	if w := VGG16.TotalWeights(); w < 130e6 || w > 145e6 {
+		t.Errorf("VGG-16 weights = %d, want ≈138M", w)
+	}
+	// ResNet-50's distinct-shape catalog undercounts the full 25.6M
+	// (repeated blocks are listed once) but must be in the millions.
+	if w := ResNet50.TotalWeights(); w < 5e6 {
+		t.Errorf("ResNet-50 catalog weights = %d, implausibly small", w)
+	}
+}
+
+func TestPrunedWorkloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	wls := MobileNetV1.PrunedWorkloads(rng, 0.2, 64, 4)
+	if len(wls) != len(MobileNetV1.Layers) {
+		t.Fatalf("got %d workloads, want %d", len(wls), len(MobileNetV1.Layers))
+	}
+	for _, wl := range wls {
+		if wl.A.Cols != wl.B.Rows {
+			t.Errorf("%s: incompatible dims", wl.Name)
+		}
+		if wl.Category != MSxD {
+			t.Errorf("%s: category %v", wl.Name, wl.Category)
+		}
+		if d := wl.A.Density(); math.Abs(d-0.2) > 0.08 {
+			t.Errorf("%s: density %.3f, want ≈0.2", wl.Name, d)
+		}
+		if wl.B.Cols != 64 {
+			t.Errorf("%s: activation width %d", wl.Name, wl.B.Cols)
+		}
+	}
+}
+
+func TestPrunedWorkloadsReductionCapsDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	wls := VGG16.PrunedWorkloads(rng, 0.1, 32, 16)
+	for _, wl := range wls {
+		if wl.A.Rows > 512 || wl.A.Cols > 512 {
+			t.Errorf("%s: %dx%d exceeds the reduction cap", wl.Name, wl.A.Rows, wl.A.Cols)
+		}
+	}
+}
+
+func TestModelsCatalogNonEmpty(t *testing.T) {
+	if len(Models) < 4 {
+		t.Fatal("catalog should include the paper's four model families")
+	}
+	for _, m := range Models {
+		if m.Name == "" || len(m.Layers) == 0 {
+			t.Errorf("degenerate model %+v", m)
+		}
+	}
+}

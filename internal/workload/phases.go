@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"misam/internal/sparse"
+)
+
+// Application phase traces: the paper's introduction motivates runtime
+// adaptation with applications that "traverse multiple sparsity regimes
+// during execution" — a network being pruned grows sparser epoch by
+// epoch; a multilevel graph algorithm coarsens its matrix level by
+// level. A Phase is one steady-state segment of such a trace; the
+// reconfiguration engine gets to adapt between phases.
+
+// Phase is one segment of an evolving application.
+type Phase struct {
+	Name string
+	A, B *sparse.CSR
+	// Invocations is how many SpGEMM calls the application performs in
+	// this phase (the engine's amortization horizon).
+	Invocations int
+}
+
+// PruningTrace models training-time pruning (§1: "techniques such as
+// pruning can significantly increase sparsity in specific layers"): a
+// weight matrix starts moderately dense and is pruned harder after each
+// phase, while the activation block stays dense.
+func PruningTrace(rng *rand.Rand, rows, cols, seqLen, phases, invocationsPerPhase int) []Phase {
+	if phases < 2 {
+		phases = 2
+	}
+	out := make([]Phase, 0, phases)
+	for p := 0; p < phases; p++ {
+		// Density decays geometrically from 0.5 toward ~0.02.
+		frac := float64(p) / float64(phases-1)
+		density := 0.5 * math.Pow(0.04, frac)
+		w := sparse.DNNPruned(rng, rows, cols, density, true, 4)
+		act := sparse.DenseRandom(rng, cols, seqLen)
+		out = append(out, Phase{
+			Name:        fmt.Sprintf("epoch-%d (density %.3f)", p, density),
+			A:           w,
+			B:           act,
+			Invocations: invocationsPerPhase,
+		})
+	}
+	return out
+}
+
+// CoarseningTrace models a multilevel graph algorithm: each level
+// contracts the graph to roughly half the vertices while the average
+// degree rises, and every level squares its operator (A×A).
+func CoarseningTrace(rng *rand.Rand, n0, degree0, levels, invocationsPerLevel int) []Phase {
+	if levels < 2 {
+		levels = 2
+	}
+	out := make([]Phase, 0, levels)
+	n, deg := n0, degree0
+	for l := 0; l < levels; l++ {
+		if n < 64 {
+			n = 64
+		}
+		a := sparse.PowerLaw(rng, n, n, n*deg, 1.8)
+		out = append(out, Phase{
+			Name:        fmt.Sprintf("level-%d (n=%d, deg≈%d)", l, n, deg),
+			A:           a,
+			B:           a,
+			Invocations: invocationsPerLevel,
+		})
+		n /= 2
+		deg = deg*3/2 + 1
+	}
+	return out
+}
+
+// SolverTrace models an adaptive solver switching right-hand-side blocks:
+// early phases use a dense multi-RHS block, later phases a sparse
+// correction block — the HS×D → HS×MS regime shift.
+func SolverTrace(rng *rand.Rand, n, rhsCols, phases, invocationsPerPhase int) []Phase {
+	if phases < 2 {
+		phases = 2
+	}
+	a := sparse.Banded(rng, n, n, 4, 0.8)
+	out := make([]Phase, 0, phases)
+	for p := 0; p < phases; p++ {
+		frac := float64(p) / float64(phases-1)
+		density := 1.0 - 0.97*frac
+		var b *sparse.CSR
+		if density > 0.99 {
+			b = sparse.DenseRandom(rng, n, rhsCols)
+		} else {
+			b = sparse.Uniform(rng, n, rhsCols, density)
+		}
+		out = append(out, Phase{
+			Name:        fmt.Sprintf("stage-%d (RHS density %.2f)", p, density),
+			A:           a,
+			B:           b,
+			Invocations: invocationsPerPhase,
+		})
+	}
+	return out
+}

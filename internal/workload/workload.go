@@ -1,0 +1,296 @@
+// Package workload reproduces the paper's evaluation workloads (§4): the
+// 116 standalone multiplications — 15 MS×D, 38 MS×MS, 12 HS×D, 36 HS×MS
+// and 12 HS×HS — and the Table 3 suite of highly sparse matrices.
+// SuiteSparse matrices are not available offline, so each Table 3 entry
+// is synthesized with the paper's published rows/nnz/density and a
+// pattern family matched to its application domain (power-law for
+// web/social/peer-to-peer graphs, banded FEM-like structure for the
+// scientific matrices, block structure for circuits). DNN matrices use
+// structured pruning at the paper's 0.1/0.2 densities.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"misam/internal/sparse"
+)
+
+// Category is a workload sparsity class from §4.
+type Category int
+
+const (
+	MSxD Category = iota
+	MSxMS
+	HSxD
+	HSxMS
+	HSxHS
+	NumCategories
+)
+
+// String names the category as the paper does.
+func (c Category) String() string {
+	switch c {
+	case MSxD:
+		return "MSxD"
+	case MSxMS:
+		return "MSxMS"
+	case HSxD:
+		return "HSxD"
+	case HSxMS:
+		return "HSxMS"
+	case HSxHS:
+		return "HSxHS"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all workload categories in order.
+var Categories = []Category{MSxD, MSxMS, HSxD, HSxMS, HSxHS}
+
+// Workload is one standalone multiplication.
+type Workload struct {
+	Name     string
+	Category Category
+	A, B     *sparse.CSR
+}
+
+// PatternFamily tags the generator used for a Table 3 stand-in.
+type PatternFamily int
+
+const (
+	PatternPowerLaw PatternFamily = iota
+	PatternBanded
+	PatternBlock
+)
+
+// HSMatrixSpec is one Table 3 row: the published name, density, rows and
+// nonzero count, plus the pattern family inferred from its domain.
+type HSMatrixSpec struct {
+	Name    string
+	ID      string
+	Density float64
+	Rows    int
+	NNZ     int
+	Family  PatternFamily
+}
+
+// Table3 lists the 16 highly sparse matrices of Table 3 with their
+// published statistics.
+var Table3 = []HSMatrixSpec{
+	{"p2p-Gnutella24", "p2p", 9.3e-5, 26518, 65369, PatternPowerLaw},
+	{"sx-mathoverflow", "sx", 3.9e-4, 24818, 239978, PatternPowerLaw},
+	{"ca-CondMat", "cond", 3.5e-4, 23133, 186936, PatternPowerLaw},
+	{"Oregon-2", "ore", 3.5e-4, 11806, 65460, PatternPowerLaw},
+	{"email-Enron", "em", 2.7e-4, 36692, 367662, PatternPowerLaw},
+	{"opt1", "opt", 8.1e-3, 15449, 1930655, PatternBlock},
+	{"scircuit", "sc", 3.3e-5, 170998, 958936, PatternBlock},
+	{"gupta2", "gup", 1.1e-3, 62064, 4248286, PatternBlock},
+	{"sme3Db", "sme", 2.5e-3, 29067, 2081063, PatternBanded},
+	{"poisson3Da", "poi", 1.9e-3, 13514, 352762, PatternBanded},
+	{"wiki-RfA", "wiki", 1.5e-3, 11380, 188077, PatternPowerLaw},
+	{"ca-AstroPh", "astro", 1.1e-3, 18772, 396160, PatternPowerLaw},
+	{"msc10848", "ms", 1.0e-2, 10848, 1229776, PatternBanded},
+	{"ramage02", "ram", 1.0e-2, 16830, 2866352, PatternBanded},
+	{"cage12", "cage", 1.2e-4, 130228, 2032536, PatternBanded},
+	{"goodwin", "good", 6.0e-3, 7320, 324772, PatternBanded},
+}
+
+// Options scales workload generation. The paper's matrices reach 4.2 M
+// nonzeros and 171 k rows; Reduction divides rows and nonzeros so tests
+// and quick benches stay tractable while preserving density and pattern.
+type Options struct {
+	// Reduction divides Table 3 rows and nnz (1 = paper scale).
+	Reduction int
+	// DenseCols is the dense-B width (512 in §4).
+	DenseCols int
+	// Seed drives the generators.
+	Seed int64
+}
+
+// DefaultOptions is paper-faithful except for an 8× size reduction.
+func DefaultOptions() Options {
+	return Options{Reduction: 8, DenseCols: 512, Seed: 1}
+}
+
+// Generate synthesizes one Table 3 stand-in at the given reduction.
+func (spec HSMatrixSpec) Generate(rng *rand.Rand, reduction int) *sparse.CSR {
+	if reduction < 1 {
+		reduction = 1
+	}
+	rows := spec.Rows / reduction
+	if rows < 64 {
+		rows = 64
+	}
+	// Preserve the published average degree (nnz per row): scaling a graph
+	// or mesh keeps row populations, so nnz shrinks linearly with rows.
+	nnz := int(float64(spec.NNZ) * float64(rows) / float64(spec.Rows))
+	if nnz < rows {
+		nnz = rows
+	}
+	switch spec.Family {
+	case PatternPowerLaw:
+		return sparse.PowerLaw(rng, rows, rows, nnz, 1.9)
+	case PatternBanded:
+		// Half-bandwidth sized so the band holds the target nnz.
+		perRow := float64(nnz) / float64(rows)
+		half := int(math.Ceil(perRow / 2 / 0.8))
+		if half < 1 {
+			half = 1
+		}
+		return sparse.Banded(rng, rows, rows, half, 0.8)
+	default: // PatternBlock
+		block := 32
+		inner := 0.5
+		blocks := float64(rows/block) * float64(rows/block)
+		need := float64(nnz) / (inner * float64(block*block))
+		dens := need / math.Max(1, blocks)
+		if dens > 1 {
+			dens = 1
+		}
+		return sparse.Block(rng, rows, rows, block, dens, inner)
+	}
+}
+
+// dnnLayerShapes are representative (out, in) channel shapes from
+// ResNet-50 and VGG-16 im2col-style weight matrices.
+var resnetShapes = [][2]int{
+	{64, 147}, {64, 64}, {64, 576}, {256, 64}, {128, 256},
+	{128, 1152}, {512, 128}, {256, 512}, {256, 2304}, {1024, 256},
+	{512, 1024}, {512, 4608}, {2048, 512}, {1000, 2048}, {256, 1024},
+}
+
+var vggShapes = [][2]int{
+	{64, 27}, {64, 576}, {128, 576}, {128, 1152}, {256, 1152},
+	{256, 2304}, {256, 2304}, {512, 2304}, {512, 4608}, {512, 4608},
+	{512, 4608}, {512, 4608}, {512, 4608}, {4096, 25088}, {4096, 4096},
+	{1000, 4096}, {512, 2048}, {1024, 1024}, {2048, 2048},
+}
+
+// capShape bounds DNN layer dims under the reduction factor.
+func capShape(s [2]int, reduction int) (int, int) {
+	maxDim := 4096 / reduction * 2
+	if maxDim < 128 {
+		maxDim = 128
+	}
+	m, k := s[0], s[1]
+	if m > maxDim {
+		m = maxDim
+	}
+	if k > maxDim {
+		k = maxDim
+	}
+	return m, k
+}
+
+// hsSubset returns the 12 Table 3 matrices used for the HS categories
+// (the paper evaluates "the same 12 diverse matrices used in Trapezoid").
+func hsSubset() []HSMatrixSpec {
+	picks := []string{"p2p", "sx", "cond", "ore", "em", "sc", "poi", "wiki", "astro", "cage", "good", "ms"}
+	set := map[string]bool{}
+	for _, p := range picks {
+		set[p] = true
+	}
+	var out []HSMatrixSpec
+	for _, s := range Table3 {
+		if set[s.ID] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Suite generates the full 116-workload evaluation set of §4.
+func Suite(opt Options) []Workload {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	if opt.Reduction < 1 {
+		opt.Reduction = 1
+	}
+	if opt.DenseCols <= 0 {
+		opt.DenseCols = 512
+	}
+	denseCols := opt.DenseCols
+	var out []Workload
+
+	// 15 MS×D: pruned ResNet-50 layers × dense with sequence length 512.
+	for i, shape := range resnetShapes {
+		m, k := capShape(shape, opt.Reduction)
+		dens := 0.1
+		if i%2 == 1 {
+			dens = 0.2
+		}
+		a := sparse.DNNPruned(rng, m, k, dens, true, 4)
+		b := sparse.DenseRandom(rng, k, denseCols)
+		out = append(out, Workload{Name: fmt.Sprintf("resnet50-L%02d-d%.1f", i, dens), Category: MSxD, A: a, B: b})
+	}
+
+	// 38 MS×MS: pruned VGG-16 layers at densities 0.1 and 0.2.
+	for i, shape := range vggShapes {
+		m, k := capShape(shape, opt.Reduction)
+		for _, dens := range []float64{0.1, 0.2} {
+			a := sparse.DNNPruned(rng, m, k, dens, true, 4)
+			b := sparse.DNNPruned(rng, k, m, dens, true, 4)
+			out = append(out, Workload{Name: fmt.Sprintf("vgg16-L%02d-d%.1f", i, dens), Category: MSxMS, A: a, B: b})
+		}
+	}
+
+	// 12 HS×D: Table 3 matrices × dense B with 512 columns.
+	hs := hsSubset()
+	for _, spec := range hs {
+		a := spec.Generate(rng, opt.Reduction)
+		b := sparse.DenseRandom(rng, a.Cols, denseCols)
+		out = append(out, Workload{Name: spec.ID + "-xD", Category: HSxD, A: a, B: b})
+	}
+
+	// 36 HS×MS: each HS matrix × random sparse B (512 cols) at B
+	// sparsity 0.2, 0.4, 0.6.
+	for _, spec := range hs {
+		a := spec.Generate(rng, opt.Reduction)
+		for _, sp := range []float64{0.2, 0.4, 0.6} {
+			b := sparse.Uniform(rng, a.Cols, denseCols, 1-sp)
+			out = append(out, Workload{Name: fmt.Sprintf("%s-xMS%.1f", spec.ID, sp), Category: HSxMS, A: a, B: b})
+		}
+	}
+
+	// 12 HS×HS: A×A self-multiplication.
+	for _, spec := range hs {
+		a := spec.Generate(rng, opt.Reduction)
+		out = append(out, Workload{Name: spec.ID + "-sq", Category: HSxHS, A: a, B: a})
+	}
+
+	return out
+}
+
+// CountByCategory tallies a suite per category.
+func CountByCategory(ws []Workload) [NumCategories]int {
+	var out [NumCategories]int
+	for _, w := range ws {
+		out[w.Category]++
+	}
+	return out
+}
+
+// ApplicationPoint is one entry of Figure 1's sparsity-space scatter:
+// where an application's A×B sparsities typically fall.
+type ApplicationPoint struct {
+	Application string
+	// ASparsity and BSparsity are typical operand sparsities in [0,1].
+	ASparsity, BSparsity float64
+	// Regime is the paper's color coding, e.g. "HSxHS".
+	Regime string
+}
+
+// Figure1Points places the applications of Figure 1 in sparsity space.
+var Figure1Points = []ApplicationPoint{
+	{"Graph analytics (triangle counting)", 0.9999, 0.9999, "HSxHS"},
+	{"Scientific computing (FEM solvers)", 0.998, 0.998, "HSxHS"},
+	{"Multi-RHS direct solvers", 0.999, 0.0, "HSxD"},
+	{"GNN aggregation", 0.999, 0.4, "HSxMS"},
+	{"Pruned CNN inference", 0.8, 0.0, "MSxD"},
+	{"Pruned transformer FFN", 0.85, 0.85, "MSxMS"},
+	{"LLM MoE routing", 0.9, 0.5, "MSxMS"},
+	{"Recommendation embeddings", 0.95, 0.3, "HSxMS"},
+	{"Dense attention", 0.0, 0.0, "DxD"},
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSuiteCountsMatchPaper(t *testing.T) {
+	ws := Suite(Options{Reduction: 32, DenseCols: 64, Seed: 1})
+	counts := CountByCategory(ws)
+	// Per-category counts from §4. (The paper says "116 workloads" but its
+	// own category counts 15+38+12+36+12 sum to 113; we follow the
+	// category breakdown.)
+	want := map[Category]int{MSxD: 15, MSxMS: 38, HSxD: 12, HSxMS: 36, HSxHS: 12}
+	total := 0
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("%v count = %d, want %d", cat, counts[cat], n)
+		}
+		total += n
+	}
+	if len(ws) != total {
+		t.Errorf("suite has %d workloads, want %d", len(ws), total)
+	}
+}
+
+func TestSuiteDimsCompatible(t *testing.T) {
+	ws := Suite(Options{Reduction: 32, DenseCols: 64, Seed: 2})
+	for _, w := range ws {
+		if w.A.Cols != w.B.Rows {
+			t.Errorf("%s: A %dx%d incompatible with B %dx%d", w.Name, w.A.Rows, w.A.Cols, w.B.Rows, w.B.Cols)
+		}
+		if err := w.A.Validate(); err != nil {
+			t.Errorf("%s: invalid A: %v", w.Name, err)
+		}
+		if err := w.B.Validate(); err != nil {
+			t.Errorf("%s: invalid B: %v", w.Name, err)
+		}
+	}
+}
+
+func TestHSxHSIsSelfMultiplication(t *testing.T) {
+	ws := Suite(Options{Reduction: 32, DenseCols: 64, Seed: 3})
+	for _, w := range ws {
+		if w.Category == HSxHS && w.A != w.B {
+			t.Errorf("%s: HSxHS should be A×A", w.Name)
+		}
+	}
+}
+
+func TestTable3SpecsMatchPaper(t *testing.T) {
+	if len(Table3) != 16 {
+		t.Fatalf("Table 3 has %d rows, want 16", len(Table3))
+	}
+	byID := map[string]HSMatrixSpec{}
+	for _, s := range Table3 {
+		byID[s.ID] = s
+	}
+	sc := byID["sc"]
+	if sc.Rows != 170998 || sc.NNZ != 958936 {
+		t.Errorf("scircuit spec %+v disagrees with Table 3", sc)
+	}
+	gup := byID["gup"]
+	if gup.NNZ != 4248286 {
+		t.Errorf("gupta2 nnz = %d, want 4248286", gup.NNZ)
+	}
+}
+
+func TestGeneratePreservesDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, spec := range Table3 {
+		m := spec.Generate(rng, 16)
+		wantDegree := float64(spec.NNZ) / float64(spec.Rows)
+		gotDegree := float64(m.NNZ()) / float64(m.Rows)
+		// Within 2.5× of the published average degree (band/block
+		// quantization and min-1-per-row floors).
+		if gotDegree < wantDegree/2.5 || gotDegree > wantDegree*2.5 {
+			t.Errorf("%s: generated degree %.1f vs published %.1f", spec.Name, gotDegree, wantDegree)
+		}
+		if m.Rows < 64 {
+			t.Errorf("%s: degenerate stand-in (%d rows)", spec.Name, m.Rows)
+		}
+	}
+}
+
+func TestGenerateFullScaleRowCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := Table3[0] // p2p-Gnutella24
+	m := spec.Generate(rng, 1)
+	if m.Rows != spec.Rows {
+		t.Errorf("full-scale rows = %d, want %d", m.Rows, spec.Rows)
+	}
+	if math.Abs(float64(m.NNZ())-float64(spec.NNZ))/float64(spec.NNZ) > 0.5 {
+		t.Errorf("full-scale nnz = %d, want ≈%d", m.NNZ(), spec.NNZ)
+	}
+}
+
+func TestPowerLawStandInsAreSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, spec := range Table3 {
+		if spec.Family != PatternPowerLaw {
+			continue
+		}
+		m := spec.Generate(rng, 16)
+		maxRow, sum := 0, 0
+		for r := 0; r < m.Rows; r++ {
+			n := m.RowNNZ(r)
+			sum += n
+			if n > maxRow {
+				maxRow = n
+			}
+		}
+		avg := float64(sum) / float64(m.Rows)
+		if float64(maxRow) < 3*avg {
+			t.Errorf("%s: power-law stand-in not skewed (max %d, avg %.1f)", spec.Name, maxRow, avg)
+		}
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	names := map[Category]string{MSxD: "MSxD", MSxMS: "MSxMS", HSxD: "HSxD", HSxMS: "HSxMS", HSxHS: "HSxHS"}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("Category %d = %q, want %q", c, c.String(), want)
+		}
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Error("invalid category formatting")
+	}
+}
+
+func TestSuiteDeterministicPerSeed(t *testing.T) {
+	a := Suite(Options{Reduction: 32, DenseCols: 64, Seed: 9})
+	b := Suite(Options{Reduction: 32, DenseCols: 64, Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].A.NNZ() != b[i].A.NNZ() {
+			t.Fatalf("workload %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestFigure1PointsWellFormed(t *testing.T) {
+	if len(Figure1Points) < 5 {
+		t.Fatal("Figure 1 needs several application clusters")
+	}
+	for _, p := range Figure1Points {
+		if p.ASparsity < 0 || p.ASparsity > 1 || p.BSparsity < 0 || p.BSparsity > 1 {
+			t.Errorf("%s: sparsities out of range", p.Application)
+		}
+		if p.Regime == "" || p.Application == "" {
+			t.Error("empty labels in Figure 1 points")
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opt := DefaultOptions()
+	if opt.DenseCols != 512 {
+		t.Errorf("default dense cols %d, want paper's 512", opt.DenseCols)
+	}
+	if opt.Reduction < 1 {
+		t.Error("reduction must be at least 1")
+	}
+}

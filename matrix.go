@@ -1,0 +1,73 @@
+package misam
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"misam/internal/sparse"
+)
+
+// Matrix is a sparse matrix in compressed sparse row form — the format
+// every framework entry point consumes.
+type Matrix = sparse.CSR
+
+// Entry is one coordinate-format nonzero, used by NewMatrix.
+type Entry = sparse.Entry
+
+// NewMatrix builds a CSR matrix from coordinate entries (duplicates are
+// summed).
+func NewMatrix(rows, cols int, entries []Entry) (*Matrix, error) {
+	m := &sparse.COO{Rows: rows, Cols: cols, Entries: append([]Entry(nil), entries...)}
+	m.Normalize()
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("misam: %w", err)
+	}
+	return m.ToCSR(), nil
+}
+
+// NewDenseMatrix builds a Matrix from row-major dense data, dropping
+// exact zeros.
+func NewDenseMatrix(rows, cols int, data []float64) (*Matrix, error) {
+	if len(data) != rows*cols {
+		return nil, fmt.Errorf("misam: dense data length %d, want %d", len(data), rows*cols)
+	}
+	d := &sparse.Dense{Rows: rows, Cols: cols, Data: data}
+	return d.ToCSR(), nil
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (the SuiteSparse
+// interchange format).
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) { return sparse.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes m in MatrixMarket coordinate format.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return sparse.WriteMatrixMarket(w, m) }
+
+// RandUniform generates a uniformly sparse matrix at the given density.
+func RandUniform(seed int64, rows, cols int, density float64) *Matrix {
+	return sparse.Uniform(rand.New(rand.NewSource(seed)), rows, cols, density)
+}
+
+// RandPowerLaw generates a graph-like matrix with power-law row degrees.
+func RandPowerLaw(seed int64, rows, cols, nnz int, alpha float64) *Matrix {
+	return sparse.PowerLaw(rand.New(rand.NewSource(seed)), rows, cols, nnz, alpha)
+}
+
+// RandBanded generates a scientific-computing style banded matrix.
+func RandBanded(seed int64, rows, cols, halfBandwidth int, fill float64) *Matrix {
+	return sparse.Banded(rand.New(rand.NewSource(seed)), rows, cols, halfBandwidth, fill)
+}
+
+// RandDNNPruned generates a pruned weight-matrix pattern (structured
+// groups of 4, as the paper's STR-pruned DNN workloads).
+func RandDNNPruned(seed int64, rows, cols int, density float64) *Matrix {
+	return sparse.DNNPruned(rand.New(rand.NewSource(seed)), rows, cols, density, true, 4)
+}
+
+// RandDense generates a fully dense random matrix.
+func RandDense(seed int64, rows, cols int) *Matrix {
+	return sparse.DenseRandom(rand.New(rand.NewSource(seed)), rows, cols)
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix { return sparse.Identity(n) }

@@ -1,0 +1,399 @@
+// Package misam is a reproduction of "Misam: Machine Learning Assisted
+// Dataflow Selection in Accelerators for Sparse Matrix Multiplication"
+// (MICRO 2025). It provides the full framework the paper describes:
+//
+//   - a lightweight decision-tree selector that predicts the best of four
+//     FPGA dataflow designs from cheap matrix features (§3.1),
+//   - a reconfiguration engine with a latency-predictor model and a
+//     cost-benefit threshold that decides when switching bitstreams pays
+//     off (§3.3),
+//   - a cycle-level simulator of the four designs standing in for the
+//     Alveo U55C prototype (§3.2, §4), and
+//   - CPU, GPU and Trapezoid baselines, workload generators, and a
+//     benchmark harness regenerating every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	fw, err := misam.Train(misam.DefaultTrainOptions())
+//	a := misam.RandPowerLaw(1, 10000, 10000, 60000, 1.9)
+//	b := misam.RandDense(2, 10000, 512)
+//	c, report, err := fw.Multiply(a, b)
+//
+// The returned Report carries the selected design, the measured
+// preprocessing/inference overheads, the simulated hardware latency and
+// the energy estimate.
+package misam
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"misam/internal/baseline"
+	"misam/internal/dataset"
+	"misam/internal/energy"
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+	"misam/internal/spgemm"
+)
+
+// Design identifies one of the four Misam hardware designs (Table 1).
+type Design = sim.DesignID
+
+// The four designs of §3.2.
+const (
+	Design1 = sim.Design1 // Sextans-style SpMM, 16 PEGs, column traversal
+	Design2 = sim.Design2 // wider channels and 24 PEGs for large denser inputs
+	Design3 = sim.Design3 // Design 2's bitstream with row-wise scheduling
+	Design4 = sim.Design4 // SpGEMM with compressed sparse B
+)
+
+// NumDesigns is the design count.
+const NumDesigns = int(sim.NumDesigns)
+
+// FeatureVector is the §3.1 feature set extracted from a matrix pair.
+type FeatureVector = features.Vector
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// CorpusSize is the number of labelled matrix pairs for the selector
+	// (the paper uses 6,219; smaller corpora train in seconds).
+	CorpusSize int
+	// LatencyCorpusSize is the number of pairs for the latency predictor
+	// (the paper uses 19,000 including the selector corpus). Each pair
+	// yields one record per design.
+	LatencyCorpusSize int
+	// MaxDim bounds generated matrix dimensions.
+	MaxDim int
+	// Seed drives corpus generation.
+	Seed int64
+	// MaxDepth bounds both trees.
+	MaxDepth int
+	// TopFeaturesOnly restricts the selector to the four Figure 4
+	// features, reproducing the paper's pruned 6 KB deployment.
+	TopFeaturesOnly bool
+	// Threshold is the reconfiguration engine knob (§3.3, default 0.20).
+	Threshold float64
+	// LatencyWeight and EnergyWeight set the selection objective (§3.1:
+	// "a user may choose to optimize exclusively for performance,
+	// prioritize energy efficiency, or apply a weighted combination").
+	// Both zero means pure latency.
+	LatencyWeight float64
+	EnergyWeight  float64
+}
+
+// DefaultTrainOptions returns a configuration that trains in a few
+// seconds and reaches the paper's accuracy regime.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		CorpusSize:        400,
+		LatencyCorpusSize: 600,
+		MaxDim:            768,
+		Seed:              1,
+		MaxDepth:          10,
+		Threshold:         0.20,
+	}
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	d := DefaultTrainOptions()
+	if o.CorpusSize <= 0 {
+		o.CorpusSize = d.CorpusSize
+	}
+	if o.LatencyCorpusSize <= 0 {
+		o.LatencyCorpusSize = o.CorpusSize
+	}
+	if o.MaxDim <= 0 {
+		o.MaxDim = d.MaxDim
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = d.MaxDepth
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = d.Threshold
+	}
+	return o
+}
+
+// Selector is the trained design classifier. Inference uses the compiled
+// (flattened) tree, mirroring the paper's hand-unrolled decision logic.
+type Selector struct {
+	Tree     *mltree.Classifier
+	compiled *mltree.Compiled
+}
+
+// Select predicts the best design for a feature vector.
+func (s *Selector) Select(v FeatureVector) Design {
+	return Design(s.compiled.PredictClass(v.Slice()))
+}
+
+// SelectWithConfidence also reports the leaf's class probability for the
+// chosen design — how much of the training mass at that decision region
+// agreed. Low confidence flags inputs near a regime boundary, where the
+// engine's latency-predictor validation (§5.1: "an additional layer of
+// validation") matters most.
+func (s *Selector) SelectWithConfidence(v FeatureVector) (Design, float64) {
+	probs := s.Tree.PredictProba(v.Slice())
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return Design(best), bestP
+}
+
+// FeatureImportance returns the normalized gini importance per feature
+// (Figure 4), indexed like features.Names().
+func (s *Selector) FeatureImportance() []float64 {
+	return append([]float64(nil), s.Tree.Importance...)
+}
+
+// SizeBytes reports the serialized model size (the paper's 6 KB claim).
+func (s *Selector) SizeBytes() (int, error) { return mltree.SizeBytes(s.Tree) }
+
+var _ reconfig.Selector = (*Selector)(nil)
+
+// Framework bundles the trained selector, the reconfiguration engine and
+// the training corpus (kept for evaluation drivers).
+type Framework struct {
+	Selector *Selector
+	Engine   *reconfig.Engine
+	Corpus   *dataset.Corpus
+	Options  TrainOptions
+}
+
+// Train generates synthetic corpora, labels them with the design
+// simulator, and fits both models (§3.1 selector and §3.3 latency
+// predictor).
+func Train(opts TrainOptions) (*Framework, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	corpus, err := dataset.GenerateClassifier(rng, opts.CorpusSize, opts.MaxDim)
+	if err != nil {
+		return nil, fmt.Errorf("misam: corpus generation: %w", err)
+	}
+	latCorpus := corpus
+	if opts.LatencyCorpusSize > opts.CorpusSize {
+		extra, err := dataset.GenerateClassifier(rng, opts.LatencyCorpusSize-opts.CorpusSize, opts.MaxDim)
+		if err != nil {
+			return nil, fmt.Errorf("misam: latency corpus: %w", err)
+		}
+		latCorpus = &dataset.Corpus{Samples: append(append([]dataset.Sample(nil), corpus.Samples...), extra.Samples...)}
+	}
+	return TrainOnCorpus(corpus, latCorpus, opts)
+}
+
+// TrainOnCorpus fits the selector and latency predictor on pre-labelled
+// corpora, allowing several model variants (e.g. the pruned four-feature
+// deployment) to share one expensive labelling pass. latCorpus may be nil
+// to reuse corpus.
+func TrainOnCorpus(corpus, latCorpus *dataset.Corpus, opts TrainOptions) (*Framework, error) {
+	opts = opts.withDefaults()
+	if latCorpus == nil {
+		latCorpus = corpus
+	}
+	cfg := mltree.Config{MaxDepth: opts.MaxDepth, MinSamplesLeaf: 2}
+	latCfg := mltree.Config{MaxDepth: opts.MaxDepth + 6, MinSamplesLeaf: 2}
+	if opts.TopFeaturesOnly {
+		cfg.Features = append([]int(nil), features.TopFour...)
+		// The per-design latency trees get the same pruned features, so
+		// the ExtractPruned fast path feeds them too.
+		latCfg.Features = append([]int(nil), features.TopFour...)
+	}
+	var labels []int
+	if opts.LatencyWeight == 0 && opts.EnergyWeight == 0 {
+		labels = corpus.Labels()
+	} else {
+		labels = corpus.LabelsFor(opts.LatencyWeight, opts.EnergyWeight)
+	}
+	cls, err := mltree.TrainClassifier(corpus.X(), labels, NumDesigns,
+		mltree.BalancedWeights(labels, NumDesigns), cfg)
+	if err != nil {
+		return nil, fmt.Errorf("misam: selector training: %w", err)
+	}
+	pred, err := reconfig.TrainLatencyPredictor(latCorpus, latCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{
+		Selector: &Selector{Tree: cls, compiled: cls.Compile()},
+		Engine:   reconfig.NewEngine(pred, reconfig.DefaultTimeModel(), opts.Threshold),
+		Corpus:   corpus,
+		Options:  opts,
+	}, nil
+}
+
+// Report describes one framework invocation: the Figure 12 breakdown
+// (preprocessing = feature extraction, inference = selector + engine) and
+// the simulated hardware outcome.
+type Report struct {
+	Design            Design
+	PreprocessSeconds float64
+	InferenceSeconds  float64
+	// PredictedSeconds is the latency predictor's estimate for the chosen
+	// design; SimulatedSeconds is the cycle simulator's result.
+	PredictedSeconds float64
+	SimulatedSeconds float64
+	// TotalSeconds = preprocessing + inference + reconfiguration +
+	// simulated hardware time.
+	TotalSeconds float64
+	Reconfigured bool
+	ReconfigSec  float64
+	// EnergyJoules is the FPGA energy estimate for the run.
+	EnergyJoules float64
+	// PEUtilization and Cycles expose the simulator detail.
+	PEUtilization float64
+	Cycles        int64
+}
+
+// Analyze selects a design for A×B and simulates it without computing the
+// numeric product — the path a host would take before offloading.
+func (f *Framework) Analyze(a, b *Matrix) (Report, error) {
+	var rep Report
+	t0 := time.Now()
+	var v features.Vector
+	if f.Options.TopFeaturesOnly {
+		// Pruned deployment: pointer-offset features only (§5.5).
+		v = features.ExtractPruned(a, b)
+	} else {
+		v = features.Extract(a, b)
+	}
+	rep.PreprocessSeconds = time.Since(t0).Seconds()
+
+	t1 := time.Now()
+	proposed := f.Selector.Select(v)
+	dec := f.Engine.Decide(v, proposed, 1)
+	rep.InferenceSeconds = time.Since(t1).Seconds()
+	f.Engine.Apply(dec)
+
+	rep.Design = dec.Target
+	rep.Reconfigured = dec.Reconfigure
+	rep.ReconfigSec = dec.ReconfigSeconds
+	rep.PredictedSeconds = f.Engine.Predictor.Predict(v, dec.Target)
+
+	res, err := sim.SimulateDesign(dec.Target, a, b)
+	if err != nil {
+		return rep, fmt.Errorf("misam: simulate: %w", err)
+	}
+	rep.SimulatedSeconds = res.Seconds
+	rep.PEUtilization = res.PEUtilization
+	rep.Cycles = res.Cycles
+	rep.EnergyJoules = energy.FPGAEnergy(res)
+	rep.TotalSeconds = rep.PreprocessSeconds + rep.InferenceSeconds + rep.ReconfigSec + rep.SimulatedSeconds
+	return rep, nil
+}
+
+// Multiply runs the full pipeline: design selection, reconfiguration
+// decision, hardware simulation, and the numeric product (computed with
+// the row-wise reference kernel).
+func (f *Framework) Multiply(a, b *Matrix) (*Matrix, Report, error) {
+	rep, err := f.Analyze(a, b)
+	if err != nil {
+		return nil, rep, err
+	}
+	c, _, err := spgemm.Multiply(spgemm.RowWiseProduct, a, b)
+	if err != nil {
+		return nil, rep, fmt.Errorf("misam: multiply: %w", err)
+	}
+	return c, rep, nil
+}
+
+// Stream executes A×B tile-by-tile under the reconfiguration engine,
+// using random tile heights in [minTile, maxTile] (§3.3's 10k–50k when
+// the matrix is large enough).
+func (f *Framework) Stream(seed int64, a, b *Matrix, minTile, maxTile int) (reconfig.StreamResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return f.Engine.Stream(rng, f.Selector, a, b, minTile, maxTile)
+}
+
+// CompareBaselines estimates the same workload on the CPU, GPU and
+// Trapezoid models (Figure 10's comparison points).
+type BaselineComparison struct {
+	CPUSeconds        float64
+	GPUSeconds        float64
+	TrapezoidSeconds  float64 // best fixed Trapezoid dataflow
+	TrapezoidDataflow string
+	CPUEnergyJ        float64
+	GPUEnergyJ        float64
+}
+
+// CompareBaselines evaluates the baseline cost models on A×B.
+func CompareBaselines(a, b *Matrix) BaselineComparison {
+	s := baseline.Collect(a, b)
+	cpu := baseline.DefaultCPU().Estimate(s)
+	gpu := baseline.DefaultGPU().Estimate(s)
+	df, trap := baseline.DefaultTrapezoid().BestDataflow(s)
+	return BaselineComparison{
+		CPUSeconds:        cpu.Seconds,
+		GPUSeconds:        gpu.Seconds,
+		TrapezoidSeconds:  trap.Seconds,
+		TrapezoidDataflow: df.String(),
+		CPUEnergyJ:        energy.Energy(energy.CPUActiveWatts, cpu.Seconds),
+		GPUEnergyJ:        energy.Energy(energy.GPUPower(s.BDensity), gpu.Seconds),
+	}
+}
+
+// savedModels is the gob persistence envelope.
+type savedModels struct {
+	Classifier *mltree.Classifier
+	Regressors [NumDesigns]*mltree.Regressor
+	Options    TrainOptions
+}
+
+// Save serializes the trained models (not the corpus or engine state).
+func (f *Framework) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(savedModels{
+		Classifier: f.Selector.Tree,
+		Regressors: f.Engine.Predictor.Regs,
+		Options:    f.Options,
+	})
+}
+
+// Load restores a framework from Save's output. The corpus is not
+// persisted; Corpus is nil on the loaded framework.
+func Load(r io.Reader) (*Framework, error) {
+	var s savedModels
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("misam: load models: %w", err)
+	}
+	if s.Classifier == nil || s.Classifier.Root == nil {
+		return nil, fmt.Errorf("misam: loaded models are incomplete")
+	}
+	for _, reg := range s.Regressors {
+		if reg == nil || reg.Root == nil {
+			return nil, fmt.Errorf("misam: loaded models are incomplete")
+		}
+	}
+	return &Framework{
+		Selector: &Selector{Tree: s.Classifier, compiled: s.Classifier.Compile()},
+		Engine: reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
+			reconfig.DefaultTimeModel(), s.Options.Threshold),
+		Options: s.Options,
+	}, nil
+}
+
+// ExtractFeatures exposes the §3.1 feature extraction.
+func ExtractFeatures(a, b *Matrix) FeatureVector { return features.Extract(a, b) }
+
+// FeatureNames returns the Figure 4 feature names, indexed like
+// FeatureVector.
+func FeatureNames() []string { return features.Names() }
+
+// SimulateDesign runs the cycle simulator for one design directly.
+func SimulateDesign(id Design, a, b *Matrix) (sim.Result, error) {
+	return sim.SimulateDesign(id, a, b)
+}
+
+// SimulateAllDesigns runs every design on the workload.
+func SimulateAllDesigns(a, b *Matrix) ([sim.NumDesigns]sim.Result, error) {
+	return sim.SimulateAll(a, b)
+}
+
+var _ = sparse.Entry{} // keep the alias target imported

@@ -1,0 +1,27 @@
+package misam
+
+import "misam/internal/sim"
+
+// Resources is a design's fabric utilization (Table 2), in percent per
+// resource class.
+type Resources = sim.Resources
+
+// DesignResources returns the Table 2 utilization estimate for a design.
+func DesignResources(id Design) Resources { return sim.DesignResources(id) }
+
+// MaxInstances reports how many independent copies of a design fit on the
+// FPGA within `limit` percent of every resource class — the §6.2
+// multi-tenancy estimate. Use 100 for raw fabric arithmetic or ~75 to
+// reserve shell and routing headroom.
+func MaxInstances(id Design, limit float64) int { return sim.MaxInstances(id, limit) }
+
+// CanCoLocate reports whether the given design mix fits on the fabric
+// concurrently within `limit` percent of every resource class.
+func CanCoLocate(ids []Design, limit float64) bool { return sim.CanCoLocate(ids, limit) }
+
+// SharedBitstream reports whether two designs can be swapped without an
+// FPGA reconfiguration (Designs 2 and 3 share a bitstream, §4).
+func SharedBitstream(a, b Design) bool { return sim.SharedBitstream(a, b) }
+
+// BitstreamBytes models a design's bitstream size (§6.1: 50–80 MB).
+func BitstreamBytes(id Design) int64 { return sim.BitstreamBytes(id) }

@@ -1,0 +1,115 @@
+package misam
+
+import (
+	"testing"
+)
+
+func TestDeviceString(t *testing.T) {
+	if DeviceCPU.String() != "CPU" || DeviceGPU.String() != "GPU" || DeviceMisam.String() != "Misam" {
+		t.Error("device names wrong")
+	}
+	if Device(9).String() != "Device(9)" {
+		t.Error("invalid device formatting")
+	}
+}
+
+func TestDeviceLatenciesPositive(t *testing.T) {
+	a := RandUniform(1, 400, 400, 0.02)
+	b := RandDense(2, 400, 64)
+	lat, err := DeviceLatencies(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := DeviceCPU; d < NumDevices; d++ {
+		if lat[d] <= 0 {
+			t.Errorf("%v latency %v", d, lat[d])
+		}
+	}
+}
+
+func TestTrainRouterRequiresCorpus(t *testing.T) {
+	if _, err := TrainRouter(&Framework{}); err == nil {
+		t.Fatal("router trained without a corpus")
+	}
+}
+
+func TestRouterRoutesSensibly(t *testing.T) {
+	fw := trainTest(t)
+	router, err := TrainRouter(fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accuracy against the device oracle on the training corpus itself
+	// should be high.
+	hits := 0
+	for i := range fw.Corpus.Samples {
+		s := &fw.Corpus.Samples[i]
+		if router.Route(s.Features) == deviceLabel(s) {
+			hits++
+		}
+	}
+	acc := float64(hits) / float64(len(fw.Corpus.Samples))
+	if acc < 0.85 {
+		t.Errorf("router training accuracy %.2f, want >= 0.85", acc)
+	}
+
+	// A highly sparse workload should not be routed to the CPU: the §6.3
+	// premise is that the FPGA (or occasionally GPU) dominates there.
+	a := RandUniform(3, 3000, 3000, 0.001)
+	bm := RandUniform(4, 3000, 3000, 0.001)
+	if got := router.Route(ExtractFeatures(a, bm)); got == DeviceCPU {
+		lat, _ := DeviceLatencies(a, bm)
+		if lat[DeviceCPU] > lat[DeviceMisam] {
+			t.Errorf("router chose CPU for an HS×HS workload where Misam is faster (%v)", lat)
+		}
+	}
+}
+
+func TestMultiObjectiveTraining(t *testing.T) {
+	base := trainTest(t)
+	// Re-train on the same corpus with an energy-weighted objective.
+	energyFW, err := TrainOnCorpus(base.Corpus, nil, TrainOptions{
+		CorpusSize: len(base.Corpus.Samples),
+		MaxDim:     512,
+		Seed:       3,
+		// Pure-energy objective.
+		LatencyWeight: 0.0001, EnergyWeight: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Labels must differ somewhere: lower-power designs win energy on
+	// workloads where they narrowly lose latency.
+	latLabels := base.Corpus.Labels()
+	enLabels := base.Corpus.LabelsFor(0.0001, 1)
+	diff := 0
+	for i := range latLabels {
+		if latLabels[i] != enLabels[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("energy objective never changed the optimal design; objective knob is inert")
+	}
+	t.Logf("objective changed %d/%d labels", diff, len(latLabels))
+	_ = energyFW
+}
+
+func TestBestForWeighting(t *testing.T) {
+	fw := trainTest(t)
+	for i := range fw.Corpus.Samples {
+		s := &fw.Corpus.Samples[i]
+		// Pure latency weighting must agree with the stored Best label.
+		if got := s.BestFor(1, 0); got != s.Best {
+			t.Fatalf("sample %d: BestFor(1,0)=%v but Best=%v", i, got, s.Best)
+		}
+		// The energy-optimal design must actually have minimal energy.
+		en := s.BestFor(0, 1)
+		for _, l := range s.EnergyJ {
+			if l < s.EnergyJ[en]-1e-15 {
+				t.Fatalf("sample %d: BestFor(0,1) not energy-minimal", i)
+			}
+		}
+	}
+}
