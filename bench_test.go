@@ -429,11 +429,59 @@ func BenchmarkWorkloadSuiteGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulateAllSerial is the pre-Workload reference: four designs
+// simulated back to back, each redoing the design-independent precompute
+// and walking its tiles serially.
+func BenchmarkSimulateAllSerial(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := sparse.Uniform(rng, 4000, 4000, 0.01)
+	bm := sparse.DenseRandom(rng, 4000, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateAllSerial(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateAllPrecomputed is the production engine on the same
+// workload: one shared Workload precompute, designs fanned over
+// goroutines, tiles over the bounded worker pool. The ratio against
+// BenchmarkSimulateAllSerial is the headline speedup in BENCH_PR1.json.
+func BenchmarkSimulateAllPrecomputed(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	a := sparse.Uniform(rng, 4000, 4000, 0.01)
+	bm := sparse.DenseRandom(rng, 4000, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateAll(a, bm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCorpusLabelling(b *testing.B) {
 	rng := rand.New(rand.NewSource(11))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dataset.Label(dataset.RandomPair(rng, 512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusLabellingParallel labels a fixed batch of corpus pairs
+// through dataset.LabelAll — the worker fan-out the corpus generator and
+// dataset.Label callers ride on.
+func BenchmarkCorpusLabellingParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	pairs := make([]dataset.Pair, 16)
+	for i := range pairs {
+		pairs[i] = dataset.RandomPair(rng, 512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataset.LabelAll(pairs); err != nil {
 			b.Fatal(err)
 		}
 	}

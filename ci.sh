@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# CI gate: formatting, vet, build, and the full test suite under the race
+# detector (the simulation engine schedules tiles and designs on shared
+# Workload caches, so -race is load-bearing, not optional).
+set -eu
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "CI green"

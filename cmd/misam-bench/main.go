@@ -24,7 +24,9 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf")
+	perfout := flag.String("perfout", "BENCH_PR1.json",
+		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -68,11 +70,17 @@ func main() {
 		{"learningcurve", func() error { _, err := experiments.LearningCurve(ctx, w); return err }},
 		{"phases", func() error { _, err := experiments.Phases(ctx, w); return err }},
 		{"heuristics", func() error { _, err := experiments.Heuristics(ctx, w); return err }},
+		// perf is opt-in (-experiment perf): it re-times the simulation
+		// engine and rewrites the BENCH_PR1.json trajectory record.
+		{"perf", func() error { _, err := experiments.PerfReport(*perfout, w); return err }},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
+		if want == "all" && d.name == "perf" {
+			continue
+		}
 		if want != "all" && want != d.name {
 			continue
 		}

@@ -266,9 +266,17 @@ func scientificB(rng *rand.Rand, k, maxDim int) *sparse.CSR {
 	}
 }
 
-// Label simulates all four designs on a pair and returns the sample.
+// Label simulates all four designs on a pair and returns the sample. The
+// designs share one sim.Workload precompute, so the pair's CSC form, B
+// row counts, tilings and element bins are derived once rather than per
+// design — this is the hot kernel of corpus generation (one call per
+// training sample).
 func Label(p Pair) (Sample, error) {
-	results, err := sim.SimulateAll(p.A, p.B)
+	w, err := sim.NewWorkload(p.A, p.B)
+	if err != nil {
+		return Sample{}, fmt.Errorf("dataset: labelling %s: %w", p.Family, err)
+	}
+	results, err := w.SimulateAll()
 	if err != nil {
 		return Sample{}, fmt.Errorf("dataset: labelling %s: %w", p.Family, err)
 	}
@@ -278,6 +286,44 @@ func Label(p Pair) (Sample, error) {
 		s.EnergyJ[id] = energy.FPGAEnergy(results[id])
 	}
 	return s, nil
+}
+
+// LabelAll labels a batch of pairs, fanning the per-pair work out across
+// GOMAXPROCS workers. Results keep the input order; the first error (in
+// input order) wins. Corpus regeneration and the benchmark harness use it
+// to label paper-scale pair sets without serializing on Label.
+func LabelAll(pairs []Pair) ([]Sample, error) {
+	samples := make([]Sample, len(pairs))
+	errs := make([]error, len(pairs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := int64(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				samples[i], errs[i] = Label(pairs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
 }
 
 // GenerateClassifier builds a labelled corpus of n samples. maxDim bounds

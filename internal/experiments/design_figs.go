@@ -54,9 +54,14 @@ func Figure3(ctx *Context, w io.Writer) (Figure3Result, error) {
 	wls := representativeWorkloads(ctx)
 	fmt.Fprintf(w, "%-26s %8s %8s %8s  %s\n", "workload", "D1", "D2", "D3", "best")
 	for _, wl := range wls {
+		// One workload precompute feeds all three SpMM designs.
+		wk, err := sim.NewWorkload(wl.A, wl.B)
+		if err != nil {
+			return res, err
+		}
 		var lat [3]float64
 		for i, id := range sim.SpMMDesigns {
-			r, err := sim.SimulateDesign(id, wl.A, wl.B)
+			r, err := wk.SimulateDesign(id)
 			if err != nil {
 				return res, err
 			}

@@ -268,6 +268,9 @@ func TestFigure12OverheadsSmall(t *testing.T) {
 	if len(res.Rows) < 4 {
 		t.Fatal("too few breakdown rows")
 	}
+	if raceEnabled {
+		t.Skip("overhead shares mix measured host time with modeled accelerator time; race instrumentation skews the ratio")
+	}
 	if res.MeanInferencePercent > 5 {
 		t.Errorf("mean inference share %.2f%%, want small (paper 0.1%%)", res.MeanInferencePercent)
 	}

@@ -290,11 +290,17 @@ func Phases(ctx *Context, w io.Writer) ([]PhasesResult, error) {
 			dec := fw.Engine.Decide(v, proposed, float64(ph.Invocations))
 			fw.Engine.Apply(dec)
 
-			exec, err := sim.SimulateDesign(dec.Target, ph.A, ph.B)
+			// The adaptive and static designs run on the same pair, so one
+			// workload precompute serves both simulations.
+			wk, err := sim.NewWorkload(ph.A, ph.B)
 			if err != nil {
 				return nil, err
 			}
-			staticRes, err := sim.SimulateDesign(static, ph.A, ph.B)
+			exec, err := wk.SimulateDesign(dec.Target)
+			if err != nil {
+				return nil, err
+			}
+			staticRes, err := wk.SimulateDesign(static)
 			if err != nil {
 				return nil, err
 			}

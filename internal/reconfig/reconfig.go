@@ -374,14 +374,18 @@ func (e *Engine) Stream(rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile,
 		dec := e.Decide(v, proposed, float64(len(tiles)-i))
 		e.Apply(dec)
 
-		actual, err := sim.SimulateDesign(dec.Target, tile, b)
+		// One shared-precompute pass covers both the executed design and
+		// the per-tile oracle — the chosen design is always one of the
+		// four, so its result needs no second simulation.
+		wl, err := sim.NewWorkload(tile, b)
 		if err != nil {
 			return res, fmt.Errorf("reconfig: tile %d: %w", i, err)
 		}
-		all, err := sim.SimulateAll(tile, b)
+		all, err := wl.SimulateAll()
 		if err != nil {
-			return res, err
+			return res, fmt.Errorf("reconfig: tile %d: %w", i, err)
 		}
+		actual := all[dec.Target]
 		opt := all[sim.BestDesign(all)].Seconds
 
 		out := TileOutcome{

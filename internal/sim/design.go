@@ -111,6 +111,50 @@ type Config struct {
 // PEs reports the total processing element count of the design.
 func (c Config) PEs() int { return c.PEG * c.PEsPerPEG }
 
+// Validate rejects configurations whose parameters would corrupt the cost
+// model: every channel count, group size, SIMD width, coalescing factor
+// and the clock feed divisions, so a zero (e.g. a hand-built Config that
+// forgot common()'s constants) must fail loudly instead of producing
+// quietly wrong cycle counts. Simulate validates before running; ceilDiv64
+// panics as a backstop for paths that skip it.
+func (c Config) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"ChA", c.ChA}, {"ChB", c.ChB}, {"ChC", c.ChC},
+		{"PEG", c.PEG}, {"ACC", c.ACC}, {"PEsPerPEG", c.PEsPerPEG},
+		{"SIMDWidth", c.SIMDWidth},
+		{"AElemsPerRead", c.AElemsPerRead},
+		{"BDenseElemsPerRead", c.BDenseElemsPerRead},
+		{"BCOOElemsPerRead", c.BCOOElemsPerRead},
+		{"CElemsPerWrite", c.CElemsPerWrite},
+	} {
+		if f.v <= 0 {
+			return fmt.Errorf("sim: config %q: %s must be positive, got %d", c.Name, f.name, f.v)
+		}
+	}
+	if c.FreqMHz <= 0 {
+		return fmt.Errorf("sim: config %q: FreqMHz must be positive, got %g", c.Name, c.FreqMHz)
+	}
+	if c.DepGapCycles < 0 {
+		return fmt.Errorf("sim: config %q: DepGapCycles must be nonnegative, got %d", c.Name, c.DepGapCycles)
+	}
+	return nil
+}
+
+// ceilDiv64 returns ⌈a/b⌉. The divisor comes from Config fields (channel
+// counts, SIMD width, coalescing factors), which Validate guarantees are
+// positive; a nonpositive divisor therefore indicates a bug upstream and
+// panics rather than — as an earlier revision did — silently returning a
+// and corrupting cycle counts.
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("sim: ceilDiv64 divisor %d is not positive (invalid Config?)", b))
+	}
+	return (a + b - 1) / b
+}
+
 // common returns the constants shared by all four designs.
 func common() Config {
 	return Config{

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"fmt"
+	"sort"
 
 	"misam/internal/sparse"
 )
@@ -48,110 +48,17 @@ func (r Result) Throughput() float64 {
 // Simulate runs design cfg on the product A×B and returns the cycle-level
 // result. A and B are CSR; B's storage format (dense stream vs 64-bit COO)
 // follows cfg.CompressedB.
+//
+// Simulate is a compatibility wrapper over the Workload precompute API: it
+// builds a single-use Workload and discards it. Callers evaluating several
+// designs (or configs) on one pair should build the Workload once with
+// NewWorkload and reuse it — see SimulateAll.
 func Simulate(cfg Config, a, b *sparse.CSR) (Result, error) {
-	if a.Cols != b.Rows {
-		return Result{}, fmt.Errorf("sim: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	w, err := NewWorkload(a, b)
+	if err != nil {
+		return Result{}, err
 	}
-	res := Result{Design: cfg.ID}
-
-	// Per-column service times: processing one A element walks the
-	// matching B row through the SIMD lanes (§3.2.1). For compressed B
-	// only the stored nonzeros are walked (§3.2.4).
-	bRowNNZ := make([]int, b.Rows)
-	for r := 0; r < b.Rows; r++ {
-		bRowNNZ[r] = b.RowNNZ(r)
-	}
-	var service func(col int) int64
-	if cfg.CompressedB {
-		service = func(col int) int64 {
-			return ceilDiv64(int64(bRowNNZ[col]), int64(cfg.SIMDWidth))
-		}
-	} else {
-		dense := ceilDiv64(int64(b.Cols), int64(cfg.SIMDWidth))
-		service = func(int) int64 { return dense }
-	}
-
-	// Tile B's rows; Design 4 packs sparse rows by nnz budget.
-	var tiles []Span
-	if cfg.CompressedB {
-		tiles = SparsityAwareRowTiles(b, cfg.BRAMCapacityNNZ)
-	} else {
-		tiles = DenseRowTiles(b.Rows, cfg.BRAMRowsPerTile)
-	}
-	res.Tiles = len(tiles)
-
-	// Bin A's elements by tile in the design's traversal order.
-	var perTile [][]Elem
-	if cfg.SchedulerA == ColWise {
-		perTile = binByTileColWise(a.ToCSC(), tiles, service)
-	} else {
-		perTile = binByTileRowWise(a, tiles, service)
-	}
-
-	// Per-tile B nonzero counts for compressed reads.
-	tileNNZ := make([]int64, len(tiles))
-	for t, s := range tiles {
-		tileNNZ[t] = int64(b.RowPtr[s.Hi] - b.RowPtr[s.Lo])
-	}
-
-	var busy, capacity int64
-	for t, s := range tiles {
-		elems := perTile[t]
-		if len(elems) == 0 && tileNNZ[t] == 0 {
-			continue // nothing to stream or compute for this tile
-		}
-		// Read B tile over ChB channels.
-		var bRead int64
-		if cfg.CompressedB {
-			bRead = ceilDiv64(tileNNZ[t], int64(cfg.BCOOElemsPerRead*cfg.ChB))
-		} else {
-			bRead = ceilDiv64(int64(s.Rows())*int64(b.Cols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
-		}
-		// Stream A elements for this tile over ChA channels.
-		aRead := ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
-		// Broadcast fill: B forwards PEG-to-PEG down the chain (§3.2.1).
-		bcast := int64(cfg.PEG)
-
-		// Schedule each PEG's share; the tile completes when the slowest
-		// PEG does.
-		var compute, tileBusy int64
-		for _, g := range splitByPEG(elems, cfg.PEG, cfg.SchedulerA) {
-			gs := schedulePEG(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, false)
-			tileBusy += gs.Busy
-			res.Bubbles += gs.Bubbles
-			if gs.Makespan > compute {
-				compute = gs.Makespan
-			}
-		}
-		// Row-wise designs spread each output row over many PEGs, so the
-		// partial vectors must merge across accumulator groups before
-		// write-back (see mergeCycles).
-		if cfg.SchedulerA == RowWise {
-			compute += mergeCycles(elems, cfg)
-		}
-		// Utilization counts idle lanes against the straggler PEG's
-		// makespan — the §3.2.2 "bubbles plus padding" effect.
-		busy += tileBusy
-		capacity += int64(cfg.PEs()) * compute
-
-		res.ComputeCycles += compute
-		res.AReadCycles += aRead
-		res.BReadCycles += bRead
-		res.BroadcastCycles += bcast
-		res.Cycles += max64(compute, max64(aRead, bRead)) + bcast + cfg.DepGapCycles
-	}
-
-	// C write-back once the URAM accumulators hold the final tile sums.
-	res.Flops = int64(flopCount(a, bRowNNZ))
-	res.COutputs = estimateCOutputs(a, bRowNNZ, b.Cols)
-	res.CWriteCycles = ceilDiv64(res.COutputs, int64(cfg.CElemsPerWrite*cfg.ChC))
-	res.Cycles += res.CWriteCycles
-
-	if capacity > 0 {
-		res.PEUtilization = float64(busy) / float64(capacity)
-	}
-	res.Seconds = float64(res.Cycles) / (cfg.FreqMHz * 1e6)
-	return res, nil
+	return w.Simulate(cfg)
 }
 
 // SimulateDesign is shorthand for Simulate(GetConfig(id), a, b).
@@ -160,17 +67,17 @@ func SimulateDesign(id DesignID, a, b *sparse.CSR) (Result, error) {
 }
 
 // SimulateAll runs every design on the workload and returns the results
-// indexed by DesignID.
+// indexed by DesignID. The designs share one Workload precompute (CSC
+// form, B row counts, tilings, element bins) and run concurrently;
+// results are bit-identical to the serial per-design path (see
+// SimulateAllSerial and the equivalence tests).
 func SimulateAll(a, b *sparse.CSR) ([NumDesigns]Result, error) {
-	var out [NumDesigns]Result
-	for _, id := range AllDesigns {
-		r, err := SimulateDesign(id, a, b)
-		if err != nil {
-			return out, err
-		}
-		out[id] = r
+	w, err := NewWorkload(a, b)
+	if err != nil {
+		var out [NumDesigns]Result
+		return out, err
 	}
-	return out, nil
+	return w.SimulateAll()
 }
 
 // BestDesign returns the design with the lowest simulated latency.
@@ -191,9 +98,27 @@ func BestDesign(results [NumDesigns]Result) DesignID {
 // (col % PEGs): a single heavy row then spreads over the whole
 // accelerator, which is exactly how it "better accommodates irregular
 // sparsity patterns" (§3.2.3) — at the price of a cross-PEG merge of
-// partial C rows (mergeCycles).
+// partial C rows (mergeCycles). A counting pass sizes every bucket
+// exactly, so the fill pass never reallocates; all buckets share one
+// backing array.
 func splitByPEG(elems []Elem, pegs int, traversal Traversal) [][]Elem {
+	counts := make([]int, pegs)
+	if traversal == RowWise {
+		for _, e := range elems {
+			counts[e.Col%pegs]++
+		}
+	} else {
+		for _, e := range elems {
+			counts[e.Row%pegs]++
+		}
+	}
+	buf := make([]Elem, len(elems))
 	out := make([][]Elem, pegs)
+	off := 0
+	for p := range out {
+		out[p] = buf[off : off : off+counts[p]]
+		off += counts[p]
+	}
 	for _, e := range elems {
 		var p int
 		if traversal == RowWise {
@@ -211,29 +136,60 @@ func splitByPEG(elems []Elem, pegs int, traversal Traversal) [][]Elem {
 // Service width, spread over the ACC accumulator groups. Regular dense-ish
 // workloads touch every PEG per row (expensive — why Design 2 beats
 // Design 3 there); skewed workloads touch few (cheap).
+//
+// The dedup is sort-based, O(n log n) with no map allocations: (row, peg)
+// pairs are sorted with the original index as tiebreak, so the first
+// traversal-order occurrence of each pair — whose Service feeds the merge
+// width, matching the historical map-based implementation — leads its
+// group.
 func mergeCycles(elems []Elem, cfg Config) int64 {
-	type rowPeg struct{ row, peg int }
-	seen := make(map[rowPeg]struct{}, len(elems))
-	perRow := make(map[int]int64, 256)
+	if len(elems) == 0 {
+		return 0
+	}
+	type rowPeg struct {
+		row, peg, idx int
+		svc           int64
+	}
+	keys := make([]rowPeg, len(elems))
+	for i, e := range elems {
+		keys[i] = rowPeg{row: e.Row, peg: e.Col % cfg.PEG, idx: i, svc: e.Service}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.row != b.row {
+			return a.row < b.row
+		}
+		if a.peg != b.peg {
+			return a.peg < b.peg
+		}
+		return a.idx < b.idx
+	})
 	var svc int64 = 1
-	var total int64
-	for _, e := range elems {
-		key := rowPeg{e.Row, e.Col % cfg.PEG}
-		if _, ok := seen[key]; ok {
-			continue
+	var merges int64 // Σ over rows of (distinct PEGs − 1)
+	var perRow int64
+	prevRow, prevPeg := -1, -1
+	for i := range keys {
+		k := &keys[i]
+		if k.row != prevRow {
+			if perRow > 1 {
+				merges += perRow - 1
+			}
+			perRow = 0
+			prevRow, prevPeg = k.row, -1
 		}
-		seen[key] = struct{}{}
-		perRow[e.Row]++
-		if e.Service > svc {
-			svc = e.Service
+		if k.peg != prevPeg {
+			// First traversal-order occurrence of this (row, peg) pair.
+			perRow++
+			prevPeg = k.peg
+			if k.svc > svc {
+				svc = k.svc
+			}
 		}
 	}
-	for _, k := range perRow {
-		if k > 1 {
-			total += (k - 1) * svc
-		}
+	if perRow > 1 {
+		merges += perRow - 1
 	}
-	return ceilDiv64(total, int64(cfg.ACC))
+	return ceilDiv64(merges*svc, int64(cfg.ACC))
 }
 
 // ScheduleOptions configures direct scheduling of a whole matrix, used by
@@ -323,13 +279,6 @@ func estimateCOutputs(a *sparse.CSR, bRowNNZ []int, n int) int64 {
 		total += ub
 	}
 	return total
-}
-
-func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		return a
-	}
-	return (a + b - 1) / b
 }
 
 func max64(a, b int64) int64 {

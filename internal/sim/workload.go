@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"misam/internal/sparse"
+)
+
+// Workload is the design-independent precompute of one A×B product. The
+// simulator re-derives the same artifacts for every design it evaluates —
+// A's CSC form, per-row B nonzero counts, flop and C-output totals, and
+// the per-format tilings and element bins — so evaluating all four designs
+// (or the same pair under several configs, as the dataset labeller and the
+// reconfiguration engine do) used to pay that cost four times over.
+// Workload computes each artifact once, on first use, and shares it across
+// every Simulate call on the same pair.
+//
+// A Workload is safe for concurrent use: all caches are built under
+// sync.Once-style guards, and the cached artifacts are immutable once
+// published. SimulateAll relies on this to fan the four designs out over
+// goroutines against one shared Workload.
+type Workload struct {
+	// A and B are the operands; they must not be mutated while the
+	// workload is in use (the caches alias their storage).
+	A, B *sparse.CSR
+
+	cscOnce sync.Once
+	aCSC    *sparse.CSC
+
+	preOnce  sync.Once
+	bRowNNZ  []int
+	flops    int64
+	cOutputs int64
+
+	mu      sync.Mutex
+	tilings map[tilingKey]*tilingEntry
+	bins    map[binKey]*binEntry
+}
+
+// tilingKey identifies one B row-tiling scheme: Design 4's sparsity-aware
+// packing keyed by nnz capacity, or the dense fixed-height scheme keyed by
+// tile rows.
+type tilingKey struct {
+	compressed bool
+	param      int
+}
+
+// binKey identifies one cached binning of A's elements: the tiling they
+// were binned against, the traversal order, and the service-time rule
+// baked into each Elem (compressed walks stored nonzeros, dense walks
+// b.Cols; both divided by the SIMD width).
+type binKey struct {
+	tiling     tilingKey
+	traversal  Traversal
+	compressed bool
+	simd       int
+}
+
+type tilingEntry struct {
+	once    sync.Once
+	tiles   []Span
+	tileNNZ []int64
+}
+
+type binEntry struct {
+	once    sync.Once
+	perTile [][]Elem
+}
+
+// NewWorkload validates the product dimensions and returns an empty
+// precompute cache for A×B. All artifacts are computed lazily on first
+// use, so a workload that only ever simulates Design 4 never builds the
+// dense tiling.
+func NewWorkload(a, b *sparse.CSR) (*Workload, error) {
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("sim: dimension mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	return &Workload{
+		A:       a,
+		B:       b,
+		tilings: make(map[tilingKey]*tilingEntry),
+		bins:    make(map[binKey]*binEntry),
+	}, nil
+}
+
+// CSC returns A's compressed-sparse-column form, converting once.
+func (w *Workload) CSC() *sparse.CSC {
+	w.cscOnce.Do(func() { w.aCSC = w.A.ToCSC() })
+	return w.aCSC
+}
+
+func (w *Workload) precompute() {
+	w.preOnce.Do(func() {
+		nnz := make([]int, w.B.Rows)
+		for r := 0; r < w.B.Rows; r++ {
+			nnz[r] = w.B.RowNNZ(r)
+		}
+		w.bRowNNZ = nnz
+		w.flops = flopCount(w.A, nnz)
+		w.cOutputs = estimateCOutputs(w.A, nnz, w.B.Cols)
+	})
+}
+
+// BRowNNZ returns the per-row nonzero counts of B. The slice is shared;
+// callers must not modify it.
+func (w *Workload) BRowNNZ() []int {
+	w.precompute()
+	return w.bRowNNZ
+}
+
+// FlopCount returns the useful multiply-accumulate count of the product.
+func (w *Workload) FlopCount() int64 {
+	w.precompute()
+	return w.flops
+}
+
+// COutputs returns the estimated number of C entries written back (see
+// estimateCOutputs).
+func (w *Workload) COutputs() int64 {
+	w.precompute()
+	return w.cOutputs
+}
+
+// tiling returns the cached B row tiles and per-tile nonzero counts for a
+// design's tiling scheme.
+func (w *Workload) tiling(cfg Config) ([]Span, []int64) {
+	key := tilingKey{compressed: cfg.CompressedB, param: cfg.BRAMRowsPerTile}
+	if cfg.CompressedB {
+		key.param = cfg.BRAMCapacityNNZ
+	}
+	w.mu.Lock()
+	e, ok := w.tilings[key]
+	if !ok {
+		e = &tilingEntry{}
+		w.tilings[key] = e
+	}
+	w.mu.Unlock()
+	e.once.Do(func() {
+		if key.compressed {
+			e.tiles = SparsityAwareRowTiles(w.B, key.param)
+		} else {
+			e.tiles = DenseRowTiles(w.B.Rows, key.param)
+		}
+		e.tileNNZ = make([]int64, len(e.tiles))
+		for t, s := range e.tiles {
+			e.tileNNZ[t] = int64(w.B.RowPtr[s.Hi] - w.B.RowPtr[s.Lo])
+		}
+	})
+	return e.tiles, e.tileNNZ
+}
+
+// binned returns the cached per-tile element bins of A for a design's
+// tiling, traversal and service rule. Designs 1 and 2 share one entry
+// (same dense tiling, column-wise order, SIMD width); Design 3 adds a
+// row-wise entry over the same tiling; Design 4 has its own.
+func (w *Workload) binned(cfg Config, tiles []Span) [][]Elem {
+	key := binKey{
+		tiling:     tilingKey{compressed: cfg.CompressedB, param: cfg.BRAMRowsPerTile},
+		traversal:  cfg.SchedulerA,
+		compressed: cfg.CompressedB,
+		simd:       cfg.SIMDWidth,
+	}
+	if cfg.CompressedB {
+		key.tiling.param = cfg.BRAMCapacityNNZ
+	}
+	w.mu.Lock()
+	e, ok := w.bins[key]
+	if !ok {
+		e = &binEntry{}
+		w.bins[key] = e
+	}
+	w.mu.Unlock()
+	e.once.Do(func() {
+		service := w.serviceFunc(cfg)
+		if cfg.SchedulerA == ColWise {
+			e.perTile = binByTileColWise(w.CSC(), tiles, service)
+		} else {
+			e.perTile = binByTileRowWise(w.A, tiles, service)
+		}
+	})
+	return e.perTile
+}
+
+// serviceFunc builds the per-column service-time rule of §3.2.1/§3.2.4:
+// processing one A element walks the matching B row through the SIMD
+// lanes; compressed B walks only the stored nonzeros.
+func (w *Workload) serviceFunc(cfg Config) func(col int) int64 {
+	if cfg.CompressedB {
+		nnz := w.BRowNNZ()
+		simd := int64(cfg.SIMDWidth)
+		return func(col int) int64 { return ceilDiv64(int64(nnz[col]), simd) }
+	}
+	dense := ceilDiv64(int64(w.B.Cols), int64(cfg.SIMDWidth))
+	return func(int) int64 { return dense }
+}
+
+// Simulate runs design cfg against the cached workload. Results are
+// bit-identical to the historical serial Simulate(cfg, a, b) path: tiles
+// may be scheduled in parallel, but every per-tile quantity is reduced in
+// tile order and all cross-tile accumulations are exact integer sums.
+func (w *Workload) Simulate(cfg Config) (Result, error) {
+	return w.simulate(cfg, true)
+}
+
+// SimulateDesign is shorthand for Simulate(GetConfig(id)).
+func (w *Workload) SimulateDesign(id DesignID) (Result, error) {
+	return w.Simulate(GetConfig(id))
+}
+
+// SimulateAll evaluates every design on the workload, sharing the
+// precompute and fanning the four designs out over goroutines. On error
+// the first failing design (in design order) wins. With a single
+// processor the fan-out buys nothing and the goroutine interleaving
+// thrashes the cache, so the designs run sequentially instead — the
+// deterministic simulator makes the two paths indistinguishable.
+func (w *Workload) SimulateAll() ([NumDesigns]Result, error) {
+	var out [NumDesigns]Result
+	if numTileWorkers() <= 1 {
+		for _, id := range AllDesigns {
+			var err error
+			if out[id], err = w.Simulate(GetConfig(id)); err != nil {
+				return out, err
+			}
+		}
+		return out, nil
+	}
+	var errs [NumDesigns]error
+	var wg sync.WaitGroup
+	for _, id := range AllDesigns {
+		wg.Add(1)
+		go func(id DesignID) {
+			defer wg.Done()
+			out[id], errs[id] = w.Simulate(GetConfig(id))
+		}(id)
+	}
+	wg.Wait()
+	for _, id := range AllDesigns {
+		if errs[id] != nil {
+			return out, errs[id]
+		}
+	}
+	return out, nil
+}
+
+// tileOutcome is the per-tile contribution to a Result, computed
+// independently per tile and reduced in tile order.
+type tileOutcome struct {
+	compute   int64
+	aRead     int64
+	bRead     int64
+	broadcast int64
+	cycles    int64
+	bubbles   int64
+	busy      int64
+	capacity  int64
+	skip      bool
+}
+
+// minParallelTiles is the tile count below which the scheduling loop stays
+// serial — goroutine fan-out costs more than it saves on tiny workloads.
+const minParallelTiles = 4
+
+// numTileWorkers bounds the per-tile worker pool and gates SimulateAll's
+// design fan-out. It is a variable so the equivalence tests can force the
+// parallel paths on single-CPU hosts.
+var numTileWorkers = runtime.NumCPU
+
+func (w *Workload) simulate(cfg Config, parallelTiles bool) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Design: cfg.ID}
+
+	tiles, tileNNZ := w.tiling(cfg)
+	perTile := w.binned(cfg, tiles)
+	res.Tiles = len(tiles)
+
+	outs := make([]tileOutcome, len(tiles))
+	run := func(t int) {
+		outs[t] = simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols)
+	}
+	workers := numTileWorkers()
+	if workers > len(tiles) {
+		workers = len(tiles)
+	}
+	if parallelTiles && workers > 1 && len(tiles) >= minParallelTiles {
+		var next int64
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(atomic.AddInt64(&next, 1)) - 1
+					if t >= len(tiles) {
+						return
+					}
+					run(t)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for t := range tiles {
+			run(t)
+		}
+	}
+
+	// Deterministic reduction in tile order (every term is an exact
+	// integer, so this matches the serial loop bit for bit).
+	var busy, capacity int64
+	for t := range outs {
+		o := &outs[t]
+		if o.skip {
+			continue
+		}
+		busy += o.busy
+		capacity += o.capacity
+		res.ComputeCycles += o.compute
+		res.AReadCycles += o.aRead
+		res.BReadCycles += o.bRead
+		res.BroadcastCycles += o.broadcast
+		res.Bubbles += o.bubbles
+		res.Cycles += o.cycles
+	}
+
+	// C write-back once the URAM accumulators hold the final tile sums.
+	res.Flops = w.FlopCount()
+	res.COutputs = w.COutputs()
+	res.CWriteCycles = ceilDiv64(res.COutputs, int64(cfg.CElemsPerWrite*cfg.ChC))
+	res.Cycles += res.CWriteCycles
+
+	if capacity > 0 {
+		res.PEUtilization = float64(busy) / float64(capacity)
+	}
+	res.Seconds = float64(res.Cycles) / (cfg.FreqMHz * 1e6)
+	return res, nil
+}
+
+// simulateTile charges one B row tile: the max(compute, A read, B read)
+// streaming overlap of §3.2.1 plus broadcast fill and the inter-tile
+// dependency gap.
+func simulateTile(cfg Config, s Span, elems []Elem, tileNNZ int64, bCols int) tileOutcome {
+	var o tileOutcome
+	if len(elems) == 0 && tileNNZ == 0 {
+		o.skip = true // nothing to stream or compute for this tile
+		return o
+	}
+	// Read B tile over ChB channels.
+	if cfg.CompressedB {
+		o.bRead = ceilDiv64(tileNNZ, int64(cfg.BCOOElemsPerRead*cfg.ChB))
+	} else {
+		o.bRead = ceilDiv64(int64(s.Rows())*int64(bCols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
+	}
+	// Stream A elements for this tile over ChA channels.
+	o.aRead = ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
+	// Broadcast fill: B forwards PEG-to-PEG down the chain (§3.2.1).
+	o.broadcast = int64(cfg.PEG)
+
+	// Schedule each PEG's share; the tile completes when the slowest PEG
+	// does.
+	for _, g := range splitByPEG(elems, cfg.PEG, cfg.SchedulerA) {
+		gs := schedulePEG(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, false)
+		o.busy += gs.Busy
+		o.bubbles += gs.Bubbles
+		if gs.Makespan > o.compute {
+			o.compute = gs.Makespan
+		}
+	}
+	// Row-wise designs spread each output row over many PEGs, so the
+	// partial vectors must merge across accumulator groups before
+	// write-back (see mergeCycles).
+	if cfg.SchedulerA == RowWise {
+		o.compute += mergeCycles(elems, cfg)
+	}
+	// Utilization counts idle lanes against the straggler PEG's makespan —
+	// the §3.2.2 "bubbles plus padding" effect.
+	o.capacity = int64(cfg.PEs()) * o.compute
+	o.cycles = max64(o.compute, max64(o.aRead, o.bRead)) + o.broadcast + cfg.DepGapCycles
+	return o
+}
+
+// SimulateAllSerial is the reference implementation: every design runs
+// sequentially, each with a fresh precompute and a serial tile loop,
+// exactly like the pre-Workload engine. The equivalence tests and the
+// BENCH_PR1.json speedup figures compare against it.
+func SimulateAllSerial(a, b *sparse.CSR) ([NumDesigns]Result, error) {
+	var out [NumDesigns]Result
+	for _, id := range AllDesigns {
+		w, err := NewWorkload(a, b)
+		if err != nil {
+			return out, err
+		}
+		r, err := w.simulate(GetConfig(id), false)
+		if err != nil {
+			return out, err
+		}
+		out[id] = r
+	}
+	return out, nil
+}

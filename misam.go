@@ -256,6 +256,18 @@ type Report struct {
 // Analyze selects a design for A×B and simulates it without computing the
 // numeric product — the path a host would take before offloading.
 func (f *Framework) Analyze(a, b *Matrix) (Report, error) {
+	w, err := sim.NewWorkload(a, b)
+	if err != nil {
+		return Report{}, fmt.Errorf("misam: analyze: %w", err)
+	}
+	return f.AnalyzeWorkload(w)
+}
+
+// AnalyzeWorkload is Analyze over a prebuilt simulation workload, letting
+// callers that evaluate one pair repeatedly (serving stacks, experiment
+// drivers) reuse the design-independent precompute across calls.
+func (f *Framework) AnalyzeWorkload(w *sim.Workload) (Report, error) {
+	a, b := w.A, w.B
 	var rep Report
 	t0 := time.Now()
 	var v features.Vector
@@ -278,7 +290,7 @@ func (f *Framework) Analyze(a, b *Matrix) (Report, error) {
 	rep.ReconfigSec = dec.ReconfigSeconds
 	rep.PredictedSeconds = f.Engine.Predictor.Predict(v, dec.Target)
 
-	res, err := sim.SimulateDesign(dec.Target, a, b)
+	res, err := w.SimulateDesign(dec.Target)
 	if err != nil {
 		return rep, fmt.Errorf("misam: simulate: %w", err)
 	}
@@ -391,9 +403,23 @@ func SimulateDesign(id Design, a, b *Matrix) (sim.Result, error) {
 	return sim.SimulateDesign(id, a, b)
 }
 
-// SimulateAllDesigns runs every design on the workload.
+// SimulateAllDesigns runs every design on the workload. The four designs
+// share one precompute (CSC form, B row counts, tilings, element bins)
+// and run concurrently; see NewWorkload to reuse that precompute across
+// further Simulate calls.
 func SimulateAllDesigns(a, b *Matrix) ([sim.NumDesigns]sim.Result, error) {
 	return sim.SimulateAll(a, b)
+}
+
+// Workload is the design-independent simulation precompute for one A×B
+// pair (see sim.NewWorkload). Build it once when the same pair will be
+// analyzed or simulated repeatedly.
+type Workload = sim.Workload
+
+// NewWorkload validates dimensions and returns a reusable simulation
+// precompute for A×B.
+func NewWorkload(a, b *Matrix) (*Workload, error) {
+	return sim.NewWorkload(a, b)
 }
 
 var _ = sparse.Entry{} // keep the alias target imported

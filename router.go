@@ -57,7 +57,11 @@ func DeviceLatencies(a, b *Matrix) ([NumDevices]float64, error) {
 	st := baseline.Collect(a, b)
 	out[DeviceCPU] = baseline.DefaultCPU().Estimate(st).Seconds
 	out[DeviceGPU] = baseline.DefaultGPU().Estimate(st).Seconds
-	results, err := sim.SimulateAll(a, b)
+	w, err := sim.NewWorkload(a, b)
+	if err != nil {
+		return out, err
+	}
+	results, err := w.SimulateAll()
 	if err != nil {
 		return out, err
 	}
