@@ -12,6 +12,7 @@ package misam_test
 //	go run ./cmd/misam-bench -scale paper   # paper-scale regeneration
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -317,10 +318,10 @@ func BenchmarkAblationThresholdSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, th := range []float64{0.05, 0.10, 0.20, 0.40, 0.80} {
 			eng := reconfig.NewEngine(fw.Engine.Predictor, reconfig.DefaultTimeModel(), th)
-			eng.ForceLoad(sim.Design1)
+			st := reconfig.State{Loaded: sim.Design1, HasLoaded: true}
 			switches := 0
 			for units := 1000.0; units <= 512000; units *= 2 {
-				if d := eng.Decide(v, sim.Design4, units); d.Target == sim.Design4 {
+				if d := eng.Decide(st, v, sim.Design4, units); d.Target == sim.Design4 {
 					switches++
 				}
 			}
@@ -366,7 +367,7 @@ func BenchmarkAblationTileSize(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, tile := range []int{5000, 10000, 25000, 50000} {
-			res, err := fw.Stream(int64(tile), a, bm, tile/2, tile)
+			res, err := fw.Stream(context.Background(), int64(tile), a, bm, tile/2, tile)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -417,7 +418,7 @@ func BenchmarkEndToEndAnalyze(b *testing.B) {
 	bm := misam.RandDense(4, 20000, 64)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fw.Analyze(a, bm); err != nil {
+		if _, err := fw.Analyze(context.Background(), a, bm); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -481,7 +482,7 @@ func BenchmarkCorpusLabellingParallel(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dataset.LabelAll(pairs); err != nil {
+		if _, err := dataset.LabelAll(context.Background(), pairs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,7 +18,7 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> go test -race ./..."
-go test -race ./...
+echo "==> go test -race -shuffle=on ./..."
+go test -race -shuffle=on ./...
 
 echo "CI green"

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ func main() {
 	aSpec := flag.String("a", "powerlaw:10000:40000", "matrix A: a .mtx path or generator spec")
 	bSpec := flag.String("b", "dense:512", "matrix B: a .mtx path, generator spec, or 'self'")
 	seed := flag.Int64("seed", 7, "generator seed")
+	timeout := flag.Duration("timeout", 0, "abort the analysis after this long (0 = no limit)")
 	flag.Parse()
 
 	var fw *misam.Framework
@@ -67,7 +69,13 @@ func main() {
 	fmt.Printf("A: %dx%d, %d nonzeros (density %.2e)\n", a.Rows, a.Cols, a.NNZ(), a.Density())
 	fmt.Printf("B: %dx%d, %d nonzeros (density %.2e)\n", b.Rows, b.Cols, b.NNZ(), b.Density())
 
-	rep, err := fw.Analyze(a, b)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rep, err := fw.Analyze(ctx, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}

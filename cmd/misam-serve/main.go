@@ -1,12 +1,17 @@
 // Command misam-serve runs the selection service: a host daemon fronting
-// one (simulated) FPGA that accepts workloads over HTTP and answers with
-// the selected design, the reconfiguration verdict, and latency/energy
-// estimates.
+// a fleet of (simulated) FPGAs that accepts workloads over HTTP and
+// answers with the selected design, the reconfiguration verdict, and
+// latency/energy estimates. Requests are admitted per device — one
+// in-flight analysis per accelerator, devices serving concurrently.
 //
-//	misam-serve -model misam.model -addr :8080
+//	misam-serve -model misam.model -addr :8080 -devices 4 -timeout 30s
 //	curl -s localhost:8080/v1/designs | jq
+//	curl -s localhost:8080/v1/fleet | jq
 //	curl -s -X POST localhost:8080/v1/analyze \
 //	     -d '{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"}' | jq
+//	curl -s -X POST localhost:8080/v1/analyze/batch \
+//	     -d '{"items":[{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"},
+//	                   {"a_spec":"uniform:3000:3000:0.002","b_spec":"self"}]}' | jq
 package main
 
 import (
@@ -26,6 +31,9 @@ func main() {
 
 	addr := flag.String("addr", ":8080", "listen address")
 	model := flag.String("model", "", "trained model file (trains a default model if empty)")
+	devices := flag.Int("devices", 1, "accelerators in the fleet")
+	timeout := flag.Duration("timeout", 0, "per-request deadline including device admission (0 = none)")
+	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
 	flag.Parse()
 
 	var fw *misam.Framework
@@ -48,6 +56,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("serving on %s (GET /healthz, GET /v1/designs, POST /v1/analyze)\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(fw).Handler()))
+	srv := server.NewWithConfig(fw, server.Config{
+		Devices:        *devices,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	fmt.Printf("serving %d device(s) on %s (GET /healthz, GET /v1/designs, GET /v1/fleet, POST /v1/analyze, POST /v1/analyze/batch)\n",
+		*devices, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

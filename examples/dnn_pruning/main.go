@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 		w := misam.RandDNNPruned(int64(i+1), l.m, l.k, l.density)
 		act := misam.RandDense(int64(100+i), l.k, seqLen)
 
-		rep, err := fw.Analyze(w, act)
+		rep, err := fw.Analyze(context.Background(), w, act)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		a := misam.RandPowerLaw(int64(i+1), g.n, g.n, g.n*g.deg, 1.9)
 
 		// A×A: the two-hop neighborhood structure.
-		rep, err := fw.Analyze(a, a)
+		rep, err := fw.Analyze(context.Background(), a, a)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -41,14 +41,16 @@ func main() {
 	}
 
 	// The engine's verdict at different solve lengths, starting from a
-	// Design 1 bitstream left over from a previous workload.
+	// Design 1 bitstream left over from a previous workload. The device
+	// holds the bitstream state; the pure engine just prices each verdict.
 	v := misam.ExtractFeatures(A, B)
 	proposed := fw.Selector.Select(v)
 	fmt.Printf("\nselector proposes %v; Design 1 currently loaded\n", proposed)
 	fmt.Printf("%-12s %10s %14s %14s\n", "iterations", "switch?", "stay total", "switch total")
 	for _, iters := range []int{100, 1000, 10000, 100000, 1000000} {
-		fw.Engine.ForceLoad(misam.Design1)
-		dec := fw.Engine.Decide(v, proposed, float64(iters))
+		dev := fw.NewDevice("solver")
+		dev.ForceLoad(misam.Design1)
+		dec := dev.Decide(v, proposed, float64(iters))
 		stay := float64(iters) * all[misam.Design1].Seconds
 		sw := float64(iters)*all[proposed].Seconds + dec.ReconfigSeconds
 		verdict := "keep"

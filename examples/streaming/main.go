@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	fmt.Printf("streaming a %dx%d matrix (%d nonzeros) against a %d-wide dense block\n",
 		a.Rows, a.Cols, a.NNZ(), b.Cols)
 
-	res, err := fw.Stream(4, a, b, 5000, 12000)
+	res, err := fw.Stream(context.Background(), 4, a, b, 5000, 12000)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -272,11 +273,17 @@ func scientificB(rng *rand.Rand, k, maxDim int) *sparse.CSR {
 // design — this is the hot kernel of corpus generation (one call per
 // training sample).
 func Label(p Pair) (Sample, error) {
+	return LabelCtx(context.Background(), p)
+}
+
+// LabelCtx is Label under a context: cancellation aborts the four design
+// simulations mid-tile-pool and returns ctx.Err().
+func LabelCtx(ctx context.Context, p Pair) (Sample, error) {
 	w, err := sim.NewWorkload(p.A, p.B)
 	if err != nil {
 		return Sample{}, fmt.Errorf("dataset: labelling %s: %w", p.Family, err)
 	}
-	results, err := w.SimulateAll()
+	results, err := w.SimulateAllCtx(ctx)
 	if err != nil {
 		return Sample{}, fmt.Errorf("dataset: labelling %s: %w", p.Family, err)
 	}
@@ -291,8 +298,13 @@ func Label(p Pair) (Sample, error) {
 // LabelAll labels a batch of pairs, fanning the per-pair work out across
 // GOMAXPROCS workers. Results keep the input order; the first error (in
 // input order) wins. Corpus regeneration and the benchmark harness use it
-// to label paper-scale pair sets without serializing on Label.
-func LabelAll(pairs []Pair) ([]Sample, error) {
+// to label paper-scale pair sets without serializing on Label. ctx
+// cancellation stops the workers between pairs (and aborts in-flight
+// simulations) and returns ctx.Err().
+func LabelAll(ctx context.Context, pairs []Pair) ([]Sample, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	samples := make([]Sample, len(pairs))
 	errs := make([]error, len(pairs))
 	workers := runtime.GOMAXPROCS(0)
@@ -308,16 +320,19 @@ func LabelAll(pairs []Pair) ([]Sample, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(pairs) {
 					return
 				}
-				samples[i], errs[i] = Label(pairs[i])
+				samples[i], errs[i] = LabelCtx(ctx, pairs[i])
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

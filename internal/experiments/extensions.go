@@ -143,10 +143,10 @@ func ReconfigModes(ctx *Context, w io.Writer) (ReconfigModesResult, error) {
 		times := reconfig.DefaultTimeModel().WithMode(mode)
 		res.SwitchSeconds[mode.String()] = times.Switch(sim.Design1, sim.Design4)
 		eng := reconfig.NewEngine(fw.Engine.Predictor, times, 0.20)
+		st := reconfig.State{Loaded: sim.Design1, HasLoaded: true}
 		first := float64(-1)
 		for units := 1.0; units <= 1<<26; units *= 2 {
-			eng.ForceLoad(sim.Design1)
-			if d := eng.Decide(v, sim.Design4, units); d.Target == sim.Design4 {
+			if d := eng.Decide(st, v, sim.Design4, units); d.Target == sim.Design4 {
 				first = units
 				break
 			}
@@ -281,14 +281,14 @@ func Phases(ctx *Context, w io.Writer) ([]PhasesResult, error) {
 			return nil, err
 		}
 		static := sim.BestDesign(first)
-		fw.Engine.ForceLoad(static)
+		dev := reconfig.NewDevice(tr.name, fw.Engine)
+		dev.ForceLoad(static)
 
 		fmt.Fprintf(w, "trace %q (static baseline: %v)\n", tr.name, static)
 		for _, ph := range tr.phases {
 			v := misamFeatures(ph.A, ph.B)
 			proposed := fw.Selector.Select(v)
-			dec := fw.Engine.Decide(v, proposed, float64(ph.Invocations))
-			fw.Engine.Apply(dec)
+			dec := dev.DecideApply(v, proposed, float64(ph.Invocations))
 
 			// The adaptive and static designs run on the same pair, so one
 			// workload precompute serves both simulations.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -218,7 +219,7 @@ func Figure12(ctx *Context, w io.Writer) (Figure12Result, error) {
 	var infs, pres []float64
 	fmt.Fprintf(w, "%-26s %10s %10s %10s %12s\n", "workload", "preproc%", "infer%", "hardware%", "total(s)")
 	for _, wl := range figure12Workloads(ctx) {
-		rep, err := fw.Analyze(wl.A, wl.B)
+		rep, err := fw.Analyze(context.Background(), wl.A, wl.B)
 		if err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -156,7 +157,7 @@ func PerfReport(path string, w io.Writer) (PerfReportData, error) {
 			}
 			return nil
 		},
-		func() error { _, err := dataset.LabelAll(pairs); return err },
+		func() error { _, err := dataset.LabelAll(context.Background(), pairs); return err },
 	)
 	if err != nil {
 		return rep, fmt.Errorf("experiments: perf labelling: %w", err)

@@ -114,10 +114,10 @@ func Figure8(ctx *Context, w io.Writer) (Figure8Result, error) {
 	fmt.Fprintf(w, "%-8s %6s %12s %12s %12s %9s %7s\n",
 		"name", "batch", "current(s)", "best(s)", "chosen(s)", "reconf(s)", "switch")
 	for _, sc := range figure8Scenarios(ctx) {
-		fw.Engine.ForceLoad(sc.Current)
+		st := reconfig.State{Loaded: sc.Current, HasLoaded: true}
 		v := misamFeatures(sc.A, sc.B)
 		proposed := fw.Selector.Select(v)
-		dec := fw.Engine.Decide(v, proposed, float64(sc.Batch))
+		dec := fw.Engine.Decide(st, v, proposed, float64(sc.Batch))
 
 		all, err := sim.SimulateAll(sc.A, sc.B)
 		if err != nil {

@@ -1,0 +1,95 @@
+// Package fleet manages a pool of reconfigurable accelerators behind a
+// serving layer. Each reconfig.Device is checked out exclusively for the
+// duration of one request — per-device serialization — while different
+// devices serve different requests concurrently. Admission is
+// context-aware: a caller whose deadline expires while every device is
+// busy is turned away instead of queueing forever. This is the serving
+// shape of the paper's §6.3 heterogeneous-fleet extension: stateless
+// models (selector, latency predictor) shared read-only across N devices
+// that each track their own bitstream.
+package fleet
+
+import (
+	"context"
+	"fmt"
+
+	"misam/internal/reconfig"
+)
+
+// Fleet is a fixed set of devices with checkout-based admission.
+type Fleet struct {
+	devices []*reconfig.Device
+	idle    chan *reconfig.Device
+}
+
+// New builds a fleet of n fresh devices (named "fpga0".."fpgaN-1"), all
+// pricing their decisions with the same immutable engine.
+func New(e *reconfig.Engine, n int) *Fleet {
+	if n < 1 {
+		n = 1
+	}
+	devs := make([]*reconfig.Device, n)
+	for i := range devs {
+		devs[i] = reconfig.NewDevice(fmt.Sprintf("fpga%d", i), e)
+	}
+	return FromDevices(devs)
+}
+
+// FromDevices builds a fleet over caller-constructed devices (for
+// heterogeneous pools: devices may differ in engine, threshold, or
+// reconfiguration mode).
+func FromDevices(devs []*reconfig.Device) *Fleet {
+	f := &Fleet{
+		devices: devs,
+		idle:    make(chan *reconfig.Device, len(devs)),
+	}
+	for _, d := range devs {
+		f.idle <- d
+	}
+	return f
+}
+
+// Size is the number of devices in the fleet.
+func (f *Fleet) Size() int { return len(f.devices) }
+
+// Devices returns the fleet's devices (for stats snapshots; do not use a
+// device without acquiring it).
+func (f *Fleet) Devices() []*reconfig.Device {
+	return append([]*reconfig.Device(nil), f.devices...)
+}
+
+// Acquire checks a device out of the fleet, blocking until one is idle or
+// ctx is done. The caller owns the device exclusively until Release.
+func (f *Fleet) Acquire(ctx context.Context) (*reconfig.Device, error) {
+	// Prefer an idle device even when ctx is already expiring, but never
+	// block past the deadline.
+	select {
+	case d := <-f.idle:
+		return d, nil
+	default:
+	}
+	select {
+	case d := <-f.idle:
+		return d, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns a device to the idle pool. Releasing a device that was
+// not acquired (or releasing twice) corrupts the pool; Do wraps the pair
+// safely.
+func (f *Fleet) Release(d *reconfig.Device) {
+	f.idle <- d
+}
+
+// Do acquires a device, runs fn with it, and releases it — the
+// recommended request path.
+func (f *Fleet) Do(ctx context.Context, fn func(*reconfig.Device) error) error {
+	d, err := f.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer f.Release(d)
+	return fn(d)
+}

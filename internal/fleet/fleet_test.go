@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"misam/internal/dataset"
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+var (
+	testEngine     *reconfig.Engine
+	testEngineOnce sync.Once
+	testEngineErr  error
+)
+
+func smallEngine(t *testing.T) *reconfig.Engine {
+	t.Helper()
+	testEngineOnce.Do(func() {
+		rng := rand.New(rand.NewSource(17))
+		c, err := dataset.GenerateClassifier(rng, 60, 384)
+		if err != nil {
+			testEngineErr = err
+			return
+		}
+		p, err := reconfig.TrainLatencyPredictor(c, mltree.Config{MaxDepth: 10, MinSamplesLeaf: 2})
+		if err != nil {
+			testEngineErr = err
+			return
+		}
+		testEngine = reconfig.NewEngine(p, reconfig.DefaultTimeModel(), 0.20)
+	})
+	if testEngineErr != nil {
+		t.Fatal(testEngineErr)
+	}
+	return testEngine
+}
+
+func TestNewNamesAndSize(t *testing.T) {
+	f := New(smallEngine(t), 3)
+	if f.Size() != 3 {
+		t.Fatalf("Size = %d, want 3", f.Size())
+	}
+	devs := f.Devices()
+	if devs[0].Name() != "fpga0" || devs[2].Name() != "fpga2" {
+		t.Errorf("device names wrong: %s, %s", devs[0].Name(), devs[2].Name())
+	}
+	if New(smallEngine(t), 0).Size() != 1 {
+		t.Error("n<1 should clamp to one device")
+	}
+}
+
+func TestAcquireReleaseExclusivity(t *testing.T) {
+	f := New(smallEngine(t), 2)
+	ctx := context.Background()
+	d1, err := f.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := f.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 == d2 {
+		t.Fatal("same device acquired twice")
+	}
+	// Pool is drained: a third acquire must respect the deadline.
+	short, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer cancel()
+	if _, err := f.Acquire(short); err != context.DeadlineExceeded {
+		t.Fatalf("drained-pool acquire err = %v, want DeadlineExceeded", err)
+	}
+	f.Release(d1)
+	d3, err := f.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Error("released device not recycled")
+	}
+	f.Release(d2)
+	f.Release(d3)
+}
+
+func TestAcquireCancelled(t *testing.T) {
+	f := New(smallEngine(t), 1)
+	d, err := f.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	f.Release(d)
+	// An idle device is handed out even under a cancelled context (the
+	// non-blocking fast path), so callers holding work can still drain.
+	if got, err := f.Acquire(ctx); err != nil || got != d {
+		t.Fatalf("fast-path acquire = %v, %v", got, err)
+	}
+	f.Release(d)
+}
+
+func TestDoReleasesOnPanicFreePath(t *testing.T) {
+	f := New(smallEngine(t), 1)
+	for i := 0; i < 5; i++ {
+		err := f.Do(context.Background(), func(d *reconfig.Device) error {
+			d.ForceLoad(sim.Design2)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// If Do leaked the device, this acquire would block past the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	d, err := f.Acquire(ctx)
+	if err != nil {
+		t.Fatalf("device leaked by Do: %v", err)
+	}
+	f.Release(d)
+}
+
+// TestFleetConcurrentDo hammers a small fleet from many goroutines under
+// -race: every transaction lands on an exclusively-held device, so the
+// per-device request counters must sum to the job count exactly.
+func TestFleetConcurrentDo(t *testing.T) {
+	eng := smallEngine(t)
+	f := New(eng, 3)
+	const jobs = 60
+	var wg sync.WaitGroup
+	var inFlight, maxInFlight int64
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			err := f.Do(context.Background(), func(d *reconfig.Device) error {
+				mu.Lock()
+				inFlight++
+				if inFlight > maxInFlight {
+					maxInFlight = inFlight
+				}
+				if inFlight > int64(f.Size()) {
+					t.Errorf("%d holders of a %d-device fleet", inFlight, f.Size())
+				}
+				mu.Unlock()
+				var v features.Vector
+				d.DecideApply(v, sim.AllDesigns[i%4], 1)
+				mu.Lock()
+				inFlight--
+				mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	var total int64
+	for _, d := range f.Devices() {
+		total += d.Stats().Requests
+	}
+	if total != jobs {
+		t.Errorf("fleet committed %d transactions, want %d", total, jobs)
+	}
+	if maxInFlight < 2 {
+		t.Logf("note: max concurrency observed %d (machine may be single-core)", maxInFlight)
+	}
+}

@@ -1,0 +1,144 @@
+package reconfig
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+
+	"misam/internal/features"
+	"misam/internal/sim"
+	"misam/internal/sparse"
+)
+
+// DeviceStats are the running counters of one accelerator. All fields
+// are cumulative since the device was created.
+type DeviceStats struct {
+	// Requests counts committed decide/apply transactions (one per
+	// analyzed workload; streamed tiles count individually under Tiles).
+	Requests int64
+	// Reconfigs counts bitstream switches actually triggered.
+	Reconfigs int64
+	// ReconfigSeconds is the total switching time charged.
+	ReconfigSeconds float64
+	// Tiles counts tiles executed through Stream.
+	Tiles int64
+}
+
+// Device is one (simulated) reconfigurable accelerator: it owns the
+// mutable state an Engine only prices — the currently loaded bitstream
+// and per-device counters — and serializes the decide/apply transaction
+// against that state. The Engine behind it is immutable and may be shared
+// by many devices; the Device's own methods are safe for concurrent use.
+//
+// A Device does not serialize the simulations that follow a decision;
+// callers that need whole-request exclusivity (one in-flight analyze per
+// accelerator, as a host daemon fronting real hardware would) check
+// devices in and out of a fleet.Fleet instead.
+type Device struct {
+	name   string
+	engine *Engine
+
+	mu    sync.Mutex
+	st    State
+	stats DeviceStats
+}
+
+// NewDevice returns a device with no bitstream loaded, pricing its
+// decisions with the given engine.
+func NewDevice(name string, e *Engine) *Device {
+	return &Device{name: name, engine: e}
+}
+
+// Name identifies the device (e.g. "fpga0").
+func (d *Device) Name() string { return d.name }
+
+// Engine returns the immutable pricing engine behind the device.
+func (d *Device) Engine() *Engine { return d.engine }
+
+// Loaded reports the currently loaded design; ok is false before the
+// first load.
+func (d *Device) Loaded() (sim.DesignID, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st.Loaded, d.st.HasLoaded
+}
+
+// State snapshots the device's bitstream state.
+func (d *Device) State() State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.st
+}
+
+// Stats snapshots the device's counters.
+func (d *Device) Stats() DeviceStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ForceLoad installs a bitstream unconditionally (initial programming).
+func (d *Device) ForceLoad(id sim.DesignID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.st = State{Loaded: id, HasLoaded: true}
+}
+
+// Decide prices a proposal against the device's current state without
+// committing anything — a read-only peek. Use DecideApply for the real
+// transaction.
+func (d *Device) Decide(v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+	d.mu.Lock()
+	st := d.st
+	d.mu.Unlock()
+	return d.engine.Decide(st, v, proposed, remainingUnits)
+}
+
+// Apply commits a decision to the device's bitstream state and counters.
+func (d *Device) Apply(dec Decision) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.commitLocked(dec)
+}
+
+// DecideApply runs the decide/apply transaction atomically: the decision
+// is priced against the state it is committed over, so two concurrent
+// callers can never both decide against the same stale bitstream.
+func (d *Device) DecideApply(v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dec := d.engine.Decide(d.st, v, proposed, remainingUnits)
+	d.commitLocked(dec)
+	return dec
+}
+
+// commitLocked folds a decision into state and stats; d.mu must be held.
+func (d *Device) commitLocked(dec Decision) {
+	d.st = d.st.Apply(dec)
+	d.stats.Requests++
+	if dec.Reconfigure {
+		d.stats.Reconfigs++
+	}
+	d.stats.ReconfigSeconds += dec.ReconfigSeconds
+}
+
+// Stream executes A×B tile-by-tile on this device (§3.3), starting from
+// the device's current bitstream and committing the final state when the
+// stream completes or is cancelled. Per-tile decisions inside the stream
+// are not visible to concurrent DecideApply callers until the commit;
+// check the device out of a fleet for whole-stream exclusivity.
+func (d *Device) Stream(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int) (StreamResult, error) {
+	d.mu.Lock()
+	st := d.st
+	d.mu.Unlock()
+
+	res, final, err := d.engine.Stream(ctx, rng, sel, a, b, minTile, maxTile, st)
+
+	d.mu.Lock()
+	d.st = final
+	d.stats.Tiles += int64(len(res.Outcomes))
+	d.stats.Reconfigs += int64(res.Reconfigs)
+	d.stats.ReconfigSeconds += res.ReconfigSeconds
+	d.mu.Unlock()
+	return res, err
+}

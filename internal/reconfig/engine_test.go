@@ -1,6 +1,7 @@
 package reconfig
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -9,6 +10,9 @@ import (
 	"misam/internal/sim"
 	"misam/internal/sparse"
 )
+
+// loaded is shorthand for a state with the given design programmed.
+func loaded(id sim.DesignID) State { return State{Loaded: id, HasLoaded: true} }
 
 // TestThresholdMonotonicity: raising the threshold can only make the
 // engine switch at the same or smaller amortization, never later.
@@ -22,8 +26,7 @@ func TestThresholdMonotonicity(t *testing.T) {
 	minUnits := func(threshold float64) float64 {
 		eng := NewEngine(base.Predictor, DefaultTimeModel(), threshold)
 		for units := 1.0; units <= 1<<26; units *= 2 {
-			eng.ForceLoad(sim.Design1)
-			if d := eng.Decide(v, sim.Design4, units); d.Target == sim.Design4 {
+			if d := eng.Decide(loaded(sim.Design1), v, sim.Design4, units); d.Target == sim.Design4 {
 				return units
 			}
 		}
@@ -55,8 +58,7 @@ func TestDecideNeverSwitchesToSlowerPrediction(t *testing.T) {
 					continue
 				}
 				if eng.Predictor.Predict(v, prop) > eng.Predictor.Predict(v, cur) {
-					eng.ForceLoad(cur)
-					if d := eng.Decide(v, prop, 1e12); d.Target != cur {
+					if d := eng.Decide(loaded(cur), v, prop, 1e12); d.Target != cur {
 						t.Fatalf("engine switched %v→%v despite predicted slowdown", cur, prop)
 					}
 					found = true
@@ -89,7 +91,8 @@ func TestPartialReconfigMonotoneInFraction(t *testing.T) {
 // change when starting from Design 2.
 func TestStreamSwitchesOnStructureChange(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design2)
+	dev := NewDevice("test", eng)
+	dev.ForceLoad(sim.Design2)
 	rng := rand.New(rand.NewSource(33))
 
 	// Top half regular banded, bottom half heavy-tailed.
@@ -117,7 +120,7 @@ func TestStreamSwitchesOnStructureChange(t *testing.T) {
 	// Design 2 otherwise — both on the shared bitstream, so every switch
 	// the engine accepts must be free.
 	sel := imbalanceSelector{}
-	res, err := eng.Stream(rng, sel, a, b, 2500, 4000)
+	res, err := dev.Stream(context.Background(), rng, sel, a, b, 2500, 4000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,9 +160,8 @@ func (imbalanceSelector) Select(v features.Vector) sim.DesignID {
 // TestDecideProposalEqualsLoaded is the trivial fast path.
 func TestDecideProposalEqualsLoaded(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design3)
 	var v features.Vector
-	d := eng.Decide(v, sim.Design3, 100)
+	d := eng.Decide(loaded(sim.Design3), v, sim.Design3, 100)
 	if d.Reconfigure || d.Target != sim.Design3 || d.ReconfigSeconds != 0 {
 		t.Errorf("no-op proposal mishandled: %+v", d)
 	}
@@ -168,36 +170,81 @@ func TestDecideProposalEqualsLoaded(t *testing.T) {
 // TestDecideClampsUnits: remainingUnits below 1 behaves like 1.
 func TestDecideClampsUnits(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design1)
 	var v features.Vector
-	a := eng.Decide(v, sim.Design2, 0)
-	b := eng.Decide(v, sim.Design2, 1)
+	a := eng.Decide(loaded(sim.Design1), v, sim.Design2, 0)
+	b := eng.Decide(loaded(sim.Design1), v, sim.Design2, 1)
 	if a.Target != b.Target {
 		t.Error("units clamp changed the decision")
 	}
 }
 
-// TestEngineConcurrentUse exercises the engine from several goroutines;
-// run with -race to verify the state guard.
-func TestEngineConcurrentUse(t *testing.T) {
+// TestDecideIsPure: the engine is stateless — the same inputs always give
+// the same verdict, and deciding never perturbs anything observable.
+func TestDecideIsPure(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design1)
+	rng := rand.New(rand.NewSource(77))
+	a := sparse.Uniform(rng, 800, 800, 0.01)
+	b := sparse.DenseRandom(rng, 800, 32)
+	v := features.Extract(a, b)
+	for _, st := range []State{{}, loaded(sim.Design1), loaded(sim.Design3)} {
+		first := eng.Decide(st, v, sim.Design4, 1e6)
+		for i := 0; i < 5; i++ {
+			if got := eng.Decide(st, v, sim.Design4, 1e6); got != first {
+				t.Fatalf("Decide not deterministic: %+v vs %+v", got, first)
+			}
+		}
+	}
+}
+
+// TestDeviceConcurrentUse exercises one device from several goroutines;
+// run with -race to verify the state guard. The shared engine is pure, so
+// the only synchronization is the device's.
+func TestDeviceConcurrentUse(t *testing.T) {
+	_, eng := trainSmall(t)
+	dev := NewDevice("race", eng)
+	dev.ForceLoad(sim.Design1)
 	var v features.Vector
 	done := make(chan struct{})
 	for g := 0; g < 8; g++ {
 		go func(g int) {
 			defer func() { done <- struct{}{} }()
 			for i := 0; i < 200; i++ {
-				d := eng.Decide(v, sim.AllDesigns[(g+i)%4], float64(i+1))
-				eng.Apply(d)
-				eng.Loaded()
+				dev.DecideApply(v, sim.AllDesigns[(g+i)%4], float64(i+1))
+				dev.Loaded()
+				dev.Stats()
 			}
 		}(g)
 	}
 	for g := 0; g < 8; g++ {
 		<-done
 	}
-	if _, ok := eng.Loaded(); !ok {
-		t.Error("engine lost its state under concurrency")
+	if _, ok := dev.Loaded(); !ok {
+		t.Error("device lost its state under concurrency")
+	}
+	if got := dev.Stats().Requests; got != 8*200 {
+		t.Errorf("committed %d transactions, want %d", got, 8*200)
+	}
+}
+
+// TestStreamCancellation: a context cancelled mid-stream stops between
+// tiles with context.Canceled, and the device commits the partial state.
+func TestStreamCancellation(t *testing.T) {
+	_, eng := trainSmall(t)
+	dev := NewDevice("cancel", eng)
+	rng := rand.New(rand.NewSource(41))
+	a := sparse.Uniform(rng, 4000, 1000, 0.01)
+	b := sparse.DenseRandom(rng, 1000, 32)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := dev.Stream(ctx, rng, fixedSelector{sim.Design1}, a, b, 500, 1000)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Outcomes) != 0 {
+		t.Errorf("pre-cancelled stream executed %d tiles", len(res.Outcomes))
+	}
+	if _, ok := dev.Loaded(); ok {
+		t.Error("cancelled-before-start stream should not have programmed a bitstream")
 	}
 }

@@ -5,12 +5,18 @@
 // §6.1; zero between Designs 2 and 3, which share a bitstream), and a
 // user-tunable threshold decides whether switching pays off. A streaming
 // executor applies the decision at tile granularity over large matrices.
+//
+// The package separates two concerns: Engine is the immutable pricing and
+// prediction model — trained once, safe to share across any number of
+// accelerators — while Device (device.go) owns the mutable per-accelerator
+// state (which bitstream is loaded, per-device counters) and serializes
+// the decide/apply transaction against it.
 package reconfig
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"misam/internal/dataset"
 	"misam/internal/features"
@@ -171,9 +177,11 @@ func (p *LatencyPredictor) PredictTarget(v features.Vector, id sim.DesignID) flo
 }
 
 // Engine combines the predictor, the time model and the threshold rule.
-// Its bitstream state is guarded by a mutex, so concurrent host threads
-// may consult one engine safely; the models themselves are immutable
-// after training.
+// An Engine is strictly immutable after construction: it holds no
+// accelerator state and every method is a pure function, so one Engine
+// may be shared by any number of Devices (and goroutines) without
+// synchronization. The loaded-bitstream state it prices against is passed
+// in explicitly as a State — Device owns that state.
 type Engine struct {
 	Predictor *LatencyPredictor
 	Times     TimeModel
@@ -181,13 +189,9 @@ type Engine struct {
 	// its overhead is less than [Threshold] of the expected gain"
 	// (default 0.20).
 	Threshold float64
-
-	mu       sync.Mutex
-	loaded   sim.DesignID
-	hasState bool
 }
 
-// NewEngine returns an engine with no bitstream loaded yet.
+// NewEngine returns an immutable pricing/prediction engine.
 func NewEngine(p *LatencyPredictor, times TimeModel, threshold float64) *Engine {
 	if threshold <= 0 {
 		threshold = 0.20
@@ -195,19 +199,11 @@ func NewEngine(p *LatencyPredictor, times TimeModel, threshold float64) *Engine 
 	return &Engine{Predictor: p, Times: times, Threshold: threshold}
 }
 
-// Loaded reports the currently loaded design; ok is false before the
-// first load.
-func (e *Engine) Loaded() (sim.DesignID, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.loaded, e.hasState
-}
-
-// ForceLoad installs a bitstream unconditionally (initial programming).
-func (e *Engine) ForceLoad(id sim.DesignID) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.loaded, e.hasState = id, true
+// State is the bitstream state of one accelerator: which design is
+// currently programmed, if any. The zero value means "nothing loaded".
+type State struct {
+	Loaded    sim.DesignID
+	HasLoaded bool
 }
 
 // Decision is the engine's verdict for one workload (or tile stream).
@@ -227,18 +223,19 @@ type Decision struct {
 	Gain float64
 }
 
-// Decide evaluates whether to switch to `proposed` for a workload with
-// the given features. remainingUnits is the amortization factor — how
-// many more tile-sized units of this workload will run on whichever
-// bitstream is chosen (§5.2: "the reconfiguration cost is amortized over
-// tiled processing"); pass 1 for a one-shot workload.
-func (e *Engine) Decide(v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+// Decide evaluates whether an accelerator in state st should switch to
+// `proposed` for a workload with the given features. It is a pure
+// function of (st, v, proposed, remainingUnits) — committing the verdict
+// to a real accelerator is Device.Apply's job. remainingUnits is the
+// amortization factor — how many more tile-sized units of this workload
+// will run on whichever bitstream is chosen (§5.2: "the reconfiguration
+// cost is amortized over tiled processing"); pass 1 for a one-shot
+// workload.
+func (e *Engine) Decide(st State, v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
 	if remainingUnits < 1 {
 		remainingUnits = 1
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if !e.hasState {
+	if !st.HasLoaded {
 		// Nothing loaded: programming is mandatory, so pick the proposal.
 		return Decision{
 			Target:          proposed,
@@ -247,18 +244,18 @@ func (e *Engine) Decide(v features.Vector, proposed sim.DesignID, remainingUnits
 			ReconfigSeconds: e.Times.FullReconfig(proposed),
 		}
 	}
-	cur := e.Predictor.Predict(v, e.loaded)
+	cur := e.Predictor.Predict(v, st.Loaded)
 	best := e.Predictor.Predict(v, proposed)
 	d := Decision{
-		Target:           e.loaded,
+		Target:           st.Loaded,
 		PredictedCurrent: cur,
 		PredictedBest:    best,
 	}
-	if proposed == e.loaded {
+	if proposed == st.Loaded {
 		d.Target = proposed
 		return d
 	}
-	overhead := e.Times.Switch(e.loaded, proposed)
+	overhead := e.Times.Switch(st.Loaded, proposed)
 	gain := (cur - best) * remainingUnits
 	d.Gain = gain
 	if gain > 0 && overhead < e.Threshold*gain {
@@ -269,11 +266,10 @@ func (e *Engine) Decide(v features.Vector, proposed sim.DesignID, remainingUnits
 	return d
 }
 
-// Apply commits a decision to the engine's bitstream state.
-func (e *Engine) Apply(d Decision) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.loaded, e.hasState = d.Target, true
+// Apply folds a decision into a state value. It is the pure counterpart
+// of Device.Apply.
+func (st State) Apply(d Decision) State {
+	return State{Loaded: d.Target, HasLoaded: true}
 }
 
 // Tile streaming (§3.3): "large matrices are divided into smaller tiles
@@ -361,29 +357,39 @@ type Selector interface {
 	Select(v features.Vector) sim.DesignID
 }
 
-// Stream executes A×B tile-by-tile under the engine's control: features
+// Stream executes A×B tile-by-tile under the engine's pricing: features
 // are extracted per tile, the selector proposes a design, and the engine
 // decides whether switching pays off given the remaining tile count.
-func (e *Engine) Stream(rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int) (StreamResult, error) {
+// The bitstream state starts from st and is threaded through the tiles;
+// the final state is returned alongside the result so a Device can commit
+// it. ctx cancels the stream between tiles and aborts the per-tile
+// simulations mid-flight.
+func (e *Engine) Stream(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int, st State) (StreamResult, State, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tiles := RandomRowTiles(rng, a.Rows, minTile, maxTile)
 	var res StreamResult
 	for i, span := range tiles {
+		if err := ctx.Err(); err != nil {
+			return res, st, err
+		}
 		tile := SliceRows(a, span.Lo, span.Hi)
 		v := features.Extract(tile, b)
 		proposed := sel.Select(v)
-		dec := e.Decide(v, proposed, float64(len(tiles)-i))
-		e.Apply(dec)
+		dec := e.Decide(st, v, proposed, float64(len(tiles)-i))
+		st = st.Apply(dec)
 
 		// One shared-precompute pass covers both the executed design and
 		// the per-tile oracle — the chosen design is always one of the
 		// four, so its result needs no second simulation.
 		wl, err := sim.NewWorkload(tile, b)
 		if err != nil {
-			return res, fmt.Errorf("reconfig: tile %d: %w", i, err)
+			return res, st, fmt.Errorf("reconfig: tile %d: %w", i, err)
 		}
-		all, err := wl.SimulateAll()
+		all, err := wl.SimulateAllCtx(ctx)
 		if err != nil {
-			return res, fmt.Errorf("reconfig: tile %d: %w", i, err)
+			return res, st, fmt.Errorf("reconfig: tile %d: %w", i, err)
 		}
 		actual := all[dec.Target]
 		opt := all[sim.BestDesign(all)].Seconds
@@ -405,5 +411,5 @@ func (e *Engine) Stream(rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile,
 		}
 	}
 	res.TotalSeconds = res.ComputeSeconds + res.ReconfigSeconds
-	return res, nil
+	return res, st, nil
 }

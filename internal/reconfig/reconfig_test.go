@@ -1,6 +1,7 @@
 package reconfig
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -86,7 +87,7 @@ func TestLatencyPredictorTracksSimulator(t *testing.T) {
 func TestDecideFirstLoadAlwaysSwitches(t *testing.T) {
 	_, eng := trainSmall(t)
 	var v features.Vector
-	d := eng.Decide(v, sim.Design2, 1)
+	d := eng.Decide(State{}, v, sim.Design2, 1)
 	if !d.Reconfigure || d.Target != sim.Design2 {
 		t.Errorf("cold engine should program the proposal: %+v", d)
 	}
@@ -97,14 +98,13 @@ func TestDecideFirstLoadAlwaysSwitches(t *testing.T) {
 
 func TestDecideKeepsCurrentWhenGainSmall(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design1)
 	// A single small unit: 3.5s of reconfiguration can never beat a
 	// microsecond-scale gain.
 	rng := rand.New(rand.NewSource(5))
 	a := sparse.Uniform(rng, 200, 200, 0.02)
 	b := sparse.DenseRandom(rng, 200, 64)
 	v := features.Extract(a, b)
-	d := eng.Decide(v, sim.Design2, 1)
+	d := eng.Decide(State{Loaded: sim.Design1, HasLoaded: true}, v, sim.Design2, 1)
 	if d.Reconfigure || d.Target != sim.Design1 {
 		t.Errorf("engine switched for a tiny workload: %+v", d)
 	}
@@ -112,7 +112,6 @@ func TestDecideKeepsCurrentWhenGainSmall(t *testing.T) {
 
 func TestDecideSwitchesWhenAmortized(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design1)
 	// Find a workload where Design 4 clearly beats Design 1 and scale the
 	// remaining units until the amortized gain dwarfs the 3.5s switch.
 	rng := rand.New(rand.NewSource(6))
@@ -125,7 +124,7 @@ func TestDecideSwitchesWhenAmortized(t *testing.T) {
 		t.Skip("predictor does not favor Design 4 on this draw")
 	}
 	units := eng.Times.FullReconfig(sim.Design4)/(eng.Threshold*(cur-best)) + 10
-	d := eng.Decide(v, sim.Design4, units)
+	d := eng.Decide(State{Loaded: sim.Design1, HasLoaded: true}, v, sim.Design4, units)
 	if !d.Reconfigure || d.Target != sim.Design4 {
 		t.Errorf("engine refused an amortized win: %+v (gain %.3f)", d, d.Gain)
 	}
@@ -133,7 +132,6 @@ func TestDecideSwitchesWhenAmortized(t *testing.T) {
 
 func TestDecideSharedBitstreamSwitchIsFree(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design2)
 	rng := rand.New(rand.NewSource(7))
 	a := sparse.Imbalanced(rng, 1500, 1500, 15000, 0.01, 0.9)
 	b := sparse.DenseRandom(rng, 1500, 32)
@@ -143,7 +141,7 @@ func TestDecideSharedBitstreamSwitchIsFree(t *testing.T) {
 	if best >= cur {
 		t.Skip("predictor does not favor Design 3 on this draw")
 	}
-	d := eng.Decide(v, sim.Design3, 1)
+	d := eng.Decide(State{Loaded: sim.Design2, HasLoaded: true}, v, sim.Design3, 1)
 	if d.Target != sim.Design3 {
 		t.Errorf("free D2→D3 switch refused: %+v", d)
 	}
@@ -153,13 +151,27 @@ func TestDecideSharedBitstreamSwitchIsFree(t *testing.T) {
 }
 
 func TestApplyUpdatesState(t *testing.T) {
-	_, eng := trainSmall(t)
-	if _, ok := eng.Loaded(); ok {
-		t.Fatal("fresh engine should have no bitstream")
+	var st State
+	if st.HasLoaded {
+		t.Fatal("zero state should have no bitstream")
 	}
-	eng.Apply(Decision{Target: sim.Design3})
-	if id, ok := eng.Loaded(); !ok || id != sim.Design3 {
+	st = st.Apply(Decision{Target: sim.Design3})
+	if !st.HasLoaded || st.Loaded != sim.Design3 {
+		t.Errorf("State.Apply = %+v", st)
+	}
+
+	_, eng := trainSmall(t)
+	dev := NewDevice("apply", eng)
+	if _, ok := dev.Loaded(); ok {
+		t.Fatal("fresh device should have no bitstream")
+	}
+	dev.Apply(Decision{Target: sim.Design3, Reconfigure: true, ReconfigSeconds: 3.5})
+	if id, ok := dev.Loaded(); !ok || id != sim.Design3 {
 		t.Errorf("Loaded = %v, %v", id, ok)
+	}
+	stats := dev.Stats()
+	if stats.Requests != 1 || stats.Reconfigs != 1 || stats.ReconfigSeconds != 3.5 {
+		t.Errorf("stats not committed: %+v", stats)
 	}
 }
 
@@ -227,11 +239,12 @@ func (f fixedSelector) Select(features.Vector) sim.DesignID { return f.id }
 
 func TestStreamExecutesAllTiles(t *testing.T) {
 	_, eng := trainSmall(t)
-	eng.ForceLoad(sim.Design1)
+	dev := NewDevice("stream", eng)
+	dev.ForceLoad(sim.Design1)
 	rng := rand.New(rand.NewSource(10))
 	a := sparse.Uniform(rng, 3000, 1000, 0.01)
 	b := sparse.DenseRandom(rng, 1000, 64)
-	res, err := eng.Stream(rng, fixedSelector{sim.Design1}, a, b, 500, 1000)
+	res, err := dev.Stream(context.Background(), rng, fixedSelector{sim.Design1}, a, b, 500, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,39 +3,100 @@
 // workload (MatrixMarket payloads or generator specs) and receive the
 // selected design, the reconfiguration verdict and the predicted and
 // simulated latencies as JSON.
+//
+// The server fronts a Fleet of N accelerators. Each request checks one
+// device out for its duration — per-device serialization keeps every
+// report consistent with the bitstream state it describes — while
+// different devices serve different requests concurrently. Admission is
+// context-aware: request deadlines and client disconnects cancel the
+// simulation mid-tile-pool.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"misam"
 	"misam/internal/sim"
 )
 
-// Server wraps a framework behind an http.Handler. The framework's
-// engine state (loaded bitstream) is shared across requests, mirroring a
-// host daemon fronting one FPGA; the engine itself is concurrency-safe
-// and the analyze path is additionally serialized so reports stay
-// consistent with the bitstream state they describe.
-type Server struct {
-	fw *misam.Framework
-	mu sync.Mutex
+// Config tunes the serving layer. The zero value is a sensible
+// single-device deployment.
+type Config struct {
+	// Devices is the fleet size (default 1).
+	Devices int
+	// RequestTimeout bounds each request's end-to-end time, including
+	// waiting for a device. Zero means no server-imposed deadline.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchItems caps the /v1/analyze/batch fan-out (default 16).
+	MaxBatchItems int
 }
 
-// New returns a Server for the framework.
-func New(fw *misam.Framework) *Server { return &Server{fw: fw} }
+const (
+	defaultMaxBodyBytes  = 8 << 20
+	defaultMaxBatchItems = 16
+)
+
+func (c Config) withDefaults() Config {
+	if c.Devices < 1 {
+		c.Devices = 1
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if c.MaxBatchItems < 1 {
+		c.MaxBatchItems = defaultMaxBatchItems
+	}
+	return c
+}
+
+// Server wraps an immutable framework and a device fleet behind an
+// http.Handler. The framework (models, pricing engine) is shared
+// read-only across all requests; per-accelerator bitstream state lives
+// in the fleet's devices.
+type Server struct {
+	fw    *misam.Framework
+	fleet *misam.Fleet
+	cfg   Config
+
+	// onAcquire, when set, runs after a request checks its device out and
+	// before analysis starts. Test hook for concurrency assertions.
+	onAcquire func(*misam.Accelerator)
+}
+
+// New returns a single-device Server — the original one-FPGA daemon
+// shape.
+func New(fw *misam.Framework) *Server {
+	return NewWithConfig(fw, Config{})
+}
+
+// NewWithConfig returns a Server over a fleet of cfg.Devices fresh
+// accelerators.
+func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{fw: fw, fleet: fw.NewFleet(cfg.Devices), cfg: cfg}
+}
+
+// Fleet exposes the server's device pool (for stats and tests).
+func (s *Server) Fleet() *misam.Fleet { return s.fleet }
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", s.handleAnalyzeBatch)
 	return mux
 }
 
@@ -73,6 +134,31 @@ func (s *Server) handleDesigns(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// deviceInfo is one accelerator's state snapshot.
+type deviceInfo struct {
+	Name            string  `json:"name"`
+	Loaded          string  `json:"loaded"`
+	Requests        int64   `json:"requests"`
+	Reconfigs       int64   `json:"reconfigs"`
+	ReconfigSeconds float64 `json:"reconfig_seconds"`
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	var out []deviceInfo
+	for _, d := range s.fleet.Devices() {
+		info := deviceInfo{Name: d.Name()}
+		if id, ok := d.Loaded(); ok {
+			info.Loaded = id.String()
+		}
+		st := d.Stats()
+		info.Requests = st.Requests
+		info.Reconfigs = st.Reconfigs
+		info.ReconfigSeconds = st.ReconfigSeconds
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 // analyzeRequest carries the two operands, each as either a MatrixMarket
 // document or a generator spec (uniform:<rows>:<cols>:<density>,
 // dense:<cols>, powerlaw:<n>:<nnz>, banded:<n>:<halfbw>, or "self" for B).
@@ -87,6 +173,7 @@ type analyzeRequest struct {
 // analyzeResponse is the framework report plus baseline estimates.
 type analyzeResponse struct {
 	Design           string  `json:"design"`
+	Device           string  `json:"device"`
 	Reconfigured     bool    `json:"reconfigured"`
 	ReconfigSeconds  float64 `json:"reconfig_seconds"`
 	PreprocessMs     float64 `json:"preprocess_ms"`
@@ -100,37 +187,48 @@ type analyzeResponse struct {
 	TrapezoidMs      float64 `json:"trapezoid_ms"`
 }
 
-func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	var req analyzeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-		return
-	}
+// httpError pairs a status code with a client-facing message.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+// analyzeOne resolves one request's operands, checks a device out of the
+// fleet, and runs the analyze pipeline. The workload precompute is built
+// once and shared between Analyze and the baseline comparison.
+func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeResponse, *httpError) {
 	a, err := loadOperand(req.AMatrixMarket, req.ASpec, req.Seed, nil)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("matrix A: %w", err))
-		return
+		return analyzeResponse{}, &httpError{http.StatusBadRequest, fmt.Errorf("matrix A: %w", err)}
 	}
 	b, err := loadOperand(req.BMatrixMarket, req.BSpec, req.Seed+1, a)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("matrix B: %w", err))
-		return
+		return analyzeResponse{}, &httpError{http.StatusBadRequest, fmt.Errorf("matrix B: %w", err)}
 	}
-	if a.Cols != b.Rows {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
-		return
-	}
-	s.mu.Lock()
-	rep, err := s.fw.Analyze(a, b)
-	s.mu.Unlock()
+	wl, err := misam.NewWorkload(a, b)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
-		return
+		return analyzeResponse{}, &httpError{http.StatusBadRequest,
+			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)}
 	}
-	cmp := misam.CompareBaselines(a, b)
-	writeJSON(w, http.StatusOK, analyzeResponse{
+
+	var rep misam.Report
+	err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
+		if s.onAcquire != nil {
+			s.onAcquire(dev)
+		}
+		var err error
+		rep, err = s.fw.AnalyzeOn(ctx, dev, wl)
+		return err
+	})
+	if err != nil {
+		return analyzeResponse{}, &httpError{statusFor(err), err}
+	}
+	cmp := misam.CompareBaselinesWorkload(wl)
+	return analyzeResponse{
 		Design:           rep.Design.String(),
+		Device:           rep.Device,
 		Reconfigured:     rep.Reconfigured,
 		ReconfigSeconds:  rep.ReconfigSec,
 		PreprocessMs:     rep.PreprocessSeconds * 1e3,
@@ -142,7 +240,114 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		CPUMs:            cmp.CPUSeconds * 1e3,
 		GPUMs:            cmp.GPUSeconds * 1e3,
 		TrapezoidMs:      cmp.TrapezoidSeconds * 1e3,
-	})
+	}, nil
+}
+
+// statusFor maps pipeline errors to HTTP statuses: a server-imposed
+// deadline expiring is a gateway timeout; a cancelled context (client
+// went away) is service-unavailable; anything else is internal.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// requestContext derives the request-scoped context, applying the
+// server's timeout when configured.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// decodeBody decodes a size-capped JSON request body.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *httpError {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return &httpError{http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err)}
+	}
+	return nil
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req analyzeRequest
+	if herr := s.decodeBody(w, r, &req); herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, herr := s.analyzeOne(ctx, req)
+	if herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest fans N analyze items across the fleet.
+type batchRequest struct {
+	Items []analyzeRequest `json:"items"`
+}
+
+// batchItemResponse is one item's outcome; exactly one of Error or the
+// embedded response fields is meaningful.
+type batchItemResponse struct {
+	analyzeResponse
+	Error string `json:"error,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItemResponse `json:"items"`
+}
+
+func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	if herr := s.decodeBody(w, r, &req); herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch has no items"))
+		return
+	}
+	if len(req.Items) > s.cfg.MaxBatchItems {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("batch has %d items, limit is %d", len(req.Items), s.cfg.MaxBatchItems))
+		return
+	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+
+	// Fan the items out; fleet admission provides the per-device
+	// serialization, so concurrency here is bounded by the device count.
+	out := batchResponse{Items: make([]batchItemResponse, len(req.Items))}
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, herr := s.analyzeOne(ctx, req.Items[i])
+			if herr != nil {
+				out.Items[i] = batchItemResponse{Error: herr.Error()}
+				return
+			}
+			out.Items[i] = batchItemResponse{analyzeResponse: resp}
+		}(i)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, out)
 }
 
 // loadOperand resolves one matrix from its MatrixMarket document or
@@ -160,7 +365,14 @@ func loadOperand(mtx, spec string, seed int64, prev *misam.Matrix) (*misam.Matri
 	}
 }
 
-// parseSpec mirrors the CLI generator grammar.
+// maxGenNNZ caps the estimated entry count of a generated matrix. A spec
+// like dense:4194304 would otherwise allocate ~10^13 entries from one
+// request; anything a legitimate client wants above this cap should be
+// uploaded as a (size-capped) MatrixMarket document instead.
+const maxGenNNZ = 1 << 23
+
+// parseSpec mirrors the CLI generator grammar, with entry-count caps on
+// every family.
 func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, error) {
 	if spec == "self" {
 		if prev == nil {
@@ -179,6 +391,12 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 		}
 		return v, nil
 	}
+	checkNNZ := func(est float64) error {
+		if est > maxGenNNZ {
+			return fmt.Errorf("spec %q: ~%.0f generated entries exceeds the %d cap", spec, est, maxGenNNZ)
+		}
+		return nil
+	}
 	switch parts[0] {
 	case "uniform":
 		rows, err := atoi(1)
@@ -196,6 +414,9 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 		if err != nil || dens < 0 || dens > 1 {
 			return nil, fmt.Errorf("bad density %q", parts[3])
 		}
+		if err := checkNNZ(float64(rows) * float64(cols) * dens); err != nil {
+			return nil, err
+		}
 		return misam.RandUniform(seed, rows, cols, dens), nil
 	case "dense":
 		cols, err := atoi(1)
@@ -205,6 +426,9 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 		rows := cols
 		if prev != nil {
 			rows = prev.Cols
+		}
+		if err := checkNNZ(float64(rows) * float64(cols)); err != nil {
+			return nil, err
 		}
 		return misam.RandDense(seed, rows, cols), nil
 	case "powerlaw":
@@ -216,6 +440,9 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 		if err != nil {
 			return nil, err
 		}
+		if err := checkNNZ(float64(nnz)); err != nil {
+			return nil, err
+		}
 		return misam.RandPowerLaw(seed, n, n, nnz, 1.9), nil
 	case "banded":
 		n, err := atoi(1)
@@ -224,6 +451,9 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 		}
 		half, err := atoi(2)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkNNZ(float64(n) * float64(2*half+1)); err != nil {
 			return nil, err
 		}
 		return misam.RandBanded(seed, n, n, half, 0.8), nil

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"misam/internal/baseline"
 	"misam/internal/sparse"
 )
 
@@ -124,6 +126,37 @@ func (w *Workload) COutputs() int64 {
 	return w.cOutputs
 }
 
+// BaselineStats derives the baseline cost models' workload statistics
+// from the cached precompute. The values are identical to
+// baseline.Collect(A, B) — Flops and Outputs are the same exact integer
+// sums — but only A's row pointers are re-walked (for the imbalance
+// term); the nnz-proportional work is served from the cache.
+func (w *Workload) BaselineStats() baseline.Stats {
+	w.precompute()
+	s := baseline.Stats{
+		M: w.A.Rows, K: w.A.Cols, N: w.B.Cols,
+		NNZA: w.A.NNZ(), NNZB: w.B.NNZ(),
+		ADensity: w.A.Density(), BDensity: w.B.Density(),
+		Flops:   float64(w.flops),
+		Outputs: float64(w.cOutputs),
+	}
+	maxRow := 0
+	for r := 0; r < w.A.Rows; r++ {
+		if n := w.A.RowNNZ(r); n > maxRow {
+			maxRow = n
+		}
+	}
+	if w.A.Rows > 0 && s.NNZA > 0 {
+		s.AImbalance = float64(maxRow) / (float64(s.NNZA) / float64(w.A.Rows))
+	} else {
+		s.AImbalance = 1
+	}
+	if w.B.Rows > 0 {
+		s.AvgBRowNNZ = float64(s.NNZB) / float64(w.B.Rows)
+	}
+	return s
+}
+
 // tiling returns the cached B row tiles and per-tile nonzero counts for a
 // design's tiling scheme.
 func (w *Workload) tiling(cfg Config) ([]Span, []int64) {
@@ -202,12 +235,23 @@ func (w *Workload) serviceFunc(cfg Config) func(col int) int64 {
 // may be scheduled in parallel, but every per-tile quantity is reduced in
 // tile order and all cross-tile accumulations are exact integer sums.
 func (w *Workload) Simulate(cfg Config) (Result, error) {
-	return w.simulate(cfg, true)
+	return w.simulate(context.Background(), cfg, true)
+}
+
+// SimulateCtx is Simulate under a context: cancellation or deadline
+// expiry aborts the tile pool between tiles and returns ctx.Err().
+func (w *Workload) SimulateCtx(ctx context.Context, cfg Config) (Result, error) {
+	return w.simulate(ctx, cfg, true)
 }
 
 // SimulateDesign is shorthand for Simulate(GetConfig(id)).
 func (w *Workload) SimulateDesign(id DesignID) (Result, error) {
 	return w.Simulate(GetConfig(id))
+}
+
+// SimulateDesignCtx is SimulateCtx(ctx, GetConfig(id)).
+func (w *Workload) SimulateDesignCtx(ctx context.Context, id DesignID) (Result, error) {
+	return w.SimulateCtx(ctx, GetConfig(id))
 }
 
 // SimulateAll evaluates every design on the workload, sharing the
@@ -217,11 +261,17 @@ func (w *Workload) SimulateDesign(id DesignID) (Result, error) {
 // thrashes the cache, so the designs run sequentially instead — the
 // deterministic simulator makes the two paths indistinguishable.
 func (w *Workload) SimulateAll() ([NumDesigns]Result, error) {
+	return w.SimulateAllCtx(context.Background())
+}
+
+// SimulateAllCtx is SimulateAll under a context; a cancelled or expired
+// context aborts all four design simulations mid-tile-pool.
+func (w *Workload) SimulateAllCtx(ctx context.Context) ([NumDesigns]Result, error) {
 	var out [NumDesigns]Result
 	if numTileWorkers() <= 1 {
 		for _, id := range AllDesigns {
 			var err error
-			if out[id], err = w.Simulate(GetConfig(id)); err != nil {
+			if out[id], err = w.simulate(ctx, GetConfig(id), true); err != nil {
 				return out, err
 			}
 		}
@@ -233,7 +283,7 @@ func (w *Workload) SimulateAll() ([NumDesigns]Result, error) {
 		wg.Add(1)
 		go func(id DesignID) {
 			defer wg.Done()
-			out[id], errs[id] = w.Simulate(GetConfig(id))
+			out[id], errs[id] = w.simulate(ctx, GetConfig(id), true)
 		}(id)
 	}
 	wg.Wait()
@@ -268,8 +318,14 @@ const minParallelTiles = 4
 // parallel paths on single-CPU hosts.
 var numTileWorkers = runtime.NumCPU
 
-func (w *Workload) simulate(cfg Config, parallelTiles bool) (Result, error) {
+func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	res := Result{Design: cfg.ID}
@@ -286,6 +342,9 @@ func (w *Workload) simulate(cfg Config, parallelTiles bool) (Result, error) {
 	if workers > len(tiles) {
 		workers = len(tiles)
 	}
+	// Cancellation is polled between tiles (an atomic load per claim);
+	// in-flight tiles finish, so an abort costs at most one tile per
+	// worker.
 	if parallelTiles && workers > 1 && len(tiles) >= minParallelTiles {
 		var next int64
 		var wg sync.WaitGroup
@@ -293,7 +352,7 @@ func (w *Workload) simulate(cfg Config, parallelTiles bool) (Result, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					t := int(atomic.AddInt64(&next, 1)) - 1
 					if t >= len(tiles) {
 						return
@@ -305,8 +364,14 @@ func (w *Workload) simulate(cfg Config, parallelTiles bool) (Result, error) {
 		wg.Wait()
 	} else {
 		for t := range tiles {
+			if ctx.Err() != nil {
+				break
+			}
 			run(t)
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
 	}
 
 	// Deterministic reduction in tile order (every term is an exact
@@ -394,7 +459,7 @@ func SimulateAllSerial(a, b *sparse.CSR) ([NumDesigns]Result, error) {
 		if err != nil {
 			return out, err
 		}
-		r, err := w.simulate(GetConfig(id), false)
+		r, err := w.simulate(context.Background(), GetConfig(id), false)
 		if err != nil {
 			return out, err
 		}

@@ -95,7 +95,7 @@ func TestParallelTileLoopMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		serial, err := ws.simulate(cfg, false)
+		serial, err := ws.simulate(nil, cfg, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +103,7 @@ func TestParallelTileLoopMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		parallel, err := wp.simulate(cfg, true)
+		parallel, err := wp.simulate(nil, cfg, true)
 		if err != nil {
 			t.Fatal(err)
 		}

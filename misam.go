@@ -26,6 +26,7 @@
 package misam
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -36,6 +37,7 @@ import (
 	"misam/internal/dataset"
 	"misam/internal/energy"
 	"misam/internal/features"
+	"misam/internal/fleet"
 	"misam/internal/mltree"
 	"misam/internal/reconfig"
 	"misam/internal/sim"
@@ -160,13 +162,50 @@ func (s *Selector) SizeBytes() (int, error) { return mltree.SizeBytes(s.Tree) }
 
 var _ reconfig.Selector = (*Selector)(nil)
 
-// Framework bundles the trained selector, the reconfiguration engine and
-// the training corpus (kept for evaluation drivers).
+// Framework bundles the trained selector, the reconfiguration pricing
+// engine and the training corpus (kept for evaluation drivers). A
+// Framework is strictly immutable after Train/Load and safe for
+// unlimited concurrent use: the models never change, and the Engine is a
+// pure pricing/prediction function. The mutable part of the system —
+// which bitstream a given accelerator has loaded — lives in Accelerator
+// devices (see NewDevice/NewFleet). For the single-accelerator
+// convenience API (Analyze, Stream) the framework carries one default
+// device, so existing single-device behavior is unchanged.
 type Framework struct {
 	Selector *Selector
 	Engine   *reconfig.Engine
 	Corpus   *dataset.Corpus
 	Options  TrainOptions
+
+	device *reconfig.Device
+}
+
+// Accelerator is one (simulated) reconfigurable accelerator: it owns the
+// loaded-bitstream state and per-device counters, pricing its decisions
+// with the framework's immutable Engine. See internal/reconfig.Device.
+type Accelerator = reconfig.Device
+
+// AcceleratorStats are an Accelerator's running counters.
+type AcceleratorStats = reconfig.DeviceStats
+
+// Fleet is a checkout pool of Accelerators with per-device serialization
+// and cross-device concurrency. See internal/fleet.
+type Fleet = fleet.Fleet
+
+// NewDevice returns a fresh accelerator (no bitstream loaded) backed by
+// the framework's engine.
+func (f *Framework) NewDevice(name string) *Accelerator {
+	return reconfig.NewDevice(name, f.Engine)
+}
+
+// DefaultDevice returns the device behind the single-accelerator
+// convenience API (Analyze, Stream).
+func (f *Framework) DefaultDevice() *Accelerator { return f.device }
+
+// NewFleet returns a fleet of n fresh devices sharing the framework's
+// immutable models.
+func (f *Framework) NewFleet(n int) *Fleet {
+	return fleet.New(f.Engine, n)
 }
 
 // Train generates synthetic corpora, labels them with the design
@@ -222,11 +261,13 @@ func TrainOnCorpus(corpus, latCorpus *dataset.Corpus, opts TrainOptions) (*Frame
 	if err != nil {
 		return nil, err
 	}
+	engine := reconfig.NewEngine(pred, reconfig.DefaultTimeModel(), opts.Threshold)
 	return &Framework{
 		Selector: &Selector{Tree: cls, compiled: cls.Compile()},
-		Engine:   reconfig.NewEngine(pred, reconfig.DefaultTimeModel(), opts.Threshold),
+		Engine:   engine,
 		Corpus:   corpus,
 		Options:  opts,
+		device:   reconfig.NewDevice("default", engine),
 	}, nil
 }
 
@@ -234,7 +275,9 @@ func TrainOnCorpus(corpus, latCorpus *dataset.Corpus, opts TrainOptions) (*Frame
 // (preprocessing = feature extraction, inference = selector + engine) and
 // the simulated hardware outcome.
 type Report struct {
-	Design            Design
+	Design Design
+	// Device names the accelerator that served the request.
+	Device            string
 	PreprocessSeconds float64
 	InferenceSeconds  float64
 	// PredictedSeconds is the latency predictor's estimate for the chosen
@@ -254,21 +297,39 @@ type Report struct {
 }
 
 // Analyze selects a design for A×B and simulates it without computing the
-// numeric product — the path a host would take before offloading.
-func (f *Framework) Analyze(a, b *Matrix) (Report, error) {
+// numeric product — the path a host would take before offloading. State
+// transitions happen on the framework's default device; use AnalyzeOn to
+// target a specific accelerator. ctx cancellation aborts the simulation
+// mid-tile-pool and returns ctx.Err().
+func (f *Framework) Analyze(ctx context.Context, a, b *Matrix) (Report, error) {
 	w, err := sim.NewWorkload(a, b)
 	if err != nil {
 		return Report{}, fmt.Errorf("misam: analyze: %w", err)
 	}
-	return f.AnalyzeWorkload(w)
+	return f.AnalyzeOn(ctx, f.device, w)
 }
 
 // AnalyzeWorkload is Analyze over a prebuilt simulation workload, letting
 // callers that evaluate one pair repeatedly (serving stacks, experiment
 // drivers) reuse the design-independent precompute across calls.
-func (f *Framework) AnalyzeWorkload(w *sim.Workload) (Report, error) {
+func (f *Framework) AnalyzeWorkload(ctx context.Context, w *sim.Workload) (Report, error) {
+	return f.AnalyzeOn(ctx, f.device, w)
+}
+
+// AnalyzeOn runs the analyze pipeline against one accelerator: feature
+// extraction, design selection, the decide/apply transaction on dev's
+// bitstream state, and cycle simulation of the chosen design. The
+// framework itself stays immutable — all state transitions land on dev.
+// AnalyzeOn does not serialize dev across concurrent calls; check
+// devices out of a Fleet when requests must own an accelerator
+// exclusively.
+func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Workload) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	a, b := w.A, w.B
 	var rep Report
+	rep.Device = dev.Name()
 	t0 := time.Now()
 	var v features.Vector
 	if f.Options.TopFeaturesOnly {
@@ -279,18 +340,20 @@ func (f *Framework) AnalyzeWorkload(w *sim.Workload) (Report, error) {
 	}
 	rep.PreprocessSeconds = time.Since(t0).Seconds()
 
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
 	t1 := time.Now()
 	proposed := f.Selector.Select(v)
-	dec := f.Engine.Decide(v, proposed, 1)
+	dec := dev.DecideApply(v, proposed, 1)
 	rep.InferenceSeconds = time.Since(t1).Seconds()
-	f.Engine.Apply(dec)
 
 	rep.Design = dec.Target
 	rep.Reconfigured = dec.Reconfigure
 	rep.ReconfigSec = dec.ReconfigSeconds
 	rep.PredictedSeconds = f.Engine.Predictor.Predict(v, dec.Target)
 
-	res, err := w.SimulateDesign(dec.Target)
+	res, err := w.SimulateDesignCtx(ctx, dec.Target)
 	if err != nil {
 		return rep, fmt.Errorf("misam: simulate: %w", err)
 	}
@@ -306,7 +369,7 @@ func (f *Framework) AnalyzeWorkload(w *sim.Workload) (Report, error) {
 // decision, hardware simulation, and the numeric product (computed with
 // the row-wise reference kernel).
 func (f *Framework) Multiply(a, b *Matrix) (*Matrix, Report, error) {
-	rep, err := f.Analyze(a, b)
+	rep, err := f.Analyze(context.Background(), a, b)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -319,10 +382,12 @@ func (f *Framework) Multiply(a, b *Matrix) (*Matrix, Report, error) {
 
 // Stream executes A×B tile-by-tile under the reconfiguration engine,
 // using random tile heights in [minTile, maxTile] (§3.3's 10k–50k when
-// the matrix is large enough).
-func (f *Framework) Stream(seed int64, a, b *Matrix, minTile, maxTile int) (reconfig.StreamResult, error) {
+// the matrix is large enough). The bitstream state carries across tiles
+// (and across calls) on the framework's default device; ctx cancellation
+// aborts between tiles.
+func (f *Framework) Stream(ctx context.Context, seed int64, a, b *Matrix, minTile, maxTile int) (reconfig.StreamResult, error) {
 	rng := rand.New(rand.NewSource(seed))
-	return f.Engine.Stream(rng, f.Selector, a, b, minTile, maxTile)
+	return f.device.Stream(ctx, rng, f.Selector, a, b, minTile, maxTile)
 }
 
 // CompareBaselines estimates the same workload on the CPU, GPU and
@@ -338,7 +403,18 @@ type BaselineComparison struct {
 
 // CompareBaselines evaluates the baseline cost models on A×B.
 func CompareBaselines(a, b *Matrix) BaselineComparison {
-	s := baseline.Collect(a, b)
+	return compareStats(baseline.Collect(a, b))
+}
+
+// CompareBaselinesWorkload evaluates the baseline cost models using a
+// prebuilt workload's cached precompute (flop count, output estimate, B
+// row counts) instead of re-walking the matrices, so serving stacks that
+// already built a Workload for Analyze pay only an O(rows) pass here.
+func CompareBaselinesWorkload(w *Workload) BaselineComparison {
+	return compareStats(w.BaselineStats())
+}
+
+func compareStats(s baseline.Stats) BaselineComparison {
 	cpu := baseline.DefaultCPU().Estimate(s)
 	gpu := baseline.DefaultGPU().Estimate(s)
 	df, trap := baseline.DefaultTrapezoid().BestDataflow(s)
@@ -383,11 +459,13 @@ func Load(r io.Reader) (*Framework, error) {
 			return nil, fmt.Errorf("misam: loaded models are incomplete")
 		}
 	}
+	engine := reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
+		reconfig.DefaultTimeModel(), s.Options.Threshold)
 	return &Framework{
 		Selector: &Selector{Tree: s.Classifier, compiled: s.Classifier.Compile()},
-		Engine: reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
-			reconfig.DefaultTimeModel(), s.Options.Threshold),
-		Options: s.Options,
+		Engine:   engine,
+		Options:  s.Options,
+		device:   reconfig.NewDevice("default", engine),
 	}, nil
 }
 

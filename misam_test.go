@@ -2,6 +2,8 @@ package misam
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"sync"
 	"testing"
 
@@ -84,7 +86,7 @@ func TestAnalyzeOverheadsAreSmall(t *testing.T) {
 	fw := trainTest(t)
 	a := RandUniform(4, 2000, 2000, 0.005)
 	b := RandDense(5, 2000, 128)
-	rep, err := fw.Analyze(a, b)
+	rep, err := fw.Analyze(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +104,7 @@ func TestAnalyzeDimensionMismatch(t *testing.T) {
 	fw := trainTest(t)
 	a := RandUniform(1, 10, 10, 0.5)
 	b := RandUniform(2, 11, 10, 0.5)
-	if _, err := fw.Analyze(a, b); err == nil {
+	if _, err := fw.Analyze(context.Background(), a, b); err == nil {
 		t.Fatal("expected dimension mismatch error")
 	}
 }
@@ -135,12 +137,70 @@ func TestStreamRuns(t *testing.T) {
 	fw := trainTest(t)
 	a := RandUniform(6, 4000, 800, 0.01)
 	b := RandDense(7, 800, 64)
-	res, err := fw.Stream(8, a, b, 800, 1500)
+	res, err := fw.Stream(context.Background(), 8, a, b, 800, 1500)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Outcomes) < 3 {
 		t.Fatalf("expected several tiles, got %d", len(res.Outcomes))
+	}
+}
+
+// TestAnalyzeCancellation: a cancelled context aborts the analyze
+// pipeline and surfaces context.Canceled.
+func TestAnalyzeCancellation(t *testing.T) {
+	fw := trainTest(t)
+	a := RandUniform(11, 2000, 2000, 0.005)
+	b := RandDense(12, 2000, 64)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := fw.Analyze(ctx, a, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAnalyzeOnSeparateDevices: the framework is immutable, so two
+// devices evolve independent bitstream state while sharing the models.
+func TestAnalyzeOnSeparateDevices(t *testing.T) {
+	fw := trainTest(t)
+	a := RandUniform(13, 800, 800, 0.01)
+	b := RandDense(14, 800, 64)
+	w, err := NewWorkload(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := fw.NewDevice("one"), fw.NewDevice("two")
+	defaultBefore := fw.DefaultDevice().Stats().Requests
+	var wg sync.WaitGroup
+	for _, dev := range []*Accelerator{d1, d2} {
+		wg.Add(1)
+		go func(dev *Accelerator) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				rep, err := fw.AnalyzeOn(context.Background(), dev, w)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if rep.Device != dev.Name() {
+					t.Errorf("report names device %q, want %q", rep.Device, dev.Name())
+				}
+			}
+		}(dev)
+	}
+	wg.Wait()
+	// Both devices saw the same workload: same design loaded, independent
+	// counters, and the default device was never touched.
+	l1, ok1 := d1.Loaded()
+	l2, ok2 := d2.Loaded()
+	if !ok1 || !ok2 || l1 != l2 {
+		t.Errorf("device states diverged: %v/%v %v/%v", l1, ok1, l2, ok2)
+	}
+	if d1.Stats().Requests != 4 || d2.Stats().Requests != 4 {
+		t.Errorf("per-device request counts wrong: %+v %+v", d1.Stats(), d2.Stats())
+	}
+	if got := fw.DefaultDevice().Stats().Requests; got != defaultBefore {
+		t.Errorf("AnalyzeOn leaked %d transactions onto the default device", got-defaultBefore)
 	}
 }
 
