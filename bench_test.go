@@ -720,3 +720,90 @@ func BenchmarkAblationDepGap(b *testing.B) {
 		}
 	}
 }
+
+var (
+	cacheBenchFW   *misam.Framework
+	cacheBenchOnce sync.Once
+	cacheBenchErr  error
+)
+
+// cacheBenchFramework trains a tiny fixed-seed framework shared by the
+// analysis-cache benchmarks (separate from benchContext so `-bench
+// Cache` pays no figure-scale training).
+func cacheBenchFramework(b *testing.B) *misam.Framework {
+	b.Helper()
+	cacheBenchOnce.Do(func() {
+		cacheBenchFW, cacheBenchErr = misam.Train(misam.TrainOptions{
+			CorpusSize: 60, LatencyCorpusSize: 80, MaxDim: 256, Seed: 7})
+	})
+	if cacheBenchErr != nil {
+		b.Fatal(cacheBenchErr)
+	}
+	return cacheBenchFW
+}
+
+func cacheBenchOperands() (*misam.Matrix, *misam.Matrix) {
+	return misam.RandPowerLaw(61, 4000, 4000, 32000, 1.9), misam.RandDense(62, 4000, 48)
+}
+
+func analyzeFresh(b *testing.B, fw *misam.Framework, dev *misam.Accelerator, a, m *misam.Matrix) {
+	b.Helper()
+	// A fresh workload per call: workload-precompute reuse must not be
+	// what the cached variants measure.
+	wl, err := misam.NewWorkload(a, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fw.AnalyzeOn(context.Background(), dev, wl); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAnalyzeCacheCold is the uncached serving baseline the warm
+// and coalesced variants are read against.
+func BenchmarkAnalyzeCacheCold(b *testing.B) {
+	fw := cacheBenchFramework(b)
+	a, m := cacheBenchOperands()
+	dev := fw.NewDevice("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeFresh(b, fw, dev, a, m)
+	}
+}
+
+// BenchmarkAnalyzeCacheWarm times repeated requests for one resident
+// pair: fingerprint + cache lookup + per-request pricing.
+func BenchmarkAnalyzeCacheWarm(b *testing.B) {
+	fw := *cacheBenchFramework(b)
+	cfw := (&fw).WithCache(64 << 20)
+	a, m := cacheBenchOperands()
+	dev := cfw.NewDevice("bench")
+	analyzeFresh(b, cfw, dev, a, m) // prime the entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeFresh(b, cfw, dev, a, m)
+	}
+}
+
+// BenchmarkAnalyzeCacheCoalesced times a 16-way burst of identical
+// concurrent requests against a cold cache: singleflight runs one
+// simulation, the other 15 wait and share it.
+func BenchmarkAnalyzeCacheCoalesced(b *testing.B) {
+	base := cacheBenchFramework(b)
+	a, m := cacheBenchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw := *base
+		cfw := (&fw).WithCache(64 << 20)
+		dev := cfw.NewDevice("bench")
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				analyzeFresh(b, cfw, dev, a, m)
+			}()
+		}
+		wg.Wait()
+	}
+}

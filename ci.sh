@@ -19,6 +19,14 @@ echo "==> go build ./..."
 go build ./...
 
 echo "==> go test -race -shuffle=on ./..."
-go test -race -shuffle=on ./...
+# -timeout raised past the 10m default: internal/reconfig alone runs
+# ~10m under the race detector on a single-core host.
+go test -race -shuffle=on -timeout 30m ./...
+
+# Benchmark smoke: one iteration of the fingerprint/memo/cache
+# benchmarks so their harness code can't rot. Scoped by name — the
+# figure-scale benchmarks are far too slow for CI.
+echo "==> benchmark smoke (-benchtime=1x)"
+go test -run '^$' -bench 'Fingerprint|Memo|Cache' -benchtime=1x ./...
 
 echo "CI green"

@@ -25,7 +25,7 @@ func main() {
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
 		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf")
-	perfout := flag.String("perfout", "BENCH_PR1.json",
+	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	flag.Parse()
 
@@ -71,7 +71,7 @@ func main() {
 		{"phases", func() error { _, err := experiments.Phases(ctx, w); return err }},
 		{"heuristics", func() error { _, err := experiments.Heuristics(ctx, w); return err }},
 		// perf is opt-in (-experiment perf): it re-times the simulation
-		// engine and rewrites the BENCH_PR1.json trajectory record.
+		// engine and rewrites the perf trajectory record (BENCH_PR3.json).
 		{"perf", func() error { _, err := experiments.PerfReport(*perfout, w); return err }},
 	}
 

@@ -7,6 +7,7 @@
 //	misam-serve -model misam.model -addr :8080 -devices 4 -timeout 30s
 //	curl -s localhost:8080/v1/designs | jq
 //	curl -s localhost:8080/v1/fleet | jq
+//	curl -s localhost:8080/v1/stats | jq
 //	curl -s -X POST localhost:8080/v1/analyze \
 //	     -d '{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"}' | jq
 //	curl -s -X POST localhost:8080/v1/analyze/batch \
@@ -34,6 +35,7 @@ func main() {
 	devices := flag.Int("devices", 1, "accelerators in the fleet")
 	timeout := flag.Duration("timeout", 0, "per-request deadline including device admission (0 = none)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "analysis cache budget in bytes (0 disables caching)")
 	flag.Parse()
 
 	var fw *misam.Framework
@@ -60,8 +62,9 @@ func main() {
 		Devices:        *devices,
 		RequestTimeout: *timeout,
 		MaxBodyBytes:   *maxBody,
+		CacheBytes:     *cacheBytes,
 	})
-	fmt.Printf("serving %d device(s) on %s (GET /healthz, GET /v1/designs, GET /v1/fleet, POST /v1/analyze, POST /v1/analyze/batch)\n",
+	fmt.Printf("serving %d device(s) on %s (GET /healthz, GET /v1/designs, GET /v1/fleet, GET /v1/stats, POST /v1/analyze, POST /v1/analyze/batch)\n",
 		*devices, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }

@@ -20,6 +20,7 @@ import (
 
 	"misam/internal/energy"
 	"misam/internal/features"
+	"misam/internal/memo"
 	"misam/internal/sim"
 	"misam/internal/sparse"
 )
@@ -301,15 +302,38 @@ func LabelCtx(ctx context.Context, p Pair) (Sample, error) {
 // to label paper-scale pair sets without serializing on Label. ctx
 // cancellation stops the workers between pairs (and aborts in-flight
 // simulations) and returns ctx.Err().
+//
+// Identical operand pairs are deduplicated by content fingerprint before
+// any simulation runs: each distinct pair is labelled exactly once and
+// the sample replicated to its duplicates (keeping each duplicate's own
+// Pair metadata). Corpora drawn from real workload traces repeat the
+// same weight matrix across many records, so the saving is proportional
+// to the repetition rate.
 func LabelAll(ctx context.Context, pairs []Pair) ([]Sample, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Group by operand content; reps holds the first index of each
+	// distinct pair, repOf maps every index to its representative.
+	reps := make([]int, 0, len(pairs))
+	repOf := make([]int, len(pairs))
+	firstByKey := make(map[memo.Key]int, len(pairs))
+	for i, p := range pairs {
+		k := memo.PairKey(p.A.Fingerprint(), p.B.Fingerprint())
+		if j, ok := firstByKey[k]; ok {
+			repOf[i] = j
+			continue
+		}
+		firstByKey[k] = i
+		repOf[i] = i
+		reps = append(reps, i)
+	}
+
 	samples := make([]Sample, len(pairs))
 	errs := make([]error, len(pairs))
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(pairs) {
-		workers = len(pairs)
+	if workers > len(reps) {
+		workers = len(reps)
 	}
 	if workers < 1 {
 		workers = 1
@@ -321,10 +345,11 @@ func LabelAll(ctx context.Context, pairs []Pair) ([]Sample, error) {
 		go func() {
 			defer wg.Done()
 			for ctx.Err() == nil {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(pairs) {
+				r := int(atomic.AddInt64(&next, 1)) - 1
+				if r >= len(reps) {
 					return
 				}
+				i := reps[r]
 				samples[i], errs[i] = LabelCtx(ctx, pairs[i])
 			}
 		}()
@@ -333,10 +358,17 @@ func LabelAll(ctx context.Context, pairs []Pair) ([]Sample, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for _, err := range errs {
-		if err != nil {
+	for i := range pairs {
+		if err := errs[repOf[i]]; err != nil {
 			return nil, err
 		}
+	}
+	for i, j := range repOf {
+		if i == j {
+			continue
+		}
+		samples[i] = samples[j]
+		samples[i].Pair = pairs[i]
 	}
 	return samples, nil
 }

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"misam/internal/features"
 	"misam/internal/mltree"
 	"misam/internal/sim"
+	"misam/internal/sparse"
 )
 
 func smallCorpus(t *testing.T, n int) *Corpus {
@@ -184,5 +186,59 @@ func TestGenerateClassifierDeterministicAcrossParallelism(t *testing.T) {
 		if a.Samples[i].Best != b.Samples[i].Best {
 			t.Fatalf("sample %d label differs across runs", i)
 		}
+	}
+}
+
+// TestLabelAllDedupsIdenticalPairs: content-equal pairs (even in
+// distinct storage, under distinct family tags) are labelled once and
+// the sample replicated with each duplicate's own metadata intact.
+func TestLabelAllDedupsIdenticalPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := sparse.Uniform(rng, 150, 150, 0.05)
+	b := sparse.DenseRandom(rng, 150, 16)
+	c := sparse.Uniform(rng, 120, 140, 0.04)
+	d := sparse.DenseRandom(rng, 140, 8)
+	// A structural copy: equal bytes, separate backing arrays — the dedup
+	// must key on content, not pointers.
+	aCopy := &sparse.CSR{
+		Rows: a.Rows, Cols: a.Cols,
+		RowPtr: append([]int(nil), a.RowPtr...),
+		ColIdx: append([]int(nil), a.ColIdx...),
+		Val:    append([]float64(nil), a.Val...),
+	}
+	pairs := []Pair{
+		{Family: "orig", A: a, B: b},
+		{Family: "copy", A: aCopy, B: b},
+		{Family: "other", A: c, B: d},
+		{Family: "orig-again", A: a, B: b},
+	}
+	samples, err := LabelAll(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(pairs) {
+		t.Fatalf("got %d samples, want %d", len(samples), len(pairs))
+	}
+	for _, i := range []int{1, 3} {
+		if samples[i].LatencySec != samples[0].LatencySec ||
+			samples[i].EnergyJ != samples[0].EnergyJ ||
+			samples[i].Best != samples[0].Best ||
+			samples[i].Features != samples[0].Features {
+			t.Errorf("duplicate %d's label data diverged from its representative", i)
+		}
+		if samples[i].Pair.Family != pairs[i].Family || samples[i].Pair.A != pairs[i].A {
+			t.Errorf("duplicate %d lost its own Pair metadata", i)
+		}
+	}
+	// The replicated labels must equal a direct (non-deduped) labelling.
+	direct, err := Label(pairs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.LatencySec != samples[1].LatencySec || direct.Best != samples[1].Best {
+		t.Error("deduped sample differs from directly labelling the duplicate")
+	}
+	if samples[2].LatencySec == samples[0].LatencySec {
+		t.Error("distinct pairs produced identical latencies (suspicious dedup over-merge)")
 	}
 }

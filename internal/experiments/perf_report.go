@@ -8,8 +8,10 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
+	"misam"
 	"misam/internal/dataset"
 	"misam/internal/energy"
 	"misam/internal/features"
@@ -164,6 +166,81 @@ func PerfReport(path string, w io.Writer) (PerfReportData, error) {
 	}
 	rep.Benchmarks = append(rep.Benchmarks, PerfBench{
 		Name: fmt.Sprintf("CorpusLabelling/%d-pairs", len(pairs)), Iters: iters,
+		SerialNsOp: serial, ParallelNsOp: parallel,
+		Speedup: float64(serial) / float64(parallel),
+	})
+
+	// Analysis cache (PR 3): the "serial" column is the uncached serving
+	// path, the "parallel" column the cache-enabled path. warm-hit times a
+	// repeated request (resident entry, fingerprint + lookup + pricing);
+	// coalesced-16 times a burst of 16 concurrent identical requests
+	// against a cold cache (singleflight: one simulation, 15 waiters)
+	// versus 16 independent full analyses.
+	fw, err := misam.Train(misam.TrainOptions{CorpusSize: 60, LatencyCorpusSize: 80, MaxDim: 256, Seed: 7})
+	if err != nil {
+		return rep, fmt.Errorf("experiments: perf cache framework: %w", err)
+	}
+	ca := sparse.PowerLaw(rng, 4000, 4000, 32000, 1.8)
+	cb := sparse.DenseRandom(rng, 4000, 48)
+	analyzeOnce := func(f *misam.Framework, dev *misam.Accelerator) error {
+		// A fresh workload every call: the cache, not workload-precompute
+		// reuse, must be what the warm side measures.
+		wl, err := misam.NewWorkload(ca, cb)
+		if err != nil {
+			return err
+		}
+		_, err = f.AnalyzeOn(context.Background(), dev, wl)
+		return err
+	}
+	warmCp := *fw
+	warmFW := (&warmCp).WithCache(64 << 20)
+	coldDev, warmDev := fw.NewDevice("bench"), warmFW.NewDevice("bench")
+	serial, parallel, iters, err = timePair(
+		func() error { return analyzeOnce(fw, coldDev) },
+		func() error { return analyzeOnce(warmFW, warmDev) },
+	)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: perf cache warm-hit: %w", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, PerfBench{
+		Name: "AnalyzeCache/warm-hit", Iters: iters,
+		SerialNsOp: serial, ParallelNsOp: parallel,
+		Speedup: float64(serial) / float64(parallel),
+	})
+
+	burst := func(f *misam.Framework) error {
+		dev := f.NewDevice("burst")
+		errs := make([]error, 16)
+		var wg sync.WaitGroup
+		for i := range errs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = analyzeOnce(f, dev)
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+	serial, parallel, iters, err = timePair(
+		func() error { return burst(fw) },
+		func() error {
+			// A fresh cache per burst so every iteration exercises the
+			// singleflight (1 build + 15 coalesced waiters), not warm hits.
+			cp := *fw
+			return burst((&cp).WithCache(64 << 20))
+		},
+	)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: perf cache coalesced: %w", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, PerfBench{
+		Name: "AnalyzeCache/coalesced-16", Iters: iters,
 		SerialNsOp: serial, ParallelNsOp: parallel,
 		Speedup: float64(serial) / float64(parallel),
 	})

@@ -122,16 +122,44 @@ func statsFromCounts(counts []int) axisStats {
 	return axisStats{mean: mean, variance: variance, imbalance: imbalance}
 }
 
-func rowCounts(m *sparse.CSR) []int {
-	counts := make([]int, m.Rows)
-	for r := 0; r < m.Rows; r++ {
-		counts[r] = m.RowNNZ(r)
+// statsFromRowPtr computes row-axis statistics straight from the CSR
+// row-pointer array, without materializing a per-row count slice. The
+// arithmetic mirrors statsFromCounts exactly — same iteration order,
+// same integer sum, same two-pass variance — so the results are
+// bit-identical to the materialized path it replaced.
+func statsFromRowPtr(rowPtr []int) axisStats {
+	rows := len(rowPtr) - 1
+	if rows <= 0 {
+		return axisStats{imbalance: 1}
 	}
-	return counts
+	sum, maxC := 0, 0
+	for r := 0; r < rows; r++ {
+		c := rowPtr[r+1] - rowPtr[r]
+		sum += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := float64(sum) / float64(rows)
+	varSum := 0.0
+	for r := 0; r < rows; r++ {
+		d := float64(rowPtr[r+1]-rowPtr[r]) - mean
+		varSum += d * d
+	}
+	variance := varSum / float64(rows)
+	imbalance := 1.0
+	if mean > 0 {
+		imbalance = float64(maxC) / mean
+	}
+	return axisStats{mean: mean, variance: variance, imbalance: imbalance}
 }
 
-func colCounts(m *sparse.CSR) []int {
-	counts := make([]int, m.Cols)
+// colCountsInto counts column occurrences into the first m.Cols slots of
+// scratch (which must be at least that long) and returns that prefix.
+// Extract backs both operands' counting passes with one buffer.
+func colCountsInto(m *sparse.CSR, scratch []int) []int {
+	counts := scratch[:m.Cols]
+	clear(counts)
 	for _, c := range m.ColIdx {
 		counts[c]++
 	}
@@ -193,10 +221,14 @@ func Extract(a, b *sparse.CSR) Vector {
 	v[ASparsity] = 1 - a.Density()
 	v[BSparsity] = 1 - b.Density()
 
-	ar := statsFromCounts(rowCounts(a))
-	ac := statsFromCounts(colCounts(a))
-	br := statsFromCounts(rowCounts(b))
-	bc := statsFromCounts(colCounts(b))
+	// Row stats come straight from the row pointers; the two column
+	// passes share one scratch buffer (A's stats are reduced into ac
+	// before the buffer is recycled for B).
+	colScratch := make([]int, max(a.Cols, b.Cols))
+	ar := statsFromRowPtr(a.RowPtr)
+	ac := statsFromCounts(colCountsInto(a, colScratch))
+	br := statsFromRowPtr(b.RowPtr)
+	bc := statsFromCounts(colCountsInto(b, colScratch))
 	v[ARowNNZMean], v[ARowNNZVar], v[ALoadImbalanceRow] = ar.mean, ar.variance, ar.imbalance
 	v[AColNNZMean], v[AColNNZVar], v[ALoadImbalanceCol] = ac.mean, ac.variance, ac.imbalance
 	v[BRowNNZMean], v[BRowNNZVar], v[BLoadImbalanceRow] = br.mean, br.variance, br.imbalance

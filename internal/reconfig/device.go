@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"misam/internal/features"
+	"misam/internal/memo"
 	"misam/internal/sim"
 	"misam/internal/sparse"
 )
@@ -128,11 +129,17 @@ func (d *Device) commitLocked(dec Decision) {
 // are not visible to concurrent DecideApply callers until the commit;
 // check the device out of a fleet for whole-stream exclusivity.
 func (d *Device) Stream(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int) (StreamResult, error) {
+	return d.StreamCached(ctx, rng, sel, a, b, minTile, maxTile, nil)
+}
+
+// StreamCached is Stream backed by a content-addressed analysis cache
+// (nil disables caching); see Engine.StreamCached.
+func (d *Device) StreamCached(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int, cache *memo.Cache) (StreamResult, error) {
 	d.mu.Lock()
 	st := d.st
 	d.mu.Unlock()
 
-	res, final, err := d.engine.Stream(ctx, rng, sel, a, b, minTile, maxTile, st)
+	res, final, err := d.engine.StreamCached(ctx, rng, sel, a, b, minTile, maxTile, st, cache)
 
 	d.mu.Lock()
 	d.st = final

@@ -20,6 +20,7 @@ import (
 
 	"misam/internal/dataset"
 	"misam/internal/features"
+	"misam/internal/memo"
 	"misam/internal/mltree"
 	"misam/internal/sim"
 	"misam/internal/sparse"
@@ -365,32 +366,66 @@ type Selector interface {
 // it. ctx cancels the stream between tiles and aborts the per-tile
 // simulations mid-flight.
 func (e *Engine) Stream(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int, st State) (StreamResult, State, error) {
+	return e.StreamCached(ctx, rng, sel, a, b, minTile, maxTile, st, nil)
+}
+
+// tileAnalysis derives one tile's design-independent artifacts: the full
+// feature vector, all four design simulations (one shared-precompute
+// pass covers both the executed design and the per-tile oracle — the
+// chosen design is always one of the four, so its result needs no second
+// simulation), and the baseline statistics. Every field is populated so
+// a cache entry built here is complete for any later consumer, including
+// the serving path.
+func tileAnalysis(ctx context.Context, a, b *sparse.CSR) (*memo.Analysis, error) {
+	wl, err := sim.NewWorkload(a, b)
+	if err != nil {
+		return nil, err
+	}
+	an := &memo.Analysis{Features: features.Extract(a, b)}
+	if an.Results, err = wl.SimulateAllCtx(ctx); err != nil {
+		return nil, err
+	}
+	an.Baseline = wl.BaselineStats()
+	return an, nil
+}
+
+// StreamCached is Stream backed by a content-addressed analysis cache
+// (nil disables caching): per-tile features and simulations are keyed by
+// the operand bytes, so re-streaming a matrix — or re-encountering a
+// tile by content — skips straight to the pricing decision. The decision
+// itself is never cached; it depends on the bitstream state threaded
+// through the stream.
+func (e *Engine) StreamCached(ctx context.Context, rng *rand.Rand, sel Selector, a, b *sparse.CSR, minTile, maxTile int, st State, cache *memo.Cache) (StreamResult, State, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	tiles := RandomRowTiles(rng, a.Rows, minTile, maxTile)
 	var res StreamResult
+	var bfp sparse.Fingerprint
+	if cache != nil {
+		bfp = b.Fingerprint()
+	}
 	for i, span := range tiles {
 		if err := ctx.Err(); err != nil {
 			return res, st, err
 		}
 		tile := SliceRows(a, span.Lo, span.Hi)
-		v := features.Extract(tile, b)
-		proposed := sel.Select(v)
-		dec := e.Decide(st, v, proposed, float64(len(tiles)-i))
+		var an *memo.Analysis
+		var err error
+		if cache != nil {
+			an, _, err = cache.Do(ctx, memo.PairKey(tile.Fingerprint(), bfp),
+				func(ctx context.Context) (*memo.Analysis, error) { return tileAnalysis(ctx, tile, b) })
+		} else {
+			an, err = tileAnalysis(ctx, tile, b)
+		}
+		if err != nil {
+			return res, st, fmt.Errorf("reconfig: tile %d: %w", i, err)
+		}
+		proposed := sel.Select(an.Features)
+		dec := e.Decide(st, an.Features, proposed, float64(len(tiles)-i))
 		st = st.Apply(dec)
 
-		// One shared-precompute pass covers both the executed design and
-		// the per-tile oracle — the chosen design is always one of the
-		// four, so its result needs no second simulation.
-		wl, err := sim.NewWorkload(tile, b)
-		if err != nil {
-			return res, st, fmt.Errorf("reconfig: tile %d: %w", i, err)
-		}
-		all, err := wl.SimulateAllCtx(ctx)
-		if err != nil {
-			return res, st, fmt.Errorf("reconfig: tile %d: %w", i, err)
-		}
+		all := an.Results
 		actual := all[dec.Target]
 		opt := all[sim.BestDesign(all)].Seconds
 

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// cachedServer builds a server over a copy of the shared test framework
+// (enabling the cache must not leak into the other tests' framework).
+func cachedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	fw := *trainedFW(t)
+	s := NewWithConfig(&fw, cfg)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func getStats(t *testing.T, srv *httptest.Server) statsResponse {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestStatsEndpointUncached(t *testing.T) {
+	srv := testServer(t)
+	st := getStats(t, srv)
+	if st.CacheEnabled {
+		t.Fatal("uncached server reports cache_enabled")
+	}
+}
+
+// TestCachedAnalyzeHitsAndStats: repeating one request against a cached
+// server must hit the analysis cache, return the same deterministic
+// outcome, and surface the counters on /v1/stats.
+func TestCachedAnalyzeHitsAndStats(t *testing.T) {
+	_, srv := cachedServer(t, Config{CacheBytes: 64 << 20})
+
+	post := func() map[string]any {
+		raw, _ := json.Marshal(map[string]any{
+			"a_spec": "powerlaw:2000:8000", "b_spec": "dense:16", "seed": 3,
+		})
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %v", resp.StatusCode, out)
+		}
+		return out
+	}
+
+	first := post()
+	second := post()
+	// The second request re-prices against a device that already loaded
+	// the bitstream, so reconfigured/timing fields differ; everything
+	// derived from the cached analysis must be identical.
+	for _, k := range []string{"design", "simulated_ms", "predicted_ms",
+		"pe_utilization", "energy_mj", "cpu_ms", "gpu_ms", "trapezoid_ms"} {
+		if first[k] != second[k] {
+			t.Errorf("%s: warm %v != cold %v", k, second[k], first[k])
+		}
+	}
+
+	st := getStats(t, srv)
+	if !st.CacheEnabled {
+		t.Fatal("cached server reports cache_enabled=false")
+	}
+	if st.Cache.Misses != 1 || st.Cache.Hits < 1 {
+		t.Errorf("cache stats = %+v, want exactly 1 miss and >=1 hit", st.Cache)
+	}
+	if st.Cache.Entries != 1 || st.Cache.ResidentBytes <= 0 {
+		t.Errorf("cache residency = %+v, want 1 entry with positive bytes", st.Cache)
+	}
+	if st.Cache.BudgetBytes != 64<<20 {
+		t.Errorf("budget = %d, want %d", st.Cache.BudgetBytes, int64(64<<20))
+	}
+}
+
+// TestCachedBatchCoalesces: a batch of identical items on a cached
+// server runs at most one simulation — the rest are hits or coalesced
+// waiters.
+func TestCachedBatchCoalesces(t *testing.T) {
+	_, srv := cachedServer(t, Config{Devices: 4, CacheBytes: 64 << 20})
+
+	item := map[string]any{"a_spec": "uniform:800:800:0.01", "b_spec": "dense:16", "seed": 9}
+	raw, _ := json.Marshal(map[string]any{
+		"items": []map[string]any{item, item, item, item, item, item},
+	})
+	resp, err := http.Post(srv.URL+"/v1/analyze/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Items []struct {
+			Design string `json:"design"`
+			Error  string `json:"error"`
+		} `json:"items"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Items) != 6 {
+		t.Fatalf("got %d items, want 6", len(out.Items))
+	}
+	design := out.Items[0].Design
+	for i, it := range out.Items {
+		if it.Error != "" {
+			t.Fatalf("item %d failed: %s", i, it.Error)
+		}
+		if it.Design != design {
+			t.Errorf("item %d selected %s, item 0 selected %s", i, it.Design, design)
+		}
+	}
+	st := getStats(t, srv)
+	if st.Cache.Misses != 1 {
+		t.Errorf("6 identical items ran %d simulations, want 1", st.Cache.Misses)
+	}
+	if st.Cache.Hits+st.Cache.Coalesced != 5 {
+		t.Errorf("hits (%d) + coalesced (%d) = %d, want 5",
+			st.Cache.Hits, st.Cache.Coalesced, st.Cache.Hits+st.Cache.Coalesced)
+	}
+}

@@ -39,6 +39,12 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxBatchItems caps the /v1/analyze/batch fan-out (default 16).
 	MaxBatchItems int
+	// CacheBytes, when positive, enables the framework's content-addressed
+	// analysis cache with this byte budget (misam.Framework.WithCache).
+	// Cache hits skip the fleet's simulation work entirely; misses hold
+	// their device only for the pricing transaction, not the simulation.
+	// Zero leaves caching to the caller's framework configuration.
+	CacheBytes int64
 }
 
 const (
@@ -83,6 +89,9 @@ func New(fw *misam.Framework) *Server {
 // accelerators.
 func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	if cfg.CacheBytes > 0 {
+		fw.WithCache(cfg.CacheBytes)
+	}
 	return &Server{fw: fw, fleet: fw.NewFleet(cfg.Devices), cfg: cfg}
 }
 
@@ -95,6 +104,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleAnalyzeBatch)
 	return mux
@@ -159,6 +169,18 @@ func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// statsResponse reports the analysis-cache counters. cache_enabled is
+// false (and the counters zero) when the server runs without a cache.
+type statsResponse struct {
+	CacheEnabled bool             `json:"cache_enabled"`
+	Cache        misam.CacheStats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st, ok := s.fw.CacheStats()
+	writeJSON(w, http.StatusOK, statsResponse{CacheEnabled: ok, Cache: st})
+}
+
 // analyzeRequest carries the two operands, each as either a MatrixMarket
 // document or a generator spec (uniform:<rows>:<cols>:<density>,
 // dense:<cols>, powerlaw:<n>:<nnz>, banded:<n>:<halfbw>, or "self" for B).
@@ -214,18 +236,43 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 	}
 
 	var rep misam.Report
-	err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
-		if s.onAcquire != nil {
-			s.onAcquire(dev)
+	var cmp misam.BaselineComparison
+	if _, cached := s.fw.CacheStats(); cached {
+		// Cached deployment: run (or coalesce onto, or skip via a hit) the
+		// design-independent analysis before touching the fleet, so cache
+		// hits never occupy a device's simulation slot and misses hold
+		// their device only for the microsecond-scale pricing transaction.
+		t0 := time.Now()
+		an, _, aerr := s.fw.AnalysisFor(ctx, wl)
+		if aerr != nil {
+			return analyzeResponse{}, &httpError{statusFor(aerr), aerr}
 		}
-		var err error
-		rep, err = s.fw.AnalyzeOn(ctx, dev, wl)
-		return err
-	})
+		pre := time.Since(t0).Seconds()
+		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
+			if s.onAcquire != nil {
+				s.onAcquire(dev)
+			}
+			var err error
+			rep, err = s.fw.AnalyzeWith(ctx, dev, an)
+			return err
+		})
+		rep.PreprocessSeconds = pre
+		rep.TotalSeconds += pre
+		cmp = misam.CompareBaselineStats(an.Baseline)
+	} else {
+		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
+			if s.onAcquire != nil {
+				s.onAcquire(dev)
+			}
+			var err error
+			rep, err = s.fw.AnalyzeOn(ctx, dev, wl)
+			return err
+		})
+		cmp = misam.CompareBaselinesWorkload(wl)
+	}
 	if err != nil {
 		return analyzeResponse{}, &httpError{statusFor(err), err}
 	}
-	cmp := misam.CompareBaselinesWorkload(wl)
 	return analyzeResponse{
 		Design:           rep.Design.String(),
 		Device:           rep.Device,

@@ -32,6 +32,35 @@ type PESchedule struct {
 	Issues []Issue
 }
 
+// schedScratch holds the per-PE scheduling buffers so the hot simulation
+// path (simulateTile → schedulePEG → schedulePE, once per PE per PEG per
+// tile) reuses one map and one slice per tile worker instead of
+// allocating fresh ones on every call. PEs within a tile are scheduled
+// sequentially, so a single scratch per simulateTile call is safe; the
+// zero value is ready to use.
+type schedScratch struct {
+	lastIssue map[int]int64
+	done      []bool
+}
+
+// take returns the cleared buffers sized for n elements.
+func (sc *schedScratch) take(n int) (map[int]int64, []bool) {
+	if sc.lastIssue == nil {
+		sc.lastIssue = make(map[int]int64, 64)
+	} else {
+		clear(sc.lastIssue)
+	}
+	if cap(sc.done) < n {
+		sc.done = make([]bool, n)
+	} else {
+		sc.done = sc.done[:n]
+		for i := range sc.done {
+			sc.done[i] = false
+		}
+	}
+	return sc.lastIssue, sc.done
+}
+
 // schedulePE runs greedy windowed list scheduling over elems for one PE.
 // depGap is the load/store dependency distance in issue slots: an element
 // of row r may not start until depGap slots (each lasting the previous
@@ -39,6 +68,13 @@ type PESchedule struct {
 // the read-modify-write latency of the row's accumulator. window bounds
 // the lookahead (>=1); trace retains the issue list.
 func schedulePE(elems []Elem, depGap int64, window int, trace bool) PESchedule {
+	return schedulePEScratch(elems, depGap, window, trace, nil)
+}
+
+// schedulePEScratch is schedulePE with caller-owned buffers; sc may be
+// nil (fresh buffers are allocated). The schedule is a pure function of
+// (elems, depGap, window) — scratch reuse only removes allocation churn.
+func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *schedScratch) PESchedule {
 	var s PESchedule
 	if len(elems) == 0 {
 		return s
@@ -47,8 +83,14 @@ func schedulePE(elems []Elem, depGap int64, window int, trace bool) PESchedule {
 		window = 1
 	}
 	// lastIssue maps row → earliest next start time (issue + depGap·service).
-	lastIssue := make(map[int]int64, 64)
-	done := make([]bool, len(elems))
+	var lastIssue map[int]int64
+	var done []bool
+	if sc != nil {
+		lastIssue, done = sc.take(len(elems))
+	} else {
+		lastIssue = make(map[int]int64, 64)
+		done = make([]bool, len(elems))
+	}
 	head := 0
 	remaining := len(elems)
 	t := int64(0)
@@ -122,6 +164,14 @@ type PEGSchedule struct {
 // the group the PE index is (col / colStride) % numPEs; direct callers
 // use colStride 1 for the flat column_num%PE rule.
 func schedulePEG(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, trace bool) PEGSchedule {
+	return schedulePEGScratch(elems, numPEs, traversal, colStride, depGap, window, trace, nil)
+}
+
+// schedulePEGScratch is schedulePEG with a caller-owned scheduling
+// scratch (nil allocates per PE). The tile simulation threads one scratch
+// per worker through here so the per-PE buffers are reused across every
+// PEG and tile that worker touches.
+func schedulePEGScratch(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, trace bool, sc *schedScratch) PEGSchedule {
 	if colStride < 1 {
 		colStride = 1
 	}
@@ -141,7 +191,7 @@ func schedulePEG(elems []Elem, numPEs int, traversal Traversal, colStride int, d
 	}
 	g := PEGSchedule{PEs: make([]PESchedule, numPEs)}
 	for p, q := range queues {
-		ps := schedulePE(q, depGap, window, trace)
+		ps := schedulePEScratch(q, depGap, window, trace, sc)
 		g.PEs[p] = ps
 		g.Busy += ps.Busy
 		g.Bubbles += ps.Bubbles

@@ -1,0 +1,72 @@
+package sparse
+
+import "math"
+
+// Fingerprint is a 128-bit content hash of a matrix. Two matrices with
+// identical dimensions, row pointers, column indices and values — however
+// they were built — produce the same fingerprint; flipping any single
+// dimension, index or value changes it (with overwhelming probability).
+// The analysis cache (internal/memo) keys on pair fingerprints, so the
+// hash must be fast on nnz-sized inputs and collision-resistant against
+// the structured, low-entropy differences sparse matrices exhibit
+// (off-by-one indices, single pruned weights); cryptographic strength is
+// not a goal.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche permutation
+// of a 64-bit word, so neighbouring integers (the common case for sparse
+// indices) land in unrelated positions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash128 accumulates words into two chained lanes. Both lanes are
+// order-sensitive (swapping two words changes the result) and seeded
+// differently so the 128-bit state never degenerates to a repeated
+// 64-bit value.
+type hash128 struct {
+	lo, hi uint64
+}
+
+func newHash128() hash128 {
+	return hash128{lo: 0x9e3779b97f4a7c15, hi: 0xc2b2ae3d27d4eb4f}
+}
+
+func (h *hash128) word(x uint64) {
+	h.lo = mix64(h.lo ^ x)
+	h.hi = mix64(h.hi + x + 0x9e3779b97f4a7c15)
+}
+
+func (h *hash128) sum() Fingerprint {
+	// A final cross-mix so the last word avalanches into both halves.
+	return Fingerprint{Hi: mix64(h.hi ^ (h.lo >> 32)), Lo: mix64(h.lo ^ h.hi)}
+}
+
+// Fingerprint hashes the full matrix content: dimensions, then RowPtr,
+// ColIdx and Val word by word. The sections need no explicit separators —
+// RowPtr's length is fixed by Rows, and the index/value lengths by
+// RowPtr's final entry — so the encoding is prefix-free. Cost is one pass
+// over the stored structure, O(rows + nnz), far below a single design
+// simulation.
+func (m *CSR) Fingerprint() Fingerprint {
+	h := newHash128()
+	h.word(uint64(m.Rows))
+	h.word(uint64(m.Cols))
+	for _, p := range m.RowPtr {
+		h.word(uint64(p))
+	}
+	for _, c := range m.ColIdx {
+		h.word(uint64(c))
+	}
+	for _, v := range m.Val {
+		h.word(math.Float64bits(v))
+	}
+	return h.sum()
+}

@@ -1,0 +1,107 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// cloneCSR deep-copies a CSR so mutation tests can flip one field at a
+// time without aliasing the original.
+func cloneCSR(m *CSR) *CSR {
+	return &CSR{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		RowPtr: append([]int(nil), m.RowPtr...),
+		ColIdx: append([]int(nil), m.ColIdx...),
+		Val:    append([]float64(nil), m.Val...),
+	}
+}
+
+func TestFingerprintEqualContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Uniform(rng, 200, 300, 0.05)
+
+	// A separately built structural copy must hash identically.
+	b := cloneCSR(a)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("separately built CSRs with equal content hash differently")
+	}
+	// And the fingerprint must be a pure function of content.
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+}
+
+func TestFingerprintMutationSensitivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := Uniform(rng, 64, 80, 0.08)
+	if base.NNZ() < 8 {
+		t.Fatalf("test matrix too sparse: %d nnz", base.NNZ())
+	}
+	ref := base.Fingerprint()
+
+	check := func(name string, mut func(m *CSR)) {
+		t.Helper()
+		m := cloneCSR(base)
+		mut(m)
+		if m.Fingerprint() == ref {
+			t.Errorf("%s: fingerprint unchanged after mutation", name)
+		}
+	}
+
+	check("rows+1", func(m *CSR) { m.Rows++ })
+	check("cols+1", func(m *CSR) { m.Cols++ })
+	// Every single value flip must change the hash.
+	for i := range base.Val {
+		i := i
+		check("val", func(m *CSR) { m.Val[i] += 1.0 })
+	}
+	// Every single column-index nudge must change the hash.
+	for i := range base.ColIdx {
+		i := i
+		check("colidx", func(m *CSR) { m.ColIdx[i] = (m.ColIdx[i] + 1) % m.Cols })
+	}
+	// Every interior row-pointer nudge must change the hash.
+	for i := 1; i < len(base.RowPtr)-1; i++ {
+		i := i
+		check("rowptr", func(m *CSR) { m.RowPtr[i]++ })
+	}
+	// Sign and tiny-value flips reach the hash through Float64bits.
+	check("negate", func(m *CSR) { m.Val[0] = -m.Val[0] })
+	check("negzero", func(m *CSR) { m.Val[0] = 0 }) // 0 vs stored value
+}
+
+func TestFingerprintDistinguishesTransposedDims(t *testing.T) {
+	// Same flattened content, swapped dimensions: a classic weak-hash trap.
+	a := &CSR{Rows: 2, Cols: 3, RowPtr: []int{0, 1, 2}, ColIdx: []int{0, 1}, Val: []float64{1, 2}}
+	b := &CSR{Rows: 3, Cols: 2, RowPtr: []int{0, 1, 2, 2}, ColIdx: []int{0, 1}, Val: []float64{1, 2}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different shapes hash equal")
+	}
+}
+
+func TestFingerprintPairwiseCollisions(t *testing.T) {
+	// A small battery of distinct random matrices must produce distinct
+	// fingerprints — a smoke test for gross mixing bugs, not a
+	// collision-resistance proof.
+	rng := rand.New(rand.NewSource(3))
+	seen := make(map[Fingerprint]int)
+	for i := 0; i < 200; i++ {
+		m := Uniform(rng, 10+rng.Intn(50), 10+rng.Intn(50), 0.02+rng.Float64()*0.2)
+		fp := m.Fingerprint()
+		if j, ok := seen[fp]; ok {
+			t.Fatalf("matrices %d and %d collide", j, i)
+		}
+		seen[fp] = i
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := Uniform(rng, 4000, 4000, 0.01)
+	b.SetBytes(int64(8 * (len(m.RowPtr) + len(m.ColIdx) + len(m.Val))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Fingerprint()
+	}
+}

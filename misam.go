@@ -38,6 +38,7 @@ import (
 	"misam/internal/energy"
 	"misam/internal/features"
 	"misam/internal/fleet"
+	"misam/internal/memo"
 	"misam/internal/mltree"
 	"misam/internal/reconfig"
 	"misam/internal/sim"
@@ -178,6 +179,127 @@ type Framework struct {
 	Options  TrainOptions
 
 	device *reconfig.Device
+	// cache, when enabled via WithCache, memoizes the design-independent
+	// analysis artifacts (features, all-design simulations, baseline
+	// stats) by operand content. It never holds reconfiguration
+	// decisions — those depend on mutable device state and are re-priced
+	// per request.
+	cache *memo.Cache
+}
+
+// Analysis bundles the design-independent artifacts of one operand pair:
+// the extracted feature vector, the cycle simulations of all four
+// designs, and the baseline cost-model statistics. See internal/memo.
+type Analysis = memo.Analysis
+
+// CacheStats are the analysis cache's counters (see WithCache).
+type CacheStats = memo.Stats
+
+// WithCache enables the content-addressed analysis cache with roughly
+// budgetBytes of resident entries, returning f for chaining. Enable it
+// once at setup, before serving traffic. With the cache on, Analyze and
+// Stream share artifacts across requests whose operands are
+// byte-identical (keyed by sparse.CSR.Fingerprint), and concurrent
+// requests for the same pair coalesce onto one simulation. Per-request
+// reconfiguration decisions are never cached.
+func (f *Framework) WithCache(budgetBytes int64) *Framework {
+	f.cache = memo.New(budgetBytes)
+	return f
+}
+
+// CacheStats snapshots the analysis cache counters; ok is false when no
+// cache is enabled.
+func (f *Framework) CacheStats() (st CacheStats, ok bool) {
+	if f.cache == nil {
+		return CacheStats{}, false
+	}
+	return f.cache.Stats(), true
+}
+
+// prunedKeySalt separates the pruned-deployment feature flavour in the
+// cache keyspace: a TopFeaturesOnly framework stores ExtractPruned
+// vectors, which must never be confused with the full vectors the
+// streaming path (and full-featured frameworks) cache for the same
+// operand bytes.
+const prunedKeySalt = 0x709c5d3a41fe9b27
+
+// analysisKey is the content address of the (A, B) analysis under the
+// framework's extraction flavour.
+func (f *Framework) analysisKey(a, b *Matrix) memo.Key {
+	k := memo.PairKey(a.Fingerprint(), b.Fingerprint())
+	if f.Options.TopFeaturesOnly {
+		k.Hi ^= prunedKeySalt
+	}
+	return k
+}
+
+// buildAnalysis derives every design-independent artifact from the
+// workload: the feature vector in the framework's flavour, all four
+// design simulations (shared precompute, parallel fan-out), and the
+// baseline statistics.
+func (f *Framework) buildAnalysis(ctx context.Context, w *Workload) (*Analysis, error) {
+	an := &Analysis{}
+	if f.Options.TopFeaturesOnly {
+		an.Features = features.ExtractPruned(w.A, w.B)
+	} else {
+		an.Features = features.Extract(w.A, w.B)
+	}
+	var err error
+	an.Results, err = w.SimulateAllCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	an.Baseline = w.BaselineStats()
+	return an, nil
+}
+
+// AnalysisFor returns the design-independent analysis for w's operand
+// pair. With a cache enabled the result is content-addressed: equal
+// operand bytes hit regardless of which request built the entry, and
+// concurrent misses for the same pair run one simulation. hit reports
+// whether this call avoided building (resident entry or coalesced
+// share); without a cache it is always false.
+func (f *Framework) AnalysisFor(ctx context.Context, w *Workload) (*Analysis, bool, error) {
+	if f.cache == nil {
+		an, err := f.buildAnalysis(ctx, w)
+		return an, false, err
+	}
+	return f.cache.Do(ctx, f.analysisKey(w.A, w.B), func(ctx context.Context) (*Analysis, error) {
+		return f.buildAnalysis(ctx, w)
+	})
+}
+
+// AnalyzeWith prices one request against dev from a prebuilt Analysis:
+// selector inference, the decide/apply transaction, and report assembly
+// from the cached simulation of the chosen design. PreprocessSeconds is
+// zero — the caller owns the analysis cost (cache hit or build) and may
+// fold it in.
+func (f *Framework) AnalyzeWith(ctx context.Context, dev *Accelerator, an *Analysis) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var rep Report
+	rep.Device = dev.Name()
+	if err := ctx.Err(); err != nil {
+		return rep, err
+	}
+	t1 := time.Now()
+	proposed := f.Selector.Select(an.Features)
+	dec := dev.DecideApply(an.Features, proposed, 1)
+	rep.InferenceSeconds = time.Since(t1).Seconds()
+
+	rep.Design = dec.Target
+	rep.Reconfigured = dec.Reconfigure
+	rep.ReconfigSec = dec.ReconfigSeconds
+	rep.PredictedSeconds = f.Engine.Predictor.Predict(an.Features, dec.Target)
+
+	res := an.Results[dec.Target]
+	rep.SimulatedSeconds = res.Seconds
+	rep.PEUtilization = res.PEUtilization
+	rep.Cycles = res.Cycles
+	rep.EnergyJoules = energy.FPGAEnergy(res)
+	rep.TotalSeconds = rep.InferenceSeconds + rep.ReconfigSec + rep.SimulatedSeconds
+	return rep, nil
 }
 
 // Accelerator is one (simulated) reconfigurable accelerator: it owns the
@@ -327,6 +449,24 @@ func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Work
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if f.cache != nil {
+		// Cached path: the design-independent analysis (features, all four
+		// simulations, baselines) comes from the content-addressed cache;
+		// only the per-device decide/apply transaction runs per request.
+		// The simulator is deterministic and SimulateAll matches the
+		// single-design path bit for bit, so the report's deterministic
+		// fields are identical to the uncached pipeline's.
+		t0 := time.Now()
+		an, _, err := f.AnalysisFor(ctx, w)
+		if err != nil {
+			return Report{Device: dev.Name()}, fmt.Errorf("misam: analyze: %w", err)
+		}
+		pre := time.Since(t0).Seconds()
+		rep, err := f.AnalyzeWith(ctx, dev, an)
+		rep.PreprocessSeconds = pre
+		rep.TotalSeconds += pre
+		return rep, err
+	}
 	a, b := w.A, w.B
 	var rep Report
 	rep.Device = dev.Name()
@@ -387,7 +527,12 @@ func (f *Framework) Multiply(a, b *Matrix) (*Matrix, Report, error) {
 // aborts between tiles.
 func (f *Framework) Stream(ctx context.Context, seed int64, a, b *Matrix, minTile, maxTile int) (reconfig.StreamResult, error) {
 	rng := rand.New(rand.NewSource(seed))
-	return f.device.Stream(ctx, rng, f.Selector, a, b, minTile, maxTile)
+	// With the analysis cache enabled the per-tile feature extraction and
+	// four-design simulations are content-addressed: re-streaming the same
+	// matrix (or re-seeing a tile by content) skips straight to pricing.
+	// Stream tiles always extract the full feature set, so their entries
+	// live under unsalted keys.
+	return f.device.StreamCached(ctx, rng, f.Selector, a, b, minTile, maxTile, f.cache)
 }
 
 // CompareBaselines estimates the same workload on the CPU, GPU and
@@ -412,6 +557,17 @@ func CompareBaselines(a, b *Matrix) BaselineComparison {
 // already built a Workload for Analyze pay only an O(rows) pass here.
 func CompareBaselinesWorkload(w *Workload) BaselineComparison {
 	return compareStats(w.BaselineStats())
+}
+
+// BaselineStats are the collected workload statistics the baseline cost
+// models consume; cached Analyses carry them.
+type BaselineStats = baseline.Stats
+
+// CompareBaselineStats evaluates the baseline cost models on
+// already-collected statistics (e.g. a cached Analysis.Baseline), paying
+// no matrix walk at all.
+func CompareBaselineStats(s BaselineStats) BaselineComparison {
+	return compareStats(s)
 }
 
 func compareStats(s baseline.Stats) BaselineComparison {
