@@ -23,10 +23,23 @@ echo "==> go test -race -shuffle=on ./..."
 # ~10m under the race detector on a single-core host.
 go test -race -shuffle=on -timeout 30m ./...
 
-# Benchmark smoke: one iteration of the fingerprint/memo/cache
+# The registry hammer is the hot-swap safety proof: readers race
+# publishes and rollbacks under -race and assert no torn snapshot. It
+# already ran inside the full suite above; run it by name here so a
+# future -run filter on the main pass can't silently skip it.
+echo "==> registry hot-swap hammer (-race)"
+go test -race -run 'TestSwapRollbackHammer|TestAnalyzeDuringHotSwap' ./internal/registry/ .
+
+# Benchmark smoke: one iteration of the fingerprint/memo/cache/registry
 # benchmarks so their harness code can't rot. Scoped by name — the
 # figure-scale benchmarks are far too slow for CI.
 echo "==> benchmark smoke (-benchtime=1x)"
-go test -run '^$' -bench 'Fingerprint|Memo|Cache' -benchtime=1x ./...
+go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry' -benchtime=1x ./...
+
+# Online-adaptation smoke: replay a tiny shifting stream through the
+# collector end to end (drift report + retrain + promotion gate).
+echo "==> misam-retrain smoke"
+go run ./cmd/misam-retrain -corpus 120 -maxdim 192 -phase1 36 -phase2 60 \
+    -window 48 -min-samples 24 -min-traces 40 -checkpoint 24 -force
 
 echo "CI green"

@@ -4,23 +4,42 @@
 // latency/energy estimates. Requests are admitted per device — one
 // in-flight analysis per accelerator, devices serving concurrently.
 //
-//	misam-serve -model misam.model -addr :8080 -devices 4 -timeout 30s
+// With -online the daemon also runs the continuous-learning loop:
+// served analyses are sampled into a bounded trace buffer, drift against
+// the training distribution is watched, and POST /v1/models/retrain (or
+// the -retrain-interval background loop) trains a candidate on the
+// traces, shadow-evaluates it against the live model, and promotes it
+// into the versioned registry only when it wins.
+//
+//	misam-serve -model misam.model -addr :8080 -devices 4 -timeout 30s \
+//	            -online -trace-sample 4 -retrain-interval 5m
 //	curl -s localhost:8080/v1/designs | jq
 //	curl -s localhost:8080/v1/fleet | jq
 //	curl -s localhost:8080/v1/stats | jq
+//	curl -s localhost:8080/v1/models | jq
+//	curl -s -X POST localhost:8080/v1/models/retrain | jq
+//	curl -s -X POST localhost:8080/v1/models/rollback | jq
 //	curl -s -X POST localhost:8080/v1/analyze \
 //	     -d '{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"}' | jq
 //	curl -s -X POST localhost:8080/v1/analyze/batch \
 //	     -d '{"items":[{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"},
 //	                   {"a_spec":"uniform:3000:3000:0.002","b_spec":"self"}]}' | jq
+//
+// SIGINT/SIGTERM drain the server gracefully: in-flight requests get
+// -drain to finish before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"misam"
 	"misam/internal/server"
@@ -36,6 +55,11 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline including device admission (0 = none)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "analysis cache budget in bytes (0 disables caching)")
+	onlineMode := flag.Bool("online", false, "enable trace capture, drift detection and registry-backed retraining")
+	traceSample := flag.Int("trace-sample", 1, "record one in N served analyses into the trace buffer")
+	traceCap := flag.Int("trace-capacity", 4096, "bounded trace buffer size")
+	retrainEvery := flag.Duration("retrain-interval", 0, "background drift-check cadence (0 = retrain on demand only)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
 	flag.Parse()
 
 	var fw *misam.Framework
@@ -59,12 +83,45 @@ func main() {
 	}
 
 	srv := server.NewWithConfig(fw, server.Config{
-		Devices:        *devices,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		CacheBytes:     *cacheBytes,
+		Devices:         *devices,
+		RequestTimeout:  *timeout,
+		MaxBodyBytes:    *maxBody,
+		CacheBytes:      *cacheBytes,
+		Online:          *onlineMode,
+		TraceSample:     *traceSample,
+		TraceCapacity:   *traceCap,
+		RetrainInterval: *retrainEvery,
 	})
-	fmt.Printf("serving %d device(s) on %s (GET /healthz, GET /v1/designs, GET /v1/fleet, GET /v1/stats, POST /v1/analyze, POST /v1/analyze/batch)\n",
-		*devices, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	mode := ""
+	if *onlineMode {
+		mode = ", online adaptation on"
+	}
+	fmt.Printf("serving %d device(s) on %s%s (GET /healthz /v1/designs /v1/fleet /v1/stats /v1/models, POST /v1/analyze /v1/analyze/batch /v1/models/retrain /v1/models/rollback)\n",
+		*devices, *addr, mode)
+
+	// Graceful shutdown: trap SIGINT/SIGTERM and drain in-flight requests
+	// through http.Server.Shutdown instead of dying mid-request.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Printf("signal received; draining for up to %s...\n", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("drain deadline exceeded: %v", err)
+		}
+		fmt.Println("shut down cleanly")
+	}
 }

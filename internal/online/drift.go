@@ -1,0 +1,263 @@
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"misam/internal/features"
+)
+
+// Drift detection compares the recently served traffic against the
+// distribution the live model was trained on, along two axes:
+//
+//   - Per-feature population stability index (PSI) over the §3.1 feature
+//     set. Each feature's training distribution is summarized as
+//     quantile-bin proportions; the recent window is binned with the
+//     same edges and PSI = Σ (actual−expected)·ln(actual/expected). The
+//     conventional reading applies: <0.10 stable, 0.10–0.25 moderate
+//     shift, >0.25 major shift.
+//   - Predicted-vs-simulated-optimal accuracy over a sliding window.
+//     Every trace carries both the live model's proposal and the argmin
+//     design, so window accuracy is exact, not estimated. A drop below
+//     the training-time accuracy by more than the configured margin
+//     trips the detector even when the feature marginals look stable
+//     (label drift without covariate drift).
+
+// driftBins is the quantile-bin count of the baseline histograms. Ten
+// deciles is the standard PSI discretization and keeps per-bin counts
+// meaningful at the window sizes the collector holds.
+const driftBins = 10
+
+// psiFloor keeps the PSI terms finite when a bin is empty on one side.
+const psiFloor = 1e-4
+
+// Baseline freezes the training-time reference: per-feature quantile
+// edges and bin proportions, plus the model's accuracy on that same
+// data. It is immutable after construction.
+type Baseline struct {
+	edges [features.NumFeatures][]float64 // interior cut points, ascending
+	props [features.NumFeatures][]float64 // expected proportion per bin
+
+	// Accuracy is the live model's predicted-vs-optimal accuracy on the
+	// baseline sample.
+	Accuracy float64
+	// Samples is the baseline sample count.
+	Samples int
+}
+
+// NewBaseline builds the reference distribution from a feature matrix
+// (rows indexed like features.Vector) with the model's predictions and
+// the true argmin labels on the same rows.
+func NewBaseline(x [][]float64, labels, preds []int) (*Baseline, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("online: empty baseline sample")
+	}
+	if len(labels) != len(x) || len(preds) != len(x) {
+		return nil, fmt.Errorf("online: baseline has %d rows but %d labels and %d predictions",
+			len(x), len(labels), len(preds))
+	}
+	b := &Baseline{Samples: len(x)}
+	correct := 0
+	for i := range x {
+		if len(x[i]) < features.NumFeatures {
+			return nil, fmt.Errorf("online: baseline row %d has %d features, want >= %d",
+				i, len(x[i]), features.NumFeatures)
+		}
+		if labels[i] == preds[i] {
+			correct++
+		}
+	}
+	b.Accuracy = float64(correct) / float64(len(x))
+
+	vals := make([]float64, len(x))
+	for f := 0; f < features.NumFeatures; f++ {
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		b.edges[f] = quantileEdges(vals)
+		b.props[f] = binProportions(vals, b.edges[f])
+	}
+	return b, nil
+}
+
+// BaselineFromTraces builds a reference from collected traces — the
+// self-calibration path when the serving process loaded its models from
+// a file and has no training corpus in memory: the first full window of
+// traffic becomes the reference the rest is compared against.
+func BaselineFromTraces(traces []Trace) (*Baseline, error) {
+	x := make([][]float64, len(traces))
+	labels := make([]int, len(traces))
+	preds := make([]int, len(traces))
+	for i := range traces {
+		x[i] = traces[i].Features.Slice()
+		labels[i] = int(traces[i].Best)
+		preds[i] = int(traces[i].Predicted)
+	}
+	return NewBaseline(x, labels, preds)
+}
+
+// quantileEdges returns ascending interior cut points at the deciles of
+// vals, deduplicated. A constant feature yields no edges (single bin,
+// PSI identically zero).
+func quantileEdges(vals []float64) []float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	var edges []float64
+	for q := 1; q < driftBins; q++ {
+		e := sorted[(len(sorted)-1)*q/driftBins]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+	return edges
+}
+
+// binIndex routes v into the bin partition defined by edges: bin i holds
+// v <= edges[i], the last bin holds everything above the final edge.
+func binIndex(v float64, edges []float64) int {
+	// Binary search over the (short) edge list.
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= edges[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// binProportions histograms vals over the edges partition.
+func binProportions(vals, edges []float64) []float64 {
+	props := make([]float64, len(edges)+1)
+	for _, v := range vals {
+		props[binIndex(v, edges)]++
+	}
+	for i := range props {
+		props[i] /= float64(len(vals))
+	}
+	return props
+}
+
+// psi computes the population stability index of actual against
+// expected, flooring empty bins so the terms stay finite.
+func psi(expected, actual []float64) float64 {
+	sum := 0.0
+	for i := range expected {
+		e, a := expected[i], actual[i]
+		if e < psiFloor {
+			e = psiFloor
+		}
+		if a < psiFloor {
+			a = psiFloor
+		}
+		sum += (a - e) * math.Log(a/e)
+	}
+	return sum
+}
+
+// DriftConfig tunes the detector. The zero value gets the defaults
+// documented per field.
+type DriftConfig struct {
+	// Window is how many recent traces the detector examines (default
+	// 256).
+	Window int
+	// MinSamples is the smallest window the detector will judge; below
+	// it the report is returned with Drifted=false and a reason (default
+	// 64).
+	MinSamples int
+	// PSIThreshold trips the detector when any feature's PSI exceeds it
+	// (default 0.25, the conventional "major shift" boundary).
+	PSIThreshold float64
+	// AccuracyDrop trips the detector when the window accuracy falls
+	// more than this below the baseline accuracy (default 0.15).
+	AccuracyDrop float64
+}
+
+func (c DriftConfig) withDefaults() DriftConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 64
+	}
+	if c.PSIThreshold <= 0 {
+		c.PSIThreshold = 0.25
+	}
+	if c.AccuracyDrop <= 0 {
+		c.AccuracyDrop = 0.15
+	}
+	return c
+}
+
+// DriftReport is one detector evaluation.
+type DriftReport struct {
+	// Samples is the window size actually examined.
+	Samples int `json:"samples"`
+	// PSI holds the per-feature indices, ordered like features.Names().
+	PSI []float64 `json:"psi,omitempty"`
+	// MaxPSI and MaxPSIFeature identify the most-shifted feature.
+	MaxPSI        float64 `json:"max_psi"`
+	MaxPSIFeature string  `json:"max_psi_feature,omitempty"`
+	// WindowAccuracy and BaselineAccuracy are the predicted-vs-optimal
+	// accuracies of the recent window and the training reference.
+	WindowAccuracy   float64 `json:"window_accuracy"`
+	BaselineAccuracy float64 `json:"baseline_accuracy"`
+	// Drifted reports the verdict; Reasons names every tripped signal.
+	Drifted bool     `json:"drifted"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Detect evaluates the recent traces against the baseline. recent should
+// be ordered oldest-first (Collector.Snapshot order); only the trailing
+// cfg.Window traces are examined.
+func (b *Baseline) Detect(recent []Trace, cfg DriftConfig) DriftReport {
+	cfg = cfg.withDefaults()
+	if len(recent) > cfg.Window {
+		recent = recent[len(recent)-cfg.Window:]
+	}
+	rep := DriftReport{Samples: len(recent), BaselineAccuracy: b.Accuracy, MaxPSIFeature: ""}
+	if len(recent) < cfg.MinSamples {
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("window has %d traces, need %d", len(recent), cfg.MinSamples))
+		return rep
+	}
+
+	correct := 0
+	for i := range recent {
+		if recent[i].Predicted == recent[i].Best {
+			correct++
+		}
+	}
+	rep.WindowAccuracy = float64(correct) / float64(len(recent))
+
+	rep.PSI = make([]float64, features.NumFeatures)
+	vals := make([]float64, len(recent))
+	maxF := 0
+	for f := 0; f < features.NumFeatures; f++ {
+		for i := range recent {
+			vals[i] = recent[i].Features[f]
+		}
+		rep.PSI[f] = psi(b.props[f], binProportions(vals, b.edges[f]))
+		if rep.PSI[f] > rep.PSI[maxF] {
+			maxF = f
+		}
+	}
+	rep.MaxPSI = rep.PSI[maxF]
+	rep.MaxPSIFeature = features.Name(maxF)
+
+	if rep.MaxPSI > cfg.PSIThreshold {
+		rep.Drifted = true
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("feature %s PSI %.3f exceeds %.3f", rep.MaxPSIFeature, rep.MaxPSI, cfg.PSIThreshold))
+	}
+	if b.Accuracy-rep.WindowAccuracy > cfg.AccuracyDrop {
+		rep.Drifted = true
+		rep.Reasons = append(rep.Reasons,
+			fmt.Sprintf("window accuracy %.3f fell more than %.3f below baseline %.3f",
+				rep.WindowAccuracy, cfg.AccuracyDrop, b.Accuracy))
+	}
+	return rep
+}

@@ -1,0 +1,244 @@
+package online
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"misam/internal/registry"
+)
+
+// Config bundles the manager's knobs.
+type Config struct {
+	Drift   DriftConfig
+	Retrain RetrainConfig
+	// Interval is the background loop's drift-check cadence; zero
+	// disables the loop (drift checks and retrains happen on demand
+	// only).
+	Interval time.Duration
+}
+
+// ManagerStats snapshot the manager's counters for /v1/stats.
+type ManagerStats struct {
+	// Calibrated reports whether a baseline reference exists yet (false
+	// only while a file-loaded deployment is still self-calibrating).
+	Calibrated bool `json:"calibrated"`
+	// DriftChecks and DriftTrips count detector evaluations and how many
+	// reported drift.
+	DriftChecks int64 `json:"drift_checks"`
+	DriftTrips  int64 `json:"drift_trips"`
+	// Retrains, Promotions and Rejections count retraining attempts and
+	// their verdicts (attempts that errored — e.g. too few traces —
+	// count toward Retrains only).
+	Retrains   int64 `json:"retrains"`
+	Promotions int64 `json:"promotions"`
+	Rejections int64 `json:"rejections"`
+	// LastDrift and LastOutcome are the most recent detector report and
+	// retraining outcome, when any.
+	LastDrift   *DriftReport `json:"last_drift,omitempty"`
+	LastOutcome *Outcome     `json:"last_outcome,omitempty"`
+}
+
+// Manager owns the adaptation loop: it watches the collector for drift
+// against the baseline and retrains/promotes through the registry. All
+// methods are safe for concurrent use; at most one retrain runs at a
+// time (concurrent triggers coalesce into an error for the loser rather
+// than queueing duplicate training work).
+type Manager struct {
+	reg *registry.Registry
+	col *Collector
+	cfg Config
+
+	mu         sync.Mutex
+	baseline   *Baseline
+	lastDrift  *DriftReport
+	lastOut    *Outcome
+	checks     int64
+	trips      int64
+	retrains   int64
+	promotions int64
+	rejections int64
+	retraining bool
+	seed       int64
+
+	loopOnce sync.Once
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewManager wires the adaptation loop over a registry and a collector.
+// baseline may be nil — the manager then self-calibrates by freezing the
+// first full drift window of traces as the reference.
+func NewManager(reg *registry.Registry, col *Collector, baseline *Baseline, cfg Config) *Manager {
+	cfg.Drift = cfg.Drift.withDefaults()
+	cfg.Retrain = cfg.Retrain.withDefaults()
+	return &Manager{
+		reg:      reg,
+		col:      col,
+		cfg:      cfg,
+		baseline: baseline,
+		seed:     cfg.Retrain.Seed,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Registry exposes the model registry behind the manager.
+func (m *Manager) Registry() *registry.Registry { return m.reg }
+
+// Collector exposes the trace collector behind the manager.
+func (m *Manager) Collector() *Collector { return m.col }
+
+// Baseline returns the current reference distribution (nil while
+// self-calibration is still waiting for traces).
+func (m *Manager) Baseline() *Baseline {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.baseline
+}
+
+// CheckDrift runs the detector over the collector's recent window,
+// recording the report. While no baseline exists it attempts
+// self-calibration first; until enough traces have arrived the report
+// says so and Drifted stays false.
+func (m *Manager) CheckDrift() DriftReport {
+	traces := m.col.Snapshot()
+
+	m.mu.Lock()
+	if m.baseline == nil {
+		// Self-calibration: freeze the first full window as the
+		// reference. Requiring a complete window (not just MinSamples)
+		// keeps the reference from being a sliver of the first regime.
+		if len(traces) >= m.cfg.Drift.Window {
+			if b, err := BaselineFromTraces(traces[:m.cfg.Drift.Window]); err == nil {
+				m.baseline = b
+			}
+		}
+		if m.baseline == nil {
+			rep := DriftReport{Samples: len(traces),
+				Reasons: []string{fmt.Sprintf("calibrating: %d of %d traces", len(traces), m.cfg.Drift.Window)}}
+			m.checks++
+			m.lastDrift = &rep
+			m.mu.Unlock()
+			return rep
+		}
+	}
+	baseline := m.baseline
+	m.mu.Unlock()
+
+	rep := baseline.Detect(traces, m.cfg.Drift)
+
+	m.mu.Lock()
+	m.checks++
+	if rep.Drifted {
+		m.trips++
+	}
+	m.lastDrift = &rep
+	m.mu.Unlock()
+	return rep
+}
+
+// RetrainNow synchronously trains a candidate on the collected traces,
+// shadow-evaluates it, and — when it wins — publishes it as the new
+// current version. note annotates the promoted snapshot (e.g. the drift
+// reason, or "operator request"). Only one retrain runs at a time; a
+// concurrent call fails fast instead of queueing.
+func (m *Manager) RetrainNow(note string) (Outcome, error) {
+	m.mu.Lock()
+	if m.retraining {
+		m.mu.Unlock()
+		return Outcome{}, fmt.Errorf("online: a retrain is already in progress")
+	}
+	m.retraining = true
+	m.retrains++
+	m.seed++
+	seed := m.seed
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		m.retraining = false
+		m.mu.Unlock()
+	}()
+
+	cfg := m.cfg.Retrain
+	cfg.Seed = seed
+	traces := m.col.Snapshot()
+	incumbent := m.reg.Current()
+	candidate, out, err := Retrain(incumbent, traces, cfg)
+	if err != nil {
+		return out, err
+	}
+	if out.Promote {
+		if note != "" {
+			candidate.SetNote(note)
+		}
+		out.CandidateVersion = m.reg.Publish(candidate)
+	}
+
+	m.mu.Lock()
+	if out.Promote {
+		m.promotions++
+	} else {
+		m.rejections++
+	}
+	m.lastOut = &out
+	m.mu.Unlock()
+	return out, nil
+}
+
+// Start launches the background loop when an interval is configured:
+// every tick it checks drift and retrains when the detector trips. It is
+// a no-op for Interval <= 0 and idempotent across calls.
+func (m *Manager) Start() {
+	m.loopOnce.Do(func() {
+		if m.cfg.Interval <= 0 {
+			close(m.done)
+			return
+		}
+		go func() {
+			defer close(m.done)
+			t := time.NewTicker(m.cfg.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-m.stop:
+					return
+				case <-t.C:
+					if rep := m.CheckDrift(); rep.Drifted {
+						reason := "drift"
+						if len(rep.Reasons) > 0 {
+							reason = rep.Reasons[0]
+						}
+						// Best-effort: rejections and too-few-traces
+						// errors are recorded in the stats, not fatal.
+						_, _ = m.RetrainNow(reason)
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the background loop (if any) and waits for it to exit.
+func (m *Manager) Close() {
+	m.Start() // ensure done is eventually closed even if Start was never called
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return ManagerStats{
+		Calibrated:  m.baseline != nil,
+		DriftChecks: m.checks,
+		DriftTrips:  m.trips,
+		Retrains:    m.retrains,
+		Promotions:  m.promotions,
+		Rejections:  m.rejections,
+		LastDrift:   m.lastDrift,
+		LastOutcome: m.lastOut,
+	}
+}

@@ -106,9 +106,21 @@ func (d *Device) Apply(dec Decision) {
 // is priced against the state it is committed over, so two concurrent
 // callers can never both decide against the same stale bitstream.
 func (d *Device) DecideApply(v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+	return d.DecideApplyWith(nil, v, proposed, remainingUnits)
+}
+
+// DecideApplyWith is DecideApply priced with a caller-supplied engine
+// (nil uses the device's own). The registry-backed serving path passes
+// the engine of the model snapshot it grabbed for the request, so the
+// selector proposal and the pricing prediction always come from one
+// consistent snapshot even while a promotion hot-swaps the registry.
+func (d *Device) DecideApplyWith(e *Engine, v features.Vector, proposed sim.DesignID, remainingUnits float64) Decision {
+	if e == nil {
+		e = d.engine
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	dec := d.engine.Decide(d.st, v, proposed, remainingUnits)
+	dec := e.Decide(d.st, v, proposed, remainingUnits)
 	d.commitLocked(dec)
 	return dec
 }

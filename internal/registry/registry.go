@@ -1,0 +1,249 @@
+// Package registry is the versioned model registry of the online
+// adaptation subsystem: it holds immutable {selector, latency-predictor}
+// snapshots with monotonically increasing versions and hot-swaps the
+// serving pointer atomically, so every request reads one complete,
+// internally consistent model pair — never a torn selector/regressor
+// combination from two different training runs.
+//
+// The registry separates two timelines. Versions are assigned once at
+// Publish and never reused; the full publish history stays addressable
+// for pinned-version lookup. The *current* pointer — what Analyze reads —
+// moves independently: Publish advances it to the new snapshot, Rollback
+// moves it back along the publish order without minting a new version.
+// Readers pay one atomic load; writers serialize on a mutex that readers
+// never touch.
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+// Source tags where a snapshot came from.
+const (
+	SourceTrain   = "train"   // initial offline training (misam.Train)
+	SourceLoad    = "load"    // restored from a model file (misam.Load)
+	SourceRetrain = "retrain" // promoted by the online retrainer
+)
+
+// Metrics are the shadow-evaluation numbers attached to a snapshot at
+// publish time. For the initial snapshot they are zero (no holdout was
+// replayed); for retrained candidates they record the promotion gate's
+// evidence.
+type Metrics struct {
+	// GeomeanSlowdown is the geometric-mean slowdown versus the per-pair
+	// oracle over the holdout trace slice (1.0 = always optimal).
+	GeomeanSlowdown float64 `json:"geomean_slowdown,omitempty"`
+	// Accuracy is the predicted-vs-simulated-optimal accuracy on the same
+	// holdout slice.
+	Accuracy float64 `json:"accuracy,omitempty"`
+	// CrossValAccuracy is the mean k-fold cross-validation accuracy on
+	// the candidate's training traces (0 when cross-validation was
+	// skipped).
+	CrossValAccuracy float64 `json:"crossval_accuracy,omitempty"`
+}
+
+// Info is the immutable metadata of one snapshot.
+type Info struct {
+	Version uint64 `json:"version"`
+	Source  string `json:"source"`
+	// Note is a free-form annotation ("initial", drift reason, ...).
+	Note string `json:"note,omitempty"`
+	// Traces is the number of training records behind the snapshot
+	// (corpus samples for offline training, collected traces for
+	// retrains).
+	Traces  int     `json:"traces,omitempty"`
+	Metrics Metrics `json:"metrics"`
+}
+
+// Snapshot is one immutable model pair: the dataflow-selection
+// classifier (with its compiled inference form) and the pricing engine
+// wrapping the per-design latency regressors. Snapshots are never
+// mutated after construction; the registry shares them freely across
+// goroutines.
+type Snapshot struct {
+	info Info
+
+	classifier *mltree.Classifier
+	compiled   *mltree.Compiled
+	engine     *reconfig.Engine
+}
+
+// NewSnapshot builds a snapshot from a trained classifier and engine.
+// The version field of info is assigned by the registry at Publish; any
+// caller-supplied value is overwritten.
+func NewSnapshot(cls *mltree.Classifier, engine *reconfig.Engine, info Info) (*Snapshot, error) {
+	if cls == nil || cls.Root == nil {
+		return nil, fmt.Errorf("registry: snapshot needs a trained classifier")
+	}
+	if engine == nil || engine.Predictor == nil {
+		return nil, fmt.Errorf("registry: snapshot needs a pricing engine")
+	}
+	for _, id := range sim.AllDesigns {
+		if engine.Predictor.Regs[id] == nil || engine.Predictor.Regs[id].Root == nil {
+			return nil, fmt.Errorf("registry: snapshot is missing the %v latency regressor", id)
+		}
+	}
+	return &Snapshot{info: info, classifier: cls, compiled: cls.Compile(), engine: engine}, nil
+}
+
+// Version is the snapshot's registry version (0 before Publish).
+func (s *Snapshot) Version() uint64 { return s.info.Version }
+
+// SetMetrics attaches shadow-evaluation metrics to the snapshot. It must
+// only be called before Publish — published snapshots are immutable.
+func (s *Snapshot) SetMetrics(m Metrics) { s.info.Metrics = m }
+
+// SetNote annotates the snapshot (e.g. with the drift reason that
+// triggered its training). Pre-publish only, like SetMetrics.
+func (s *Snapshot) SetNote(note string) { s.info.Note = note }
+
+// Info returns the snapshot metadata.
+func (s *Snapshot) Info() Info { return s.info }
+
+// Classifier exposes the selector tree (read-only by convention).
+func (s *Snapshot) Classifier() *mltree.Classifier { return s.classifier }
+
+// Engine exposes the snapshot's pricing engine.
+func (s *Snapshot) Engine() *reconfig.Engine { return s.engine }
+
+// Select predicts the best design for a feature vector using the
+// compiled tree. Snapshot satisfies reconfig.Selector, so a snapshot can
+// drive the streaming executor directly.
+func (s *Snapshot) Select(v features.Vector) sim.DesignID {
+	return sim.DesignID(s.compiled.PredictClass(v.Slice()))
+}
+
+// SelectWithConfidence also reports the routed leaf's class probability
+// for the chosen design.
+func (s *Snapshot) SelectWithConfidence(v features.Vector) (sim.DesignID, float64) {
+	probs := s.classifier.PredictProba(v.Slice())
+	best, bestP := 0, -1.0
+	for c, p := range probs {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return sim.DesignID(best), bestP
+}
+
+var _ reconfig.Selector = (*Snapshot)(nil)
+
+// historyCap bounds how many published snapshots stay addressable for
+// pinned lookup and rollback. Oldest entries are forgotten first; the
+// current snapshot is never evicted.
+const historyCap = 64
+
+// Registry is the versioned snapshot store. All methods are safe for
+// concurrent use; Current is wait-free.
+type Registry struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex
+	history []*Snapshot // publish order, oldest first
+	nextVer uint64
+}
+
+// New returns a registry serving initial as version 1.
+func New(initial *Snapshot) *Registry {
+	r := &Registry{}
+	r.Publish(initial)
+	return r
+}
+
+// Current returns the snapshot serving traffic right now. The returned
+// snapshot is complete and immutable: callers should grab it once per
+// request and use its selector and engine together.
+func (r *Registry) Current() *Snapshot { return r.cur.Load() }
+
+// Publish assigns the next version to s, appends it to the history and
+// atomically makes it current. It returns the assigned version.
+func (r *Registry) Publish(s *Snapshot) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextVer++
+	// Snapshots are immutable once published; the version is stamped on a
+	// copy-free basis here because Publish is the single writer that owns
+	// the pre-publication snapshot.
+	s.info.Version = r.nextVer
+	r.history = append(r.history, s)
+	if len(r.history) > historyCap {
+		r.compactLocked()
+	}
+	r.cur.Store(s)
+	return s.info.Version
+}
+
+// compactLocked drops the oldest history entries past historyCap,
+// keeping the current snapshot addressable regardless of age.
+func (r *Registry) compactLocked() {
+	cur := r.cur.Load()
+	drop := len(r.history) - historyCap
+	kept := make([]*Snapshot, 0, historyCap+1)
+	for i, s := range r.history {
+		if i < drop && s != cur {
+			continue
+		}
+		kept = append(kept, s)
+	}
+	r.history = kept
+}
+
+// Rollback moves the current pointer to the snapshot published
+// immediately before the one serving now (by publish order), returning
+// it. No new version is minted — the old snapshot keeps its version.
+// It fails when the current snapshot is the oldest one still held.
+func (r *Registry) Rollback() (*Snapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.cur.Load()
+	idx := -1
+	for i, s := range r.history {
+		if s == cur {
+			idx = i
+			break
+		}
+	}
+	if idx <= 0 {
+		return nil, fmt.Errorf("registry: no earlier snapshot to roll back to (current v%d)", cur.Version())
+	}
+	prev := r.history[idx-1]
+	r.cur.Store(prev)
+	return prev, nil
+}
+
+// Get returns the snapshot pinned at version, if it is still held.
+func (r *Registry) Get(version uint64) (*Snapshot, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.history {
+		if s.info.Version == version {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// List returns the metadata of every held snapshot in publish order.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, len(r.history))
+	for i, s := range r.history {
+		out[i] = s.info
+	}
+	return out
+}
+
+// Len reports how many snapshots are held.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.history)
+}

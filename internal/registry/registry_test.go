@@ -1,0 +1,282 @@
+package registry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"misam/internal/features"
+	"misam/internal/mltree"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+// markedSnapshot builds a self-consistent snapshot keyed by marker: its
+// classifier routes the zero feature vector to design marker%4, and every
+// latency regressor predicts the constant marker. A torn pair — selector
+// from one snapshot, engine from another — therefore shows up as a
+// marker/design mismatch, which the hammer test checks on every read.
+func markedSnapshot(t testing.TB, marker int) *Snapshot {
+	t.Helper()
+	want := marker % int(sim.NumDesigns)
+	other := (marker + 1) % int(sim.NumDesigns)
+	x := make([][]float64, 8)
+	y := make([]int, 8)
+	for i := range x {
+		row := make([]float64, features.NumFeatures)
+		row[0] = float64(i)
+		if i < 4 {
+			y[i] = want // feature0 < 3.5 routes to the marker's design
+		} else {
+			row[0] += 100
+			y[i] = other
+		}
+		x[i] = row
+	}
+	cls, err := mltree.TrainClassifier(x, y, int(sim.NumDesigns), nil, mltree.Config{MaxDepth: 3})
+	if err != nil {
+		t.Fatalf("classifier: %v", err)
+	}
+	ry := make([]float64, len(x))
+	for i := range ry {
+		ry[i] = float64(marker)
+	}
+	pred := &reconfig.LatencyPredictor{}
+	for _, id := range sim.AllDesigns {
+		reg, err := mltree.TrainRegressor(x, ry, mltree.Config{MaxDepth: 2})
+		if err != nil {
+			t.Fatalf("regressor: %v", err)
+		}
+		pred.Regs[id] = reg
+	}
+	eng := reconfig.NewEngine(pred, reconfig.DefaultTimeModel(), 0.2)
+	s, err := NewSnapshot(cls, eng, Info{Source: SourceTrain, Note: fmt.Sprintf("marker=%d", marker)})
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	return s
+}
+
+// snapshotMarker recovers the marker a markedSnapshot was built with from
+// its regressors.
+func snapshotMarker(s *Snapshot) int {
+	var zero [features.NumFeatures]float64
+	return int(math.Round(s.Engine().Predictor.Regs[0].Predict(zero[:])))
+}
+
+// checkConsistent asserts the snapshot's selector and engine come from
+// the same markedSnapshot construction.
+func checkConsistent(t testing.TB, s *Snapshot) {
+	t.Helper()
+	m := snapshotMarker(s)
+	var zero features.Vector
+	if got, want := s.Select(zero), sim.DesignID(m%int(sim.NumDesigns)); got != want {
+		t.Fatalf("torn snapshot v%d: selector proposes %v, engine marker %d implies %v",
+			s.Version(), got, m, want)
+	}
+}
+
+func TestNewSnapshotValidates(t *testing.T) {
+	s := markedSnapshot(t, 1)
+	if _, err := NewSnapshot(nil, s.Engine(), Info{}); err == nil {
+		t.Error("nil classifier accepted")
+	}
+	if _, err := NewSnapshot(s.Classifier(), nil, Info{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	gutted := reconfig.NewEngine(&reconfig.LatencyPredictor{}, reconfig.DefaultTimeModel(), 0.2)
+	if _, err := NewSnapshot(s.Classifier(), gutted, Info{}); err == nil {
+		t.Error("engine without regressors accepted")
+	}
+}
+
+func TestPublishGetRollback(t *testing.T) {
+	s1 := markedSnapshot(t, 1)
+	r := New(s1)
+	if got := r.Current(); got != s1 || got.Version() != 1 {
+		t.Fatalf("initial snapshot: got %p v%d, want %p v1", got, got.Version(), s1)
+	}
+
+	s2 := markedSnapshot(t, 2)
+	if v := r.Publish(s2); v != 2 {
+		t.Fatalf("second publish got version %d, want 2", v)
+	}
+	if r.Current() != s2 {
+		t.Fatal("publish did not advance current")
+	}
+
+	// Pinned lookup returns the identical snapshot pointers.
+	for want, ver := range map[*Snapshot]uint64{s1: 1, s2: 2} {
+		got, ok := r.Get(ver)
+		if !ok || got != want {
+			t.Fatalf("Get(%d) = %p, %v; want %p, true", ver, got, ok, want)
+		}
+	}
+	if _, ok := r.Get(99); ok {
+		t.Fatal("Get(99) found a snapshot that was never published")
+	}
+
+	// Rollback moves current backward without minting a version.
+	prev, err := r.Rollback()
+	if err != nil || prev != s1 {
+		t.Fatalf("rollback: got %p, %v; want %p, nil", prev, err, s1)
+	}
+	if r.Current() != s1 {
+		t.Fatal("rollback did not move current")
+	}
+	if _, err := r.Rollback(); err == nil {
+		t.Fatal("rollback past the oldest snapshot should fail")
+	}
+
+	// Publishing after a rollback still mints the next version, and the
+	// rolled-back-from snapshot stays addressable.
+	s3 := markedSnapshot(t, 3)
+	if v := r.Publish(s3); v != 3 {
+		t.Fatalf("post-rollback publish got version %d, want 3", v)
+	}
+	if got, ok := r.Get(2); !ok || got != s2 {
+		t.Fatal("version 2 lost after rollback+publish")
+	}
+	if infos := r.List(); len(infos) != 3 || infos[0].Version != 1 || infos[2].Version != 3 {
+		t.Fatalf("List() = %+v, want versions 1..3 in publish order", infos)
+	}
+}
+
+func TestHistoryCompaction(t *testing.T) {
+	r := New(markedSnapshot(t, 0))
+	old := r.Current()
+	for i := 1; i <= historyCap+8; i++ {
+		r.Publish(markedSnapshot(t, i))
+	}
+	if r.Len() > historyCap {
+		t.Fatalf("history holds %d snapshots, cap is %d", r.Len(), historyCap)
+	}
+	if _, ok := r.Get(old.Version()); ok {
+		t.Fatal("oldest snapshot survived compaction")
+	}
+	// The newest snapshots are still addressable.
+	cur := r.Current()
+	if got, ok := r.Get(cur.Version()); !ok || got != cur {
+		t.Fatal("current snapshot not addressable after compaction")
+	}
+}
+
+// TestSwapRollbackHammer drives concurrent readers through Current and
+// pinned Get while writers publish and roll back, asserting under -race
+// that every observed snapshot is complete and internally consistent
+// (selector and engine from the same construction) and that versions
+// never run backward at the publish level.
+func TestSwapRollbackHammer(t *testing.T) {
+	const (
+		readers   = 8
+		publishes = 40
+	)
+	// Pre-build snapshots so the hammer measures registry behavior, not
+	// tree training.
+	snaps := make([]*Snapshot, publishes)
+	for i := range snaps {
+		snaps[i] = markedSnapshot(t, i)
+	}
+	r := New(snaps[0])
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				s := r.Current()
+				if s == nil {
+					errs <- fmt.Errorf("Current() returned nil")
+					return
+				}
+				m := snapshotMarker(s)
+				var zero features.Vector
+				if got, want := s.Select(zero), sim.DesignID(m%int(sim.NumDesigns)); got != want {
+					errs <- fmt.Errorf("torn snapshot v%d: selector %v, engine implies %v", s.Version(), got, want)
+					return
+				}
+				if v := s.Version(); v == 0 || int(v) > publishes {
+					errs <- fmt.Errorf("observed version %d outside published range", v)
+					return
+				}
+				// Pinned lookup must return the pinned version or nothing.
+				if pinned, ok := r.Get(s.Version()); ok && pinned.Version() != s.Version() {
+					errs <- fmt.Errorf("Get(%d) returned v%d", s.Version(), pinned.Version())
+					return
+				}
+			}
+		}()
+	}
+
+	var maxPublished uint64
+	for i := 1; i < publishes; i++ {
+		v := r.Publish(snaps[i])
+		if v <= maxPublished {
+			t.Errorf("publish returned non-monotonic version %d after %d", v, maxPublished)
+		}
+		maxPublished = v
+		if i%3 == 0 {
+			if _, err := r.Rollback(); err != nil {
+				t.Errorf("rollback at publish %d: %v", i, err)
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	checkConsistent(t, r.Current())
+}
+
+// BenchmarkRegistrySwapUnderLoad measures the reader path (one atomic
+// load + compiled-tree inference) while a writer hot-swaps the registry
+// continuously. Run with -benchtime=1x in CI as a smoke test.
+func BenchmarkRegistrySwapUnderLoad(b *testing.B) {
+	a := markedSnapshot(b, 0)
+	c := markedSnapshot(b, 1)
+	r := New(a)
+	r.Publish(c)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				r.Rollback()
+			} else {
+				s, _ := r.Get(uint64(2))
+				if s != nil {
+					// Re-promote by republishing a marked clone.
+					r.Publish(markedSnapshot(b, i%4))
+				}
+			}
+		}
+	}()
+
+	var zero features.Vector
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			s := r.Current()
+			_ = s.Select(zero)
+			_ = s.Engine()
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"misam"
+	"misam/internal/mltree"
+	"misam/internal/online"
+	"misam/internal/registry"
+	"misam/internal/sim"
+)
+
+// sabotageModel trains a label-rotated selector on the framework's own
+// corpus and publishes it, simulating a live model that has gone stale:
+// it proposes the wrong design for essentially every workload while the
+// latency regressors stay intact.
+func sabotageModel(t *testing.T, fw *misam.Framework) uint64 {
+	t.Helper()
+	x, labels := fw.Corpus.X(), fw.Corpus.Labels()
+	rot := make([]int, len(labels))
+	for i, l := range labels {
+		rot[i] = (l + 1) % int(sim.NumDesigns)
+	}
+	cls, err := mltree.TrainClassifier(x, rot, int(sim.NumDesigns), nil, mltree.Config{MaxDepth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := fw.Registry().Current()
+	bad, err := registry.NewSnapshot(cls, cur.Engine(), registry.Info{
+		Source: registry.SourceTrain, Note: "label-rotated (test sabotage)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw.Registry().Publish(bad)
+}
+
+func mustPost(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// traceAccuracy computes predicted-vs-argmin accuracy over the traces
+// served by one model version.
+func traceAccuracy(traces []online.Trace, version uint64) (acc float64, n int) {
+	correct := 0
+	for _, tr := range traces {
+		if tr.ModelVersion != version {
+			continue
+		}
+		n++
+		if tr.Predicted == tr.Best {
+			correct++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(correct) / float64(n), n
+}
+
+// TestOnlineAdaptationE2E drives the full loop over HTTP: a sabotaged
+// model serves a workload stream that shifts dense-ish → power-law, the
+// drift detector fires, POST /v1/models/retrain trains a candidate on
+// the captured traces and shadow-evaluates it, promotion happens only
+// because the candidate's geomean beats the incumbent's, accuracy
+// improves after the promotion, and no request fails during the
+// hot-swap.
+func TestOnlineAdaptationE2E(t *testing.T) {
+	fw, err := misam.Train(misam.TrainOptions{CorpusSize: 80, MaxDim: 384, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(fw, Config{
+		Devices:       2,
+		Online:        true,
+		TraceSample:   1,
+		TraceCapacity: 1024,
+		OnlineConfig: online.Config{
+			Drift:   online.DriftConfig{Window: 48, MinSamples: 24, AccuracyDrop: 0.20},
+			Retrain: online.RetrainConfig{MinTraces: 40, Seed: 7},
+		},
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The baseline was frozen from the healthy v1 model at construction;
+	// now the stale model takes over serving.
+	badVer := sabotageModel(t, fw)
+	if badVer != 2 {
+		t.Fatalf("sabotage published as v%d, want v2", badVer)
+	}
+
+	analyze := func(spec string, seed int64) (*http.Response, []byte) {
+		return mustPost(t, ts.URL+"/v1/analyze", map[string]any{
+			"a_spec": spec, "b_spec": "self", "seed": seed,
+		})
+	}
+
+	// Phase 1: dense-ish uniform traffic. Phase 2: power-law graph
+	// matrices — the §5 workload shift that changes the winning dataflow.
+	for i := 0; i < 24; i++ {
+		resp, body := analyze(fmt.Sprintf("uniform:%d:%d:0.3", 80+i, 80+i), int64(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("phase-1 request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 0; i < 36; i++ {
+		resp, body := analyze(fmt.Sprintf("powerlaw:%d:%d", 120+4*i, 900+16*i), int64(100+i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("phase-2 request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// The served reports must carry the sabotaged version.
+	_, body := analyze("uniform:64:64:0.2", 999)
+	var one struct {
+		ModelVersion uint64 `json:"model_version"`
+	}
+	json.Unmarshal(body, &one)
+	if one.ModelVersion != badVer {
+		t.Errorf("served by v%d, want the sabotaged v%d", one.ModelVersion, badVer)
+	}
+
+	// Drift must have a trip available: the stale model's window accuracy
+	// collapsed against the healthy baseline (and the power-law shift
+	// moves the feature marginals too).
+	rep := srv.Manager().CheckDrift()
+	if !rep.Drifted {
+		t.Fatalf("drift detector silent after shift + sabotage: %+v", rep)
+	}
+
+	// /v1/stats surfaces the collector (with its drop counter) and the
+	// adaptation state.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statsBuf bytes.Buffer
+	statsBuf.ReadFrom(statsResp.Body)
+	statsResp.Body.Close()
+	body = statsBuf.Bytes()
+	var stats struct {
+		ModelVersion uint64                 `json:"model_version"`
+		Online       bool                   `json:"online"`
+		Traces       *online.CollectorStats `json:"traces"`
+		Adaptation   *online.ManagerStats   `json:"adaptation"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("stats decode: %v: %s", err, body)
+	}
+	if !stats.Online || stats.ModelVersion != badVer {
+		t.Errorf("stats = %s, want online=true model_version=%d", body, badVer)
+	}
+	if stats.Traces == nil || stats.Traces.Sampled < 40 {
+		t.Fatalf("stats traces = %+v, want >= 40 sampled", stats.Traces)
+	}
+	if stats.Traces.Dropped != 0 {
+		t.Errorf("dropped = %d with an unsaturated buffer", stats.Traces.Dropped)
+	}
+	if !bytes.Contains(body, []byte(`"dropped"`)) {
+		t.Error("stats JSON does not expose the trace drop counter")
+	}
+
+	// Retrain over HTTP while concurrent traffic hammers the hot-swap:
+	// every request during the promotion must succeed.
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, _ := analyze("uniform:72:72:0.25", int64(g*1000+i))
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	retrainResp, retrainBody := mustPost(t, ts.URL+"/v1/models/retrain", nil)
+	close(stop)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d requests failed during the retrain/hot-swap", n)
+	}
+	if retrainResp.StatusCode != http.StatusOK {
+		t.Fatalf("retrain: status %d: %s", retrainResp.StatusCode, retrainBody)
+	}
+	var rr struct {
+		Outcome online.Outcome `json:"outcome"`
+		Current uint64         `json:"current"`
+	}
+	if err := json.Unmarshal(retrainBody, &rr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The gate's invariant: promotion iff the candidate's geomean beats
+	// the incumbent's. Against a label-rotated incumbent the candidate
+	// trained on ground-truth traces must win.
+	if !rr.Outcome.Promote {
+		t.Fatalf("candidate not promoted over a sabotaged incumbent: %+v", rr.Outcome)
+	}
+	if rr.Outcome.CandidateGeomean >= rr.Outcome.IncumbentGeomean {
+		t.Errorf("promoted with geomean %.4f >= incumbent %.4f — gate violated",
+			rr.Outcome.CandidateGeomean, rr.Outcome.IncumbentGeomean)
+	}
+	if rr.Outcome.CandidateAccuracy <= rr.Outcome.IncumbentAccuracy {
+		t.Errorf("shadow accuracy did not improve: candidate %.3f vs incumbent %.3f",
+			rr.Outcome.CandidateAccuracy, rr.Outcome.IncumbentAccuracy)
+	}
+	if rr.Current != rr.Outcome.CandidateVersion || rr.Current <= badVer {
+		t.Errorf("current v%d after promotion, want the candidate v%d",
+			rr.Current, rr.Outcome.CandidateVersion)
+	}
+
+	// Post-promotion traffic is served by the new model and its live
+	// accuracy beats the sabotaged era's.
+	for i := 0; i < 16; i++ {
+		resp, _ := analyze(fmt.Sprintf("powerlaw:%d:%d", 140+4*i, 1000+16*i), int64(500+i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-promotion request %d failed", i)
+		}
+	}
+	traces := srv.Manager().Collector().Snapshot()
+	oldAcc, oldN := traceAccuracy(traces, badVer)
+	newAcc, newN := traceAccuracy(traces, rr.Current)
+	if oldN == 0 || newN == 0 {
+		t.Fatalf("missing traces per era: %d old, %d new", oldN, newN)
+	}
+	if newAcc <= oldAcc {
+		t.Errorf("post-promotion accuracy %.3f (n=%d) did not improve on %.3f (n=%d)",
+			newAcc, newN, oldAcc, oldN)
+	}
+
+	// Registry listing over HTTP shows the full lineage.
+	r, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models struct {
+		Current   uint64          `json:"current"`
+		Snapshots []registry.Info `json:"snapshots"`
+	}
+	json.NewDecoder(r.Body).Decode(&models)
+	r.Body.Close()
+	if models.Current != rr.Current || len(models.Snapshots) != 3 {
+		t.Fatalf("models = %+v, want current v%d over 3 snapshots", models, rr.Current)
+	}
+	if models.Snapshots[2].Source != registry.SourceRetrain {
+		t.Errorf("promoted snapshot source %q, want %q", models.Snapshots[2].Source, registry.SourceRetrain)
+	}
+	if models.Snapshots[2].Metrics.GeomeanSlowdown != rr.Outcome.CandidateGeomean {
+		t.Error("promoted snapshot does not carry its shadow metrics")
+	}
+
+	// Rollback endpoint walks the publish order backward and 409s at the
+	// floor.
+	for wantVer := rr.Current - 1; ; wantVer-- {
+		resp, body := mustPost(t, ts.URL+"/v1/models/rollback", nil)
+		if wantVer < 1 {
+			if resp.StatusCode != http.StatusConflict {
+				t.Fatalf("rollback past the floor: status %d: %s", resp.StatusCode, body)
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("rollback to v%d: status %d: %s", wantVer, resp.StatusCode, body)
+		}
+		var rb struct {
+			Current uint64 `json:"current"`
+		}
+		json.Unmarshal(body, &rb)
+		if rb.Current != wantVer {
+			t.Fatalf("rollback landed on v%d, want v%d", rb.Current, wantVer)
+		}
+	}
+}
+
+// TestRetrainEndpointDisabled asserts the retrain route 409s when online
+// mode is off.
+func TestRetrainEndpointDisabled(t *testing.T) {
+	srv := testServer(t)
+	resp, body := mustPost(t, srv.URL+"/v1/models/retrain", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestModelsEndpointOfflineServer asserts the registry routes work even
+// without online mode: every framework has a registry.
+func TestModelsEndpointOfflineServer(t *testing.T) {
+	srv := testServer(t)
+	r, err := http.Get(srv.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var models struct {
+		Current   uint64          `json:"current"`
+		Snapshots []registry.Info `json:"snapshots"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if models.Current < 1 || len(models.Snapshots) < 1 {
+		t.Errorf("models = %+v, want at least the initial snapshot", models)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"misam"
+	"misam/internal/online"
+	"misam/internal/registry"
 	"misam/internal/sim"
 )
 
@@ -45,11 +47,35 @@ type Config struct {
 	// their device only for the pricing transaction, not the simulation.
 	// Zero leaves caching to the caller's framework configuration.
 	CacheBytes int64
+	// Online enables the continuous-learning subsystem: serve-time trace
+	// capture, drift detection against the training snapshot, and
+	// registry-backed retraining via POST /v1/models/retrain (and the
+	// background loop when RetrainInterval is set).
+	Online bool
+	// TraceSample admits one in N served analyses into the trace buffer
+	// (default 1 — record everything; raise under heavy traffic).
+	TraceSample int
+	// TraceCapacity bounds the trace buffer (default 4096). When the
+	// buffer cycles faster than retraining consumes it, /v1/stats's
+	// dropped counter grows.
+	TraceCapacity int
+	// RetrainInterval, when positive, runs the background adaptation
+	// loop: every interval the drift detector is evaluated and a retrain
+	// is attempted when it trips. Zero means on-demand retraining only.
+	RetrainInterval time.Duration
+	// OnlineConfig overrides the drift/retrain tuning (optional; the
+	// zero value uses the online package defaults).
+	OnlineConfig online.Config
 }
 
 const (
 	defaultMaxBodyBytes  = 8 << 20
 	defaultMaxBatchItems = 16
+)
+
+const (
+	defaultTraceSample   = 1
+	defaultTraceCapacity = 4096
 )
 
 func (c Config) withDefaults() Config {
@@ -62,6 +88,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchItems < 1 {
 		c.MaxBatchItems = defaultMaxBatchItems
 	}
+	if c.TraceSample < 1 {
+		c.TraceSample = defaultTraceSample
+	}
+	if c.TraceCapacity < 1 {
+		c.TraceCapacity = defaultTraceCapacity
+	}
 	return c
 }
 
@@ -73,6 +105,9 @@ type Server struct {
 	fw    *misam.Framework
 	fleet *misam.Fleet
 	cfg   Config
+	// manager drives the online adaptation loop (nil when Config.Online
+	// is false).
+	manager *online.Manager
 
 	// onAcquire, when set, runs after a request checks its device out and
 	// before analysis starts. Test hook for concurrency assertions.
@@ -92,11 +127,35 @@ func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 	if cfg.CacheBytes > 0 {
 		fw.WithCache(cfg.CacheBytes)
 	}
-	return &Server{fw: fw, fleet: fw.NewFleet(cfg.Devices), cfg: cfg}
+	s := &Server{fw: fw, fleet: fw.NewFleet(cfg.Devices), cfg: cfg}
+	if cfg.Online {
+		fw.WithTraceCapture(cfg.TraceCapacity, cfg.TraceSample)
+		// The drift baseline comes from the in-memory training corpus
+		// when there is one; a file-loaded model self-calibrates from the
+		// first window of served traffic instead.
+		baseline, _ := fw.OnlineBaseline()
+		ocfg := cfg.OnlineConfig
+		ocfg.Interval = cfg.RetrainInterval
+		s.manager = online.NewManager(fw.Registry(), fw.Traces(), baseline, ocfg)
+		s.manager.Start()
+	}
+	return s
 }
 
 // Fleet exposes the server's device pool (for stats and tests).
 func (s *Server) Fleet() *misam.Fleet { return s.fleet }
+
+// Manager exposes the online adaptation manager (nil when online mode is
+// off).
+func (s *Server) Manager() *online.Manager { return s.manager }
+
+// Close stops the background adaptation loop, if any. The HTTP handler
+// itself is stateless and needs no teardown.
+func (s *Server) Close() {
+	if s.manager != nil {
+		s.manager.Close()
+	}
+}
 
 // Handler returns the route table.
 func (s *Server) Handler() http.Handler {
@@ -105,6 +164,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/designs", s.handleDesigns)
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/models/retrain", s.handleRetrain)
+	mux.HandleFunc("POST /v1/models/rollback", s.handleRollback)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleAnalyzeBatch)
 	return mux
@@ -169,16 +231,92 @@ func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// statsResponse reports the analysis-cache counters. cache_enabled is
-// false (and the counters zero) when the server runs without a cache.
+// statsResponse reports the analysis-cache counters plus the online
+// adaptation state. cache_enabled is false (and the counters zero) when
+// the server runs without a cache; the online fields are omitted when
+// online mode is off.
 type statsResponse struct {
 	CacheEnabled bool             `json:"cache_enabled"`
 	Cache        misam.CacheStats `json:"cache"`
+	// ModelVersion is the registry version currently serving traffic.
+	ModelVersion uint64 `json:"model_version"`
+	Online       bool   `json:"online"`
+	// Traces carries the collector counters — including Dropped, the
+	// signal that the bounded buffer is saturating at the configured
+	// sample rate.
+	Traces *online.CollectorStats `json:"traces,omitempty"`
+	// Adaptation carries drift-check and retrain/promotion counters.
+	Adaptation *online.ManagerStats `json:"adaptation,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st, ok := s.fw.CacheStats()
-	writeJSON(w, http.StatusOK, statsResponse{CacheEnabled: ok, Cache: st})
+	resp := statsResponse{
+		CacheEnabled: ok,
+		Cache:        st,
+		ModelVersion: s.fw.Registry().Current().Version(),
+		Online:       s.manager != nil,
+	}
+	if s.manager != nil {
+		ts := s.manager.Collector().Stats()
+		ms := s.manager.Stats()
+		resp.Traces = &ts
+		resp.Adaptation = &ms
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelsResponse lists the registry contents.
+type modelsResponse struct {
+	Current   uint64          `json:"current"`
+	Snapshots []registry.Info `json:"snapshots"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	reg := s.fw.Registry()
+	writeJSON(w, http.StatusOK, modelsResponse{
+		Current:   reg.Current().Version(),
+		Snapshots: reg.List(),
+	})
+}
+
+// retrainResponse is the retrain endpoint's verdict: the shadow
+// evaluation outcome plus the version now serving.
+type retrainResponse struct {
+	Outcome online.Outcome `json:"outcome"`
+	Current uint64         `json:"current"`
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	if s.manager == nil {
+		writeErr(w, http.StatusConflict, fmt.Errorf("online adaptation is disabled (start with online mode on)"))
+		return
+	}
+	note := "operator request"
+	if rep := s.manager.CheckDrift(); rep.Drifted && len(rep.Reasons) > 0 {
+		note = rep.Reasons[0]
+	}
+	out, err := s.manager.RetrainNow(note)
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, retrainResponse{Outcome: out, Current: s.fw.Registry().Current().Version()})
+}
+
+// rollbackResponse reports the version serving after a rollback.
+type rollbackResponse struct {
+	Current uint64        `json:"current"`
+	Info    registry.Info `json:"info"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
+	snap, err := s.fw.Registry().Rollback()
+	if err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rollbackResponse{Current: snap.Version(), Info: snap.Info()})
 }
 
 // analyzeRequest carries the two operands, each as either a MatrixMarket
@@ -196,6 +334,7 @@ type analyzeRequest struct {
 type analyzeResponse struct {
 	Design           string  `json:"design"`
 	Device           string  `json:"device"`
+	ModelVersion     uint64  `json:"model_version"`
 	Reconfigured     bool    `json:"reconfigured"`
 	ReconfigSeconds  float64 `json:"reconfig_seconds"`
 	PreprocessMs     float64 `json:"preprocess_ms"`
@@ -276,6 +415,7 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 	return analyzeResponse{
 		Design:           rep.Design.String(),
 		Device:           rep.Device,
+		ModelVersion:     rep.ModelVersion,
 		Reconfigured:     rep.Reconfigured,
 		ReconfigSeconds:  rep.ReconfigSec,
 		PreprocessMs:     rep.PreprocessSeconds * 1e3,

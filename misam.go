@@ -26,11 +26,15 @@
 package misam
 
 import (
+	"bufio"
 	"context"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
+	"strings"
 	"time"
 
 	"misam/internal/baseline"
@@ -40,7 +44,9 @@ import (
 	"misam/internal/fleet"
 	"misam/internal/memo"
 	"misam/internal/mltree"
+	"misam/internal/online"
 	"misam/internal/reconfig"
+	"misam/internal/registry"
 	"misam/internal/sim"
 	"misam/internal/sparse"
 	"misam/internal/spgemm"
@@ -164,14 +170,21 @@ func (s *Selector) SizeBytes() (int, error) { return mltree.SizeBytes(s.Tree) }
 var _ reconfig.Selector = (*Selector)(nil)
 
 // Framework bundles the trained selector, the reconfiguration pricing
-// engine and the training corpus (kept for evaluation drivers). A
-// Framework is strictly immutable after Train/Load and safe for
-// unlimited concurrent use: the models never change, and the Engine is a
-// pure pricing/prediction function. The mutable part of the system —
-// which bitstream a given accelerator has loaded — lives in Accelerator
-// devices (see NewDevice/NewFleet). For the single-accelerator
-// convenience API (Analyze, Stream) the framework carries one default
-// device, so existing single-device behavior is unchanged.
+// engine and the training corpus (kept for evaluation drivers). Model
+// access is registry-backed: Train/Load publish the trained pair as
+// version 1 of a versioned registry, and every Analyze/AnalyzeWith/Stream
+// call reads the registry's current snapshot exactly once, so a request
+// always sees one complete {selector, latency predictor} pair even while
+// the online retrainer hot-swaps a promotion in. The Selector and Engine
+// fields remain the *initial* (version 1) models for evaluation drivers
+// and stay immutable; serving paths should not read them directly.
+//
+// Frameworks must be built by Train, TrainOnCorpus or Load. The mutable
+// part of the system — which bitstream a given accelerator has loaded —
+// lives in Accelerator devices (see NewDevice/NewFleet). For the
+// single-accelerator convenience API (Analyze, Stream) the framework
+// carries one default device, so existing single-device behavior is
+// unchanged.
 type Framework struct {
 	Selector *Selector
 	Engine   *reconfig.Engine
@@ -185,6 +198,75 @@ type Framework struct {
 	// decisions — those depend on mutable device state and are re-priced
 	// per request.
 	cache *memo.Cache
+	// registry is the versioned model store behind snapshot(); always
+	// non-nil on a constructed framework.
+	registry *registry.Registry
+	// traces, when enabled via WithTraceCapture, records served analyses
+	// for the online adaptation loop.
+	traces *online.Collector
+}
+
+// Registry exposes the versioned model registry: the current snapshot
+// serving requests, the publish history for pinned lookup, and rollback.
+func (f *Framework) Registry() *registry.Registry { return f.registry }
+
+// snapshot grabs the model pair serving requests right now. Callers use
+// the returned snapshot for their whole request — selector proposal,
+// pricing, prediction — so a concurrent promotion can never mix two
+// model generations inside one request.
+func (f *Framework) snapshot() *registry.Snapshot { return f.registry.Current() }
+
+// WithTraceCapture enables the online trace collector: every analysis
+// that computes all four design simulations (the cached path, and the
+// uncached path once capture is on) records a training-ready trace —
+// feature vector, live proposal, argmin design, per-design outcomes.
+// capacity bounds the buffer; sampleEvery admits one in N observations
+// (<=1 admits all). Returns f for chaining; enable once at setup.
+func (f *Framework) WithTraceCapture(capacity, sampleEvery int) *Framework {
+	f.traces = online.NewCollector(capacity, sampleEvery)
+	return f
+}
+
+// Traces exposes the trace collector (nil unless WithTraceCapture was
+// called).
+func (f *Framework) Traces() *online.Collector { return f.traces }
+
+// OnlineBaseline builds the drift-detection reference from the training
+// corpus: per-feature quantile distributions plus the current model's
+// accuracy on its own training set. It fails when the corpus is absent
+// (file-loaded frameworks) — the online manager then self-calibrates
+// from the first window of served traffic instead.
+func (f *Framework) OnlineBaseline() (*online.Baseline, error) {
+	if f.Corpus == nil || len(f.Corpus.Samples) == 0 {
+		return nil, fmt.Errorf("misam: no training corpus in memory (model loaded from file?)")
+	}
+	snap := f.snapshot()
+	x := f.Corpus.X()
+	labels := f.Corpus.Labels()
+	preds := make([]int, len(f.Corpus.Samples))
+	for i := range f.Corpus.Samples {
+		preds[i] = int(snap.Select(f.Corpus.Samples[i].Features))
+	}
+	return online.NewBaseline(x, labels, preds)
+}
+
+// observeTrace records one served analysis into the collector, if
+// enabled.
+func (f *Framework) observeTrace(an *Analysis, proposed Design, version uint64) {
+	if f.traces == nil {
+		return
+	}
+	t := online.Trace{
+		Features:     an.Features,
+		Predicted:    proposed,
+		Best:         sim.BestDesign(an.Results),
+		ModelVersion: version,
+	}
+	for _, id := range sim.AllDesigns {
+		t.Seconds[id] = an.Results[id].Seconds
+		t.Cycles[id] = an.Results[id].Cycles
+	}
+	f.traces.Observe(t)
 }
 
 // Analysis bundles the design-independent artifacts of one operand pair:
@@ -283,15 +365,21 @@ func (f *Framework) AnalyzeWith(ctx context.Context, dev *Accelerator, an *Analy
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
+	// One snapshot per request: proposal, pricing and prediction all come
+	// from the same model generation even mid-promotion.
+	snap := f.snapshot()
+	rep.ModelVersion = snap.Version()
 	t1 := time.Now()
-	proposed := f.Selector.Select(an.Features)
-	dec := dev.DecideApply(an.Features, proposed, 1)
+	proposed := snap.Select(an.Features)
+	dec := dev.DecideApplyWith(snap.Engine(), an.Features, proposed, 1)
 	rep.InferenceSeconds = time.Since(t1).Seconds()
 
 	rep.Design = dec.Target
 	rep.Reconfigured = dec.Reconfigure
 	rep.ReconfigSec = dec.ReconfigSeconds
-	rep.PredictedSeconds = f.Engine.Predictor.Predict(an.Features, dec.Target)
+	rep.PredictedSeconds = snap.Engine().Predictor.Predict(an.Features, dec.Target)
+
+	f.observeTrace(an, proposed, snap.Version())
 
 	res := an.Results[dec.Target]
 	rep.SimulatedSeconds = res.Seconds
@@ -384,12 +472,21 @@ func TrainOnCorpus(corpus, latCorpus *dataset.Corpus, opts TrainOptions) (*Frame
 		return nil, err
 	}
 	engine := reconfig.NewEngine(pred, reconfig.DefaultTimeModel(), opts.Threshold)
+	snap, err := registry.NewSnapshot(cls, engine, registry.Info{
+		Source: registry.SourceTrain,
+		Note:   "offline training",
+		Traces: len(corpus.Samples),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("misam: initial snapshot: %w", err)
+	}
 	return &Framework{
 		Selector: &Selector{Tree: cls, compiled: cls.Compile()},
 		Engine:   engine,
 		Corpus:   corpus,
 		Options:  opts,
 		device:   reconfig.NewDevice("default", engine),
+		registry: registry.New(snap),
 	}, nil
 }
 
@@ -399,7 +496,10 @@ func TrainOnCorpus(corpus, latCorpus *dataset.Corpus, opts TrainOptions) (*Frame
 type Report struct {
 	Design Design
 	// Device names the accelerator that served the request.
-	Device            string
+	Device string
+	// ModelVersion is the registry version of the model snapshot that
+	// served the request (1 for a freshly trained/loaded framework).
+	ModelVersion      uint64
 	PreprocessSeconds float64
 	InferenceSeconds  float64
 	// PredictedSeconds is the latency predictor's estimate for the chosen
@@ -449,13 +549,19 @@ func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Work
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if f.cache != nil {
+	if f.cache != nil || f.traces != nil {
 		// Cached path: the design-independent analysis (features, all four
 		// simulations, baselines) comes from the content-addressed cache;
 		// only the per-device decide/apply transaction runs per request.
 		// The simulator is deterministic and SimulateAll matches the
 		// single-design path bit for bit, so the report's deterministic
 		// fields are identical to the uncached pipeline's.
+		//
+		// Trace capture also routes here: a training-ready trace needs all
+		// four simulations (the ground-truth argmin label), and
+		// SimulateAll runs the designs concurrently over one shared
+		// precompute, so the capture cost is far below 4× the single-
+		// design path.
 		t0 := time.Now()
 		an, _, err := f.AnalysisFor(ctx, w)
 		if err != nil {
@@ -483,15 +589,17 @@ func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Work
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
+	snap := f.snapshot()
+	rep.ModelVersion = snap.Version()
 	t1 := time.Now()
-	proposed := f.Selector.Select(v)
-	dec := dev.DecideApply(v, proposed, 1)
+	proposed := snap.Select(v)
+	dec := dev.DecideApplyWith(snap.Engine(), v, proposed, 1)
 	rep.InferenceSeconds = time.Since(t1).Seconds()
 
 	rep.Design = dec.Target
 	rep.Reconfigured = dec.Reconfigure
 	rep.ReconfigSec = dec.ReconfigSeconds
-	rep.PredictedSeconds = f.Engine.Predictor.Predict(v, dec.Target)
+	rep.PredictedSeconds = snap.Engine().Predictor.Predict(v, dec.Target)
 
 	res, err := w.SimulateDesignCtx(ctx, dec.Target)
 	if err != nil {
@@ -531,8 +639,9 @@ func (f *Framework) Stream(ctx context.Context, seed int64, a, b *Matrix, minTil
 	// four-design simulations are content-addressed: re-streaming the same
 	// matrix (or re-seeing a tile by content) skips straight to pricing.
 	// Stream tiles always extract the full feature set, so their entries
-	// live under unsalted keys.
-	return f.device.StreamCached(ctx, rng, f.Selector, a, b, minTile, maxTile, f.cache)
+	// live under unsalted keys. The selector comes from the registry's
+	// current snapshot, grabbed once for the whole stream.
+	return f.device.StreamCached(ctx, rng, f.snapshot(), a, b, minTile, maxTile, f.cache)
 }
 
 // CompareBaselines estimates the same workload on the CPU, GPU and
@@ -591,21 +700,59 @@ type savedModels struct {
 	Options    TrainOptions
 }
 
-// Save serializes the trained models (not the corpus or engine state).
+// Model-file framing. Format version 1 is the legacy headerless gob
+// stream; version 2 prefixes an ASCII header so mismatched readers can
+// say exactly what they got instead of failing with a bare decode error.
+const (
+	modelMagic         = "misam-model:"
+	modelFormatVersion = 2
+)
+
+// Save serializes the models of the registry's *current* snapshot (not
+// the corpus or device state) — saving after a promotion persists the
+// promoted models, so a restart resumes from the adapted generation.
 func (f *Framework) Save(w io.Writer) error {
+	snap := f.snapshot()
+	if _, err := fmt.Fprintf(w, "%s%d\n", modelMagic, modelFormatVersion); err != nil {
+		return fmt.Errorf("misam: save models: %w", err)
+	}
 	return gob.NewEncoder(w).Encode(savedModels{
-		Classifier: f.Selector.Tree,
-		Regressors: f.Engine.Predictor.Regs,
+		Classifier: snap.Classifier(),
+		Regressors: snap.Engine().Predictor.Regs,
 		Options:    f.Options,
 	})
 }
 
 // Load restores a framework from Save's output. The corpus is not
-// persisted; Corpus is nil on the loaded framework.
+// persisted; Corpus is nil on the loaded framework. Both the current
+// headered format and the legacy headerless format are accepted;
+// mismatched format versions and truncated files are reported by name.
 func Load(r io.Reader) (*Framework, error) {
+	br := bufio.NewReader(r)
+	version := 1 // legacy headerless stream
+	if peek, err := br.Peek(len(modelMagic)); err == nil && string(peek) == modelMagic {
+		header, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("misam: model file is truncated inside its header (expected %q<version>)", modelMagic)
+		}
+		verStr := strings.TrimSuffix(strings.TrimPrefix(header, modelMagic), "\n")
+		v, err := strconv.Atoi(verStr)
+		if err != nil {
+			return nil, fmt.Errorf("misam: model file has malformed format version %q (this build writes version %d)",
+				verStr, modelFormatVersion)
+		}
+		if v != modelFormatVersion {
+			return nil, fmt.Errorf("misam: model file is format version %d, this build expects version %d — retrain or re-save the model",
+				v, modelFormatVersion)
+		}
+		version = v
+	}
 	var s savedModels
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
-		return nil, fmt.Errorf("misam: load models: %w", err)
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("misam: model file is truncated (format version %d): %w", version, err)
+		}
+		return nil, fmt.Errorf("misam: load models (format version %d): %w", version, err)
 	}
 	if s.Classifier == nil || s.Classifier.Root == nil {
 		return nil, fmt.Errorf("misam: loaded models are incomplete")
@@ -617,11 +764,19 @@ func Load(r io.Reader) (*Framework, error) {
 	}
 	engine := reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
 		reconfig.DefaultTimeModel(), s.Options.Threshold)
+	snap, err := registry.NewSnapshot(s.Classifier, engine, registry.Info{
+		Source: registry.SourceLoad,
+		Note:   "restored from model file",
+	})
+	if err != nil {
+		return nil, fmt.Errorf("misam: initial snapshot: %w", err)
+	}
 	return &Framework{
 		Selector: &Selector{Tree: s.Classifier, compiled: s.Classifier.Compile()},
 		Engine:   engine,
 		Options:  s.Options,
 		device:   reconfig.NewDevice("default", engine),
+		registry: registry.New(snap),
 	}, nil
 }
 

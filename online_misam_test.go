@@ -1,0 +1,171 @@
+package misam
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"misam/internal/registry"
+)
+
+func TestLoadRejectsFutureFormatVersion(t *testing.T) {
+	fw := trainTest(t)
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(buf.Bytes(), []byte(modelMagic+"2\n"), []byte(modelMagic+"9\n"), 1)
+	_, err := Load(bytes.NewReader(tampered))
+	if err == nil {
+		t.Fatal("loaded a model file with an unknown format version")
+	}
+	for _, want := range []string{"version 9", "version 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q (expected and actual versions)", err, want)
+		}
+	}
+}
+
+func TestLoadRejectsMalformedVersion(t *testing.T) {
+	_, err := Load(strings.NewReader(modelMagic + "banana\n"))
+	if err == nil {
+		t.Fatal("loaded a model file with a malformed version")
+	}
+	if !strings.Contains(err.Error(), "malformed format version") {
+		t.Errorf("error %q does not say the version is malformed", err)
+	}
+}
+
+func TestLoadRejectsTruncatedFile(t *testing.T) {
+	fw := trainTest(t)
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the stream mid-gob, beyond the header.
+	cut := buf.Len() / 2
+	_, err := Load(bytes.NewReader(buf.Bytes()[:cut]))
+	if err == nil {
+		t.Fatal("loaded a truncated model file")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("error %q does not say the file is truncated", err)
+	}
+	if !strings.Contains(err.Error(), "format version 2") {
+		t.Errorf("error %q does not name the format version", err)
+	}
+}
+
+func TestLoadedFrameworkHasLoadSourceSnapshot(t *testing.T) {
+	fw := trainTest(t)
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := fw2.Registry().Current()
+	if cur.Version() != 1 || cur.Info().Source != registry.SourceLoad {
+		t.Errorf("loaded snapshot = v%d source %q, want v1 source %q",
+			cur.Version(), cur.Info().Source, registry.SourceLoad)
+	}
+}
+
+func TestReportCarriesModelVersion(t *testing.T) {
+	fw := trainTest(t)
+	a := RandUniform(1, 128, 128, 0.05)
+	b := RandUniform(2, 128, 128, 0.05)
+	rep, err := fw.Analyze(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ModelVersion != fw.Registry().Current().Version() {
+		t.Errorf("report model version %d, registry serves v%d",
+			rep.ModelVersion, fw.Registry().Current().Version())
+	}
+}
+
+// clonePublish republishes the framework's current models as a new
+// snapshot — the registry mechanics of a promotion without retraining.
+func clonePublish(t testing.TB, fw *Framework) uint64 {
+	t.Helper()
+	cur := fw.Registry().Current()
+	snap, err := registry.NewSnapshot(cur.Classifier(), cur.Engine(),
+		registry.Info{Source: registry.SourceRetrain, Note: "hammer clone"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw.Registry().Publish(snap)
+}
+
+// TestAnalyzeDuringHotSwap hammers Analyze from several goroutines while
+// the registry is promoted and rolled back concurrently. Under -race
+// this is the end-to-end torn-snapshot check: every request must succeed
+// and report a version that was actually published.
+func TestAnalyzeDuringHotSwap(t *testing.T) {
+	fw, err := Train(TrainOptions{CorpusSize: 60, LatencyCorpusSize: 80, MaxDim: 256, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.WithTraceCapture(256, 1)
+
+	const (
+		readers  = 4
+		requests = 6
+		swaps    = 30
+	)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	maxVer := uint64(1 + swaps)
+
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < requests; i++ {
+				a := RandUniform(int64(g*100+i), 96, 96, 0.05)
+				b := RandUniform(int64(g*100+i+1), 96, 96, 0.05)
+				rep, err := fw.Analyze(context.Background(), a, b)
+				if err != nil {
+					t.Errorf("analyze during swap: %v", err)
+					failed.Add(1)
+					continue
+				}
+				if rep.ModelVersion == 0 || rep.ModelVersion > maxVer {
+					t.Errorf("report version %d outside published range 1..%d", rep.ModelVersion, maxVer)
+					failed.Add(1)
+				}
+			}
+		}(g)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < swaps; i++ {
+			clonePublish(t, fw)
+			if i%4 == 3 {
+				if _, err := fw.Registry().Rollback(); err != nil {
+					t.Errorf("rollback: %v", err)
+				}
+			}
+		}
+	}()
+
+	close(start)
+	wg.Wait()
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d requests failed during hot-swap", n)
+	}
+	if got := fw.Traces().Stats().Sampled; got == 0 {
+		t.Error("trace collector saw no traffic during the hammer")
+	}
+}
