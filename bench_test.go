@@ -807,3 +807,51 @@ func BenchmarkAnalyzeCacheCoalesced(b *testing.B) {
 		wg.Wait()
 	}
 }
+
+func analyzeFastFresh(b *testing.B, fw *misam.Framework, dev *misam.Accelerator, a, m *misam.Matrix) {
+	b.Helper()
+	wl, err := misam.NewWorkload(a, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep, err := fw.AnalyzeFastOn(context.Background(), dev, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if rep.Path != misam.PathFast {
+		b.Fatalf("request fell to the slow path (path %q)", rep.Path)
+	}
+}
+
+// BenchmarkAnalyzeFastPathWarm times the fast tier with a resident
+// features entry: fingerprint + features-cache hit + tree walk +
+// regressor pricing. Read against BenchmarkAnalyzeCacheCold for the
+// fast-vs-full-simulation serving gap.
+func BenchmarkAnalyzeFastPathWarm(b *testing.B) {
+	fw := *cacheBenchFramework(b)
+	cfw := (&fw).WithCache(64 << 20).WithFastPath(misam.FastPathConfig{Confidence: 0, VerifySample: 0})
+	defer cfw.Close()
+	a, m := cacheBenchOperands()
+	dev := cfw.NewDevice("bench")
+	analyzeFastFresh(b, cfw, dev, a, m) // prime the features entry
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeFastFresh(b, cfw, dev, a, m)
+	}
+}
+
+// BenchmarkAnalyzeFastPathCold times the cache-miss fast tier — feature
+// extraction plus model serving, no simulation — the latency a distinct
+// high-confidence request pays.
+func BenchmarkAnalyzeFastPathCold(b *testing.B) {
+	fw := *cacheBenchFramework(b)
+	// No cache: every request extracts features from the operands.
+	cfw := (&fw).WithFastPath(misam.FastPathConfig{Confidence: 0, VerifySample: 0})
+	defer cfw.Close()
+	a, m := cacheBenchOperands()
+	dev := cfw.NewDevice("bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeFastFresh(b, cfw, dev, a, m)
+	}
+}

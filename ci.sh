@@ -30,16 +30,28 @@ go test -race -shuffle=on -timeout 30m ./...
 echo "==> registry hot-swap hammer (-race)"
 go test -race -run 'TestSwapRollbackHammer|TestAnalyzeDuringHotSwap' ./internal/registry/ .
 
-# Benchmark smoke: one iteration of the fingerprint/memo/cache/registry
-# benchmarks so their harness code can't rot. Scoped by name — the
-# figure-scale benchmarks are far too slow for CI.
+# Benchmark smoke: one iteration of the fingerprint/memo/cache/registry/
+# fast-path benchmarks so their harness code can't rot. Scoped by name —
+# the figure-scale benchmarks are far too slow for CI.
 echo "==> benchmark smoke (-benchtime=1x)"
-go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry' -benchtime=1x ./...
+go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath' -benchtime=1x ./...
+
+# Fast-path experiment smoke: one quick-scale pass over the serving
+# tiers (baseline + four gate thresholds) without writing BENCH_PR5.json.
+echo "==> fastpath experiment smoke"
+go run ./cmd/misam-bench -scale quick -experiment fastpath -fastout ""
 
 # Online-adaptation smoke: replay a tiny shifting stream through the
 # collector end to end (drift report + retrain + promotion gate).
 echo "==> misam-retrain smoke"
 go run ./cmd/misam-retrain -corpus 120 -maxdim 192 -phase1 36 -phase2 60 \
     -window 48 -min-samples 24 -min-traces 40 -checkpoint 24 -force
+
+# Same stream through the confidence-gated fast path: labels now come
+# from the background verifier, and the drift detector must still fire.
+echo "==> misam-retrain fast-path smoke"
+go run ./cmd/misam-retrain -corpus 120 -maxdim 192 -phase1 36 -phase2 60 \
+    -window 48 -min-samples 24 -min-traces 40 -checkpoint 24 -force \
+    -fastpath -confidence 0.5
 
 echo "CI green"

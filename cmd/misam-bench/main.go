@@ -24,9 +24,11 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath")
 	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
+	fastout := flag.String("fastout", "BENCH_PR5.json",
+		"where the fastpath experiment writes its machine-readable report (empty to skip the file)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -73,12 +75,15 @@ func main() {
 		// perf is opt-in (-experiment perf): it re-times the simulation
 		// engine and rewrites the perf trajectory record (BENCH_PR3.json).
 		{"perf", func() error { _, err := experiments.PerfReport(*perfout, w); return err }},
+		// fastpath is opt-in too (-experiment fastpath): it re-times the
+		// confidence-gated serving tiers and rewrites BENCH_PR5.json.
+		{"fastpath", func() error { _, err := experiments.FastPathReport(ctx, *fastout, w); return err }},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
-		if want == "all" && d.name == "perf" {
+		if want == "all" && (d.name == "perf" || d.name == "fastpath") {
 			continue
 		}
 		if want != "all" && want != d.name {

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"misam"
 	"misam/internal/online"
@@ -44,10 +45,19 @@ func main() {
 	minTraces := flag.Int("min-traces", 48, "traces required before retraining")
 	checkpoint := flag.Int("checkpoint", 32, "drift-check cadence in requests")
 	force := flag.Bool("force", false, "retrain even if the detector never fires")
+	fastPath := flag.Bool("fastpath", false, "replay through the confidence-gated fast path (labels come from the background verifier)")
+	confidence := flag.Float64("confidence", 0.6, "fast-path gate: minimum selector leaf confidence")
+	verifySample := flag.Int("verify-sample", 1, "re-simulate one in N fast-path hits in the background")
 	flag.Parse()
 
 	fw := buildFramework(*model, *corpus, *maxDim, *seed)
 	fw.WithTraceCapture(*capacity, *sample)
+	if *fastPath {
+		// The verifier must be wired after trace capture so its audit
+		// traces land in the same collector the drift detector reads.
+		fw.WithFastPath(misam.FastPathConfig{Confidence: *confidence, VerifySample: *verifySample})
+		defer fw.Close()
+	}
 
 	// A trained framework carries its corpus, so the baseline is the real
 	// training distribution; a file-loaded one self-calibrates on the
@@ -63,14 +73,28 @@ func main() {
 
 	ctx := context.Background()
 	drifted := false
+	analyze := fw.Analyze
+	if *fastPath {
+		analyze = fw.AnalyzeFast
+	}
 	replay := func(label string, n int, gen func(i int) (*misam.Matrix, *misam.Matrix)) {
 		fmt.Printf("\n== %s: %d requests ==\n", label, n)
 		for i := 0; i < n; i++ {
 			a, b := gen(i)
-			if _, err := fw.Analyze(ctx, a, b); err != nil {
+			if _, err := analyze(ctx, a, b); err != nil {
 				log.Fatalf("analyze: %v", err)
 			}
 			if (i+1)%*checkpoint == 0 || i == n-1 {
+				if *fastPath {
+					// Fast-path labels arrive asynchronously; let the
+					// verifier catch up so the checkpoint reads a
+					// complete window.
+					dctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+					if err := fw.DrainVerifier(dctx); err != nil {
+						log.Printf("verifier drain: %v", err)
+					}
+					cancel()
+				}
 				rep := mgr.CheckDrift()
 				printDrift(i+1, rep)
 				if rep.Drifted {
@@ -103,6 +127,11 @@ func main() {
 	stats := fw.Traces().Stats()
 	fmt.Printf("\ntraces: observed=%d sampled=%d resident=%d dropped=%d\n",
 		stats.Observed, stats.Sampled, stats.Resident, stats.Dropped)
+	if st, ok := fw.FastPathStats(); ok {
+		fmt.Printf("fast path: served=%d fast=%d slow=%d  verifier offered=%d verified=%d agreed=%d dropped=%d\n",
+			st.Served, st.Fast, st.Slow,
+			st.Verifier.Offered, st.Verifier.Verified, st.Verifier.Agreed, st.Verifier.Dropped)
+	}
 
 	if !drifted && !*force {
 		fmt.Println("detector never fired and -force not given; not retraining")

@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +61,10 @@ func main() {
 	traceCap := flag.Int("trace-capacity", 4096, "bounded trace buffer size")
 	retrainEvery := flag.Duration("retrain-interval", 0, "background drift-check cadence (0 = retrain on demand only)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown deadline for in-flight requests")
+	fastPath := flag.Bool("fastpath", false, "serve high-confidence requests from the model without simulation")
+	confidence := flag.Float64("confidence", 0.9, "fast-path gate: minimum selector leaf confidence (>= 1 disables the fast tier)")
+	verifySample := flag.Int("verify-sample", 8, "re-simulate one in N fast-path hits in the background (<= 0 disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own mux; off when empty)")
 	flag.Parse()
 
 	var fw *misam.Framework
@@ -91,13 +96,42 @@ func main() {
 		TraceSample:     *traceSample,
 		TraceCapacity:   *traceCap,
 		RetrainInterval: *retrainEvery,
+		FastPath:        *fastPath,
+		Confidence:      *confidence,
+		VerifySample:    *verifySample,
 	})
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		// The profiling listener gets its own mux so the pprof handlers
+		// (which net/http/pprof registers on http.DefaultServeMux) are
+		// never reachable through the public API address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			host := *pprofAddr
+			if host[0] == ':' {
+				host = "localhost" + host
+			}
+			fmt.Printf("pprof on %s (e.g. go tool pprof http://%s/debug/pprof/profile?seconds=15)\n",
+				*pprofAddr, host)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	mode := ""
 	if *onlineMode {
 		mode = ", online adaptation on"
+	}
+	if *fastPath {
+		mode += fmt.Sprintf(", fast path at %.2f confidence", *confidence)
 	}
 	fmt.Printf("serving %d device(s) on %s%s (GET /healthz /v1/designs /v1/fleet /v1/stats /v1/models, POST /v1/analyze /v1/analyze/batch /v1/models/retrain /v1/models/rollback)\n",
 		*devices, *addr, mode)

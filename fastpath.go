@@ -1,0 +1,285 @@
+package misam
+
+// Confidence-gated two-tier serving (the paper's §3/§5.3 thesis taken
+// seriously): the decision tree was trained to *replace* the expensive
+// oracle, so the serving hot path should run the tree, not the
+// simulator. AnalyzeFast serves tier 1 — features, compiled-tree
+// proposal, and a Decision priced entirely from the snapshot's latency
+// regressors — whenever the selector leaf is confident enough. Requests
+// the model is unsure about, plus a deterministic 1-in-N audit sample,
+// fall through to tier 2, the full four-simulation pipeline (AnalyzeOn).
+// A bounded background verifier re-simulates a sample of fast-path hits
+// off the request path and feeds the labelled traces to the online
+// adaptation loop, which would otherwise starve the moment simulation
+// left the request path.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"misam/internal/features"
+	"misam/internal/online"
+	"misam/internal/sim"
+)
+
+// Report.Path values.
+const (
+	// PathFull marks a report produced by the full-simulation pipeline.
+	PathFull = "full"
+	// PathFast marks a report served from the model alone: the chosen
+	// design was priced by the latency regressors and never simulated, so
+	// SimulatedSeconds, Cycles, PEUtilization and EnergyJoules are zero.
+	PathFast = "fast"
+)
+
+// FastPathConfig tunes the confidence-gated tier.
+type FastPathConfig struct {
+	// Confidence is the gate: a request is served from the model when the
+	// selector leaf's probability mass for the proposed design is at
+	// least this. Values >= 1 disable the fast path entirely — every
+	// request takes the full pipeline, bit-identical to a framework
+	// without WithFastPath.
+	Confidence float64
+	// MinMargin additionally requires the leaf's margin over the
+	// runner-up design (confidence minus the runner-up's mass). Zero
+	// imposes no margin requirement.
+	MinMargin float64
+	// SlowEvery forces every Nth gate-passing request down the full
+	// pipeline anyway, keeping a deterministic simulated sample of the
+	// high-confidence slice on the request path. 0 disables.
+	SlowEvery int
+	// VerifySample offers one in N fast-path hits to the background
+	// verifier for asynchronous re-simulation. 0 disables verification.
+	VerifySample int
+	// VerifyWorkers and VerifyQueue bound the verifier pool (defaulted
+	// when <= 0).
+	VerifyWorkers int
+	VerifyQueue   int
+}
+
+// DefaultFastPathConfig serves at 0.9 leaf confidence and audits one in
+// eight fast-path hits with two background workers.
+func DefaultFastPathConfig() FastPathConfig {
+	return FastPathConfig{
+		Confidence:    0.9,
+		VerifySample:  8,
+		VerifyWorkers: 2,
+		VerifyQueue:   256,
+	}
+}
+
+func (c FastPathConfig) withDefaults() FastPathConfig {
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = 2
+	}
+	if c.VerifyQueue <= 0 {
+		c.VerifyQueue = 256
+	}
+	return c
+}
+
+// FastPathStats snapshot the two-tier counters. Invariants (pinned by the
+// hammer test): Served == Fast + Slow, and in the verifier
+// Verified + Errors + queued ≤ Offered with Offered counted only on
+// fast-path hits.
+type FastPathStats struct {
+	// Enabled reports whether the gate can ever pass (Confidence < 1).
+	Enabled bool `json:"enabled"`
+	// Confidence echoes the configured gate threshold.
+	Confidence float64 `json:"confidence"`
+	// Served counts every AnalyzeFast request; Fast the ones answered
+	// from the model; Slow the ones that fell through to full simulation
+	// (low confidence, margin miss, SlowEvery sample, or disabled gate).
+	Served int64 `json:"served"`
+	Fast   int64 `json:"fast"`
+	Slow   int64 `json:"slow"`
+	// Verifier holds the background audit counters (zero when
+	// verification is disabled).
+	Verifier online.VerifierStats `json:"verifier"`
+}
+
+// fastPath is the per-framework two-tier state.
+type fastPath struct {
+	cfg      FastPathConfig
+	verifier *online.Verifier
+
+	served    atomic.Int64
+	fast      atomic.Int64
+	slow      atomic.Int64
+	gateSeq   atomic.Int64 // SlowEvery sampling counter
+	verifySeq atomic.Int64 // VerifySample sampling counter
+}
+
+// WithFastPath enables the confidence-gated tier, returning f for
+// chaining. Enable once at setup, before serving traffic; combine with
+// WithTraceCapture when the background verifier should feed the online
+// adaptation loop (without a collector the verifier still maintains
+// agreement counters). Call Close when done to stop the verifier pool.
+func (f *Framework) WithFastPath(cfg FastPathConfig) *Framework {
+	cfg = cfg.withDefaults()
+	fp := &fastPath{cfg: cfg}
+	if cfg.VerifySample > 0 {
+		fp.verifier = online.NewVerifier(f.traces, cfg.VerifyWorkers, cfg.VerifyQueue)
+	}
+	f.fastpath = fp
+	return f
+}
+
+// FastPathStats snapshots the two-tier counters; ok is false when
+// WithFastPath was never called.
+func (f *Framework) FastPathStats() (st FastPathStats, ok bool) {
+	fp := f.fastpath
+	if fp == nil {
+		return FastPathStats{}, false
+	}
+	st = FastPathStats{
+		Enabled:    fp.cfg.Confidence < 1,
+		Confidence: fp.cfg.Confidence,
+		Served:     fp.served.Load(),
+		Fast:       fp.fast.Load(),
+		Slow:       fp.slow.Load(),
+	}
+	if fp.verifier != nil {
+		st.Verifier = fp.verifier.Stats()
+	}
+	return st, true
+}
+
+// DrainVerifier blocks until the background verifier has finished every
+// accepted job, or ctx expires. A no-op without an enabled verifier —
+// tests and stream-replay drivers use it to flush audit traces before
+// checking drift.
+func (f *Framework) DrainVerifier(ctx context.Context) error {
+	fp := f.fastpath
+	if fp == nil || fp.verifier == nil {
+		return nil
+	}
+	return fp.verifier.Drain(ctx)
+}
+
+// Close stops the background verifier pool, if any. The framework
+// remains usable for serving; only asynchronous verification stops
+// (subsequent fast-path hits count their verify offers as drops).
+func (f *Framework) Close() {
+	if fp := f.fastpath; fp != nil && fp.verifier != nil {
+		fp.verifier.Close()
+	}
+}
+
+// AnalyzeFast is Analyze through the two-tier pipeline on the
+// framework's default device.
+func (f *Framework) AnalyzeFast(ctx context.Context, a, b *Matrix) (Report, error) {
+	w, err := sim.NewWorkload(a, b)
+	if err != nil {
+		return Report{}, fmt.Errorf("misam: analyze: %w", err)
+	}
+	return f.AnalyzeFastOn(ctx, f.device, w)
+}
+
+// AnalyzeFastOn serves one request through the confidence gate against
+// dev. High-confidence requests are answered from the model snapshot
+// alone: compiled-tree proposal, decide/apply priced by the latency
+// regressors, PredictedSeconds as the latency estimate, and zero
+// simulator-derived fields (Path reports which tier answered). Everything
+// else — low confidence, thin margin, the SlowEvery audit sample, or a
+// framework without WithFastPath — delegates to AnalyzeOn unchanged.
+func (f *Framework) AnalyzeFastOn(ctx context.Context, dev *Accelerator, w *sim.Workload) (Report, error) {
+	fp := f.fastpath
+	if fp == nil {
+		return f.AnalyzeOn(ctx, dev, w)
+	}
+	fp.served.Add(1)
+	if fp.cfg.Confidence >= 1 {
+		// Gate can never pass: skip straight to the full pipeline without
+		// spending a feature extraction on the gate. This is the
+		// bit-identical-at-threshold-1.0 contract.
+		fp.slow.Add(1)
+		return f.AnalyzeOn(ctx, dev, w)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	t0 := time.Now()
+	v, _, err := f.fastFeatures(ctx, w)
+	if err != nil {
+		fp.slow.Add(1)
+		return Report{Device: dev.Name(), Path: PathFull}, fmt.Errorf("misam: analyze: %w", err)
+	}
+	pre := time.Since(t0).Seconds()
+
+	// One snapshot for gate, pricing and prediction (and for stamping the
+	// verify job) — a concurrent promotion can never split one request
+	// across model generations.
+	snap := f.snapshot()
+	t1 := time.Now()
+	proposed, conf, margin := snap.SelectConfident(v)
+	pass := conf >= fp.cfg.Confidence && margin >= fp.cfg.MinMargin
+	if pass && fp.cfg.SlowEvery > 0 && fp.gateSeq.Add(1)%int64(fp.cfg.SlowEvery) == 0 {
+		pass = false
+	}
+	if !pass {
+		fp.slow.Add(1)
+		rep, err := f.AnalyzeOn(ctx, dev, w)
+		rep.Confidence = conf
+		return rep, err
+	}
+	fp.fast.Add(1)
+
+	dec := dev.DecideApplyWith(snap.Engine(), v, proposed, 1)
+	var rep Report
+	rep.Device = dev.Name()
+	rep.Path = PathFast
+	rep.Confidence = conf
+	rep.ModelVersion = snap.Version()
+	rep.PreprocessSeconds = pre
+	rep.InferenceSeconds = time.Since(t1).Seconds()
+	rep.Design = dec.Target
+	rep.Reconfigured = dec.Reconfigure
+	rep.ReconfigSec = dec.ReconfigSeconds
+	rep.PredictedSeconds = snap.Engine().Predictor.Predict(v, dec.Target)
+	// No simulation ran: the predicted latency stands in for the hardware
+	// time, and the simulator-only fields stay zero.
+	rep.TotalSeconds = rep.PreprocessSeconds + rep.InferenceSeconds + rep.ReconfigSec + rep.PredictedSeconds
+
+	if fp.verifier != nil && fp.cfg.VerifySample > 0 &&
+		(fp.verifySeq.Add(1)-1)%int64(fp.cfg.VerifySample) == 0 {
+		fp.verifier.Offer(online.VerifyJob{
+			Features:     v,
+			Predicted:    proposed,
+			ModelVersion: snap.Version(),
+			Simulate: func(ctx context.Context) ([sim.NumDesigns]sim.Result, error) {
+				// Route through AnalysisFor: with a cache enabled the audit
+				// also warms the pair's full Analysis for future requests.
+				an, _, err := f.AnalysisFor(ctx, w)
+				if err != nil {
+					return [sim.NumDesigns]sim.Result{}, err
+				}
+				return an.Results, nil
+			},
+		})
+	}
+	return rep, nil
+}
+
+// fastFeatures extracts the request's feature vector in the framework's
+// flavour, through the cache's features-only fast entries when a cache is
+// enabled (salted keyspace — never confused with full Analyses).
+func (f *Framework) fastFeatures(ctx context.Context, w *Workload) (features.Vector, bool, error) {
+	extract := func(ctx context.Context) (features.Vector, error) {
+		if err := ctx.Err(); err != nil {
+			return features.Vector{}, err
+		}
+		if f.Options.TopFeaturesOnly {
+			return features.ExtractPruned(w.A, w.B), nil
+		}
+		return features.Extract(w.A, w.B), nil
+	}
+	if f.cache == nil {
+		v, err := extract(ctx)
+		return v, false, err
+	}
+	return f.cache.DoFast(ctx, f.analysisKey(w.A, w.B), extract)
+}

@@ -12,8 +12,6 @@
 package baseline
 
 import (
-	"math"
-
 	"misam/internal/sparse"
 )
 
@@ -78,8 +76,6 @@ type Estimate struct {
 	// traffic or overhead) dominated.
 	ComputeBound bool
 }
-
-func maxf(a, b float64) float64 { return math.Max(a, b) }
 
 func clamp01(x float64) float64 {
 	if x < 0 {

@@ -52,6 +52,6 @@ func (m CPUModel) Estimate(s Stats) Estimate {
 	traffic := float64(s.NNZA)*12 + s.Flops*8*missFrac + s.Outputs*8
 	memory := traffic / m.MemBandwidth
 
-	t := maxf(compute, memory) + float64(s.M)*m.PerRowOverhead + m.FixedOverhead
+	t := max(compute, memory) + float64(s.M)*m.PerRowOverhead + m.FixedOverhead
 	return Estimate{Seconds: t, ComputeBound: compute >= memory}
 }

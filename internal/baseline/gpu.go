@@ -58,11 +58,11 @@ func (m GPUModel) Estimate(s Stats) Estimate {
 			div = m.DivergenceCap
 		}
 		rate /= 1 + div/m.DivergencePenalty
-		missFrac := clamp01(1 - m.CacheBytes/maxf(1, float64(s.NNZB)*12))
+		missFrac := clamp01(1 - m.CacheBytes/max(1, float64(s.NNZB)*12))
 		traffic += s.Flops * 4 * missFrac
 	}
 	compute := s.Flops / rate
 	memory := traffic / m.MemBandwidth
-	t := maxf(compute, memory) + m.LaunchOverhead + float64(s.NNZA+s.NNZB)*m.AnalysisPerNNZ
+	t := max(compute, memory) + m.LaunchOverhead + float64(s.NNZA+s.NNZB)*m.AnalysisPerNNZ
 	return Estimate{Seconds: t, ComputeBound: compute >= memory}
 }

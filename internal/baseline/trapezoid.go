@@ -84,15 +84,15 @@ func (m TrapezoidModel) EstimateDataflow(d TrapezoidDataflow, s Stats) Estimate 
 		// output pair. B is processed in buffer-sized column tiles; A is
 		// re-streamed once per tile (the §2.1 "redundant fetching",
 		// bounded by tiling).
-		avgRowA := float64(s.NNZA) / maxf(1, float64(s.M))
-		avgColB := float64(s.NNZB) / maxf(1, float64(s.N))
+		avgRowA := float64(s.NNZA) / max(1, float64(s.M))
+		avgColB := float64(s.NNZB) / max(1, float64(s.N))
 		matches := float64(s.M) * float64(s.N) * (avgRowA + avgColB)
-		compute := maxf(s.Flops/m.MACRate, matches/m.MatchRate)
+		compute := max(s.Flops/m.MACRate, matches/m.MatchRate)
 		bBytes := float64(s.NNZB) * 12
-		bTiles := maxf(1, bBytes/m.BufferBytes)
+		bTiles := max(1, bBytes/m.BufferBytes)
 		traffic := float64(s.NNZA)*12*bTiles + bBytes + s.Outputs*8
 		memory := traffic / m.MemBandwidth
-		t := maxf(compute, memory) + m.FixedOverhead
+		t := max(compute, memory) + m.FixedOverhead
 		return Estimate{Seconds: t, ComputeBound: compute >= memory}
 
 	case TrapezoidOuter:
@@ -100,11 +100,11 @@ func (m TrapezoidModel) EstimateDataflow(d TrapezoidDataflow, s Stats) Estimate 
 		// matrices overflow the buffer (§2.1: "high off-chip traffic").
 		compute := s.Flops / m.MACRate
 		partialBytes := s.Flops * m.MergeBytesPerPartial
-		overflow := clamp01(1 - m.BufferBytes/maxf(1, s.Flops*8))
+		overflow := clamp01(1 - m.BufferBytes/max(1, s.Flops*8))
 		partialBytes *= overflow
 		traffic := float64(s.NNZA)*12 + float64(s.NNZB)*12 + partialBytes + s.Outputs*8
 		memory := traffic / m.MemBandwidth
-		t := maxf(compute, memory) + m.FixedOverhead
+		t := max(compute, memory) + m.FixedOverhead
 		return Estimate{Seconds: t, ComputeBound: compute >= memory}
 
 	case TrapezoidRowWise:
@@ -114,11 +114,11 @@ func (m TrapezoidModel) EstimateDataflow(d TrapezoidDataflow, s Stats) Estimate 
 		// "irregular access to B's rows ... reduces reuse efficiency").
 		compute := s.Flops / m.MACRate
 		bBytes := float64(s.NNZB) * 12
-		missFrac := clamp01(1 - m.BufferBytes/maxf(1, bBytes))
-		bTraffic := bBytes + maxf(0, s.Flops*8-bBytes)*missFrac
+		missFrac := clamp01(1 - m.BufferBytes/max(1, bBytes))
+		bTraffic := bBytes + max(0, s.Flops*8-bBytes)*missFrac
 		traffic := float64(s.NNZA)*12 + bTraffic + s.Outputs*8
 		memory := traffic / m.MemBandwidth
-		t := maxf(compute, memory) + m.FixedOverhead
+		t := max(compute, memory) + m.FixedOverhead
 		return Estimate{Seconds: t, ComputeBound: compute >= memory}
 
 	default:

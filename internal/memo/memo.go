@@ -92,9 +92,30 @@ const entryOverheadBytes = 128
 // struct is slice-free, so unsafe.Sizeof covers it exactly.
 var analysisBytes = int64(unsafe.Sizeof(Analysis{})) + entryOverheadBytes
 
-// EntryBytes reports the bytes one cached entry charges against the
-// budget (payload plus bookkeeping overhead).
+// fastBytes is the payload size of one features-only fast-path entry: the
+// confidence-gated tier skips the four simulations, so all it has worth
+// keeping is the extracted feature vector.
+var fastBytes = int64(unsafe.Sizeof(features.Vector{})) + entryOverheadBytes
+
+// EntryBytes reports the bytes one cached full-analysis entry charges
+// against the budget (payload plus bookkeeping overhead).
 func EntryBytes() int64 { return analysisBytes }
+
+// FastEntryBytes is EntryBytes for a features-only fast entry.
+func FastEntryBytes() int64 { return fastBytes }
+
+// fastSaltHi/Lo separate the fast-entry keyspace from full analyses: the
+// same operand pair (same PairKey plus whatever flavour salt the caller
+// mixed in) addresses distinct full and fast slots, so a fast hit can
+// never masquerade as a full Analysis or vice versa.
+const (
+	fastSaltHi = 0xf157a7e5f157a7e5
+	fastSaltLo = 0x5eedfacecafe1234
+)
+
+func fastKey(key Key) Key {
+	return Key{Hi: key.Hi ^ fastSaltHi, Lo: mix(key.Lo ^ fastSaltLo)}
+}
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
@@ -110,6 +131,10 @@ type Stats struct {
 	// AbortedLeaders counts builds that ended in cancellation and were
 	// discarded (never stored).
 	AbortedLeaders int64 `json:"aborted_leaders"`
+	// FastHits/FastMisses count the features-only fast-entry lookups
+	// (DoFast); Hits/Misses above count only full-analysis traffic.
+	FastHits   int64 `json:"fast_hits"`
+	FastMisses int64 `json:"fast_misses"`
 	// Entries and ResidentBytes describe the current working set;
 	// BudgetBytes is the configured ceiling.
 	Entries       int64 `json:"entries"`
@@ -123,16 +148,18 @@ type Stats struct {
 const numShards = 16
 
 // flight is one in-progress build. done is closed exactly once, after
-// val/err are set.
+// val/err are set. val is *Analysis for full entries and features.Vector
+// for fast entries; the two keyspaces never mix (fastKey salt), so each
+// caller knows which kind it is waiting for.
 type flight struct {
 	done chan struct{}
-	val  *Analysis
+	val  any
 	err  error
 }
 
 type entry struct {
 	key   Key
-	val   *Analysis
+	val   any
 	bytes int64
 }
 
@@ -153,13 +180,15 @@ type Cache struct {
 	budgetPerShard int64
 	budget         int64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
-	aborted   atomic.Int64
-	resident  atomic.Int64
-	entries   atomic.Int64
+	hits       atomic.Int64
+	misses     atomic.Int64
+	fastHits   atomic.Int64
+	fastMisses atomic.Int64
+	coalesced  atomic.Int64
+	evictions  atomic.Int64
+	aborted    atomic.Int64
+	resident   atomic.Int64
+	entries    atomic.Int64
 }
 
 // New returns a cache bounded to roughly budgetBytes of resident
@@ -186,8 +215,8 @@ func (c *Cache) shard(key Key) *shard {
 	return &c.shards[key.Lo%numShards]
 }
 
-// Get returns the resident entry for key, if any, marking it most
-// recently used. It never blocks on in-flight builds.
+// Get returns the resident full-analysis entry for key, if any, marking
+// it most recently used. It never blocks on in-flight builds.
 func (c *Cache) Get(key Key) (*Analysis, bool) {
 	sh := c.shard(key)
 	sh.mu.Lock()
@@ -200,7 +229,7 @@ func (c *Cache) Get(key Key) (*Analysis, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*entry).val, true
+	return el.Value.(*entry).val.(*Analysis), true
 }
 
 // Do returns the analysis for key, computing it with build on a miss.
@@ -215,6 +244,42 @@ func (c *Cache) Get(key Key) (*Analysis, bool) {
 // becomes the new leader (the hand-off the serving path relies on: a
 // disconnecting client must not fail the requests queued behind it).
 func (c *Cache) Do(ctx context.Context, key Key, build func(ctx context.Context) (*Analysis, error)) (an *Analysis, hit bool, err error) {
+	val, hit, err := c.do(ctx, key, analysisBytes, &c.hits, &c.misses, func(ctx context.Context) (any, error) {
+		an, err := build(ctx)
+		if err == nil && an == nil {
+			return nil, errors.New("memo: builder returned nil analysis")
+		}
+		return an, err
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return val.(*Analysis), hit, nil
+}
+
+// DoFast is Do for the confidence-gated tier: it caches only the
+// extracted feature vector (the fast path's sole expensive
+// design-independent artifact), keyed in a salted keyspace disjoint from
+// full analyses so the two entry kinds share the byte budget and LRU but
+// never alias. Same singleflight and cancellation semantics as Do.
+func (c *Cache) DoFast(ctx context.Context, key Key, build func(ctx context.Context) (features.Vector, error)) (v features.Vector, hit bool, err error) {
+	val, hit, err := c.do(ctx, fastKey(key), fastBytes, &c.fastHits, &c.fastMisses, func(ctx context.Context) (any, error) {
+		v, err := build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	if err != nil {
+		return features.Vector{}, false, err
+	}
+	return val.(features.Vector), hit, nil
+}
+
+// do is the shared lookup/singleflight/insert core behind Do and DoFast.
+// bytes is what a stored entry charges against the budget; hits/misses
+// are the per-kind counters to bump.
+func (c *Cache) do(ctx context.Context, key Key, bytes int64, hits, misses *atomic.Int64, build func(ctx context.Context) (any, error)) (val any, hit bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -227,7 +292,7 @@ func (c *Cache) Do(ctx context.Context, key Key, build func(ctx context.Context)
 		if el, ok := sh.items[key]; ok {
 			sh.lru.MoveToFront(el)
 			sh.mu.Unlock()
-			c.hits.Add(1)
+			hits.Add(1)
 			return el.Value.(*entry).val, true, nil
 		}
 		if f, ok := sh.flights[key]; ok {
@@ -253,17 +318,14 @@ func (c *Cache) Do(ctx context.Context, key Key, build func(ctx context.Context)
 		f := &flight{done: make(chan struct{})}
 		sh.flights[key] = f
 		sh.mu.Unlock()
-		c.misses.Add(1)
+		misses.Add(1)
 
 		val, err := build(ctx)
-		if err == nil && val == nil {
-			err = errors.New("memo: builder returned nil analysis")
-		}
 
 		sh.mu.Lock()
 		delete(sh.flights, key)
 		if err == nil {
-			c.insertLocked(sh, key, val)
+			c.insertLocked(sh, key, val, bytes)
 		}
 		sh.mu.Unlock()
 		if err != nil && isCancellation(err) {
@@ -284,14 +346,14 @@ func isCancellation(err error) bool {
 // until the shard is back under budget. The just-inserted entry is never
 // evicted: with a degenerate budget the cache degrades to
 // hold-the-latest, not hold-nothing.
-func (c *Cache) insertLocked(sh *shard, key Key, val *Analysis) {
+func (c *Cache) insertLocked(sh *shard, key Key, val any, bytes int64) {
 	if el, ok := sh.items[key]; ok {
 		// A racing leader on the same key already stored — refresh
 		// recency, keep the resident value (the builds are deterministic).
 		sh.lru.MoveToFront(el)
 		return
 	}
-	e := &entry{key: key, val: val, bytes: analysisBytes}
+	e := &entry{key: key, val: val, bytes: bytes}
 	sh.items[key] = sh.lru.PushFront(e)
 	sh.bytes += e.bytes
 	c.resident.Add(e.bytes)
@@ -318,6 +380,8 @@ func (c *Cache) Stats() Stats {
 		Coalesced:      c.coalesced.Load(),
 		Evictions:      c.evictions.Load(),
 		AbortedLeaders: c.aborted.Load(),
+		FastHits:       c.fastHits.Load(),
+		FastMisses:     c.fastMisses.Load(),
 		Entries:        c.entries.Load(),
 		ResidentBytes:  c.resident.Load(),
 		BudgetBytes:    c.budget,

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"misam/internal/features"
 )
 
 // shardKey builds a key that lands in shard 0, with i distinguishing
@@ -318,5 +320,119 @@ func mustDoB(b *testing.B, c *Cache, key Key) {
 		return dummyAnalysis(0), nil
 	}); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestDoFastSeparateKeyspace: fast (features-only) and full entries for
+// the SAME key must occupy distinct slots, bump distinct counters, and
+// charge their own sizes against a shared budget.
+func TestDoFastSeparateKeyspace(t *testing.T) {
+	c := New(1 << 20)
+	key := shardKey(1)
+
+	var v features.Vector
+	v[0] = 7
+	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+		return v, nil
+	})
+	if err != nil || hit || got != v {
+		t.Fatalf("first DoFast = (%v, %v, %v), want miss returning stored vector", got[0], hit, err)
+	}
+	got, hit, err = c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+		t.Fatal("fast hit ran the builder")
+		return features.Vector{}, nil
+	})
+	if err != nil || !hit || got != v {
+		t.Fatalf("second DoFast = (%v, %v, %v), want hit", got[0], hit, err)
+	}
+
+	// A full Do on the same key must not see the fast entry.
+	if _, ok := c.Get(key); ok {
+		t.Fatal("Get(key) returned the fast entry as a full analysis")
+	}
+	an, hit := mustDo(t, c, key, 41)
+	if hit || an.Features[0] != 41 {
+		t.Fatal("full Do on a fast-cached key did not run its own build")
+	}
+
+	st := c.Stats()
+	if st.FastHits != 1 || st.FastMisses != 1 {
+		t.Fatalf("fast counters = %d hits / %d misses, want 1/1", st.FastHits, st.FastMisses)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("full misses = %d, want 1 (fast traffic leaked into full counters)", st.Misses)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (one fast, one full)", st.Entries)
+	}
+	if want := EntryBytes() + FastEntryBytes(); st.ResidentBytes != want {
+		t.Fatalf("resident bytes %d, want %d", st.ResidentBytes, want)
+	}
+	if FastEntryBytes() >= EntryBytes() {
+		t.Fatalf("fast entry (%d B) should be cheaper than a full analysis (%d B)",
+			FastEntryBytes(), EntryBytes())
+	}
+}
+
+// TestDoFastSingleflight: concurrent fast lookups for one key coalesce
+// onto a single feature extraction.
+func TestDoFastSingleflight(t *testing.T) {
+	c := New(1 << 20)
+	key := shardKey(3)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	const K = 8
+	var wg sync.WaitGroup
+	results := make([]features.Vector, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got, _, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+				builds.Add(1)
+				<-release
+				var v features.Vector
+				v[0] = 123
+				return v, nil
+			})
+			if err != nil {
+				t.Errorf("DoFast: %v", err)
+			}
+			results[i] = got
+		}(i)
+	}
+	// Let the goroutines pile up behind one leader, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d builds ran, want 1", n)
+	}
+	for i, v := range results {
+		if v[0] != 123 {
+			t.Fatalf("waiter %d got %v, want the shared result", i, v[0])
+		}
+	}
+}
+
+// TestDoFastBuildError: extraction failures propagate and are not cached.
+func TestDoFastBuildError(t *testing.T) {
+	c := New(1 << 20)
+	key := shardKey(5)
+	boom := errors.New("boom")
+	_, _, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+		return features.Vector{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure must not be cached: the next call runs a fresh build.
+	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+		var v features.Vector
+		v[0] = 9
+		return v, nil
+	})
+	if err != nil || hit || got[0] != 9 {
+		t.Fatalf("retry after error = (%v, %v, %v), want fresh miss", got[0], hit, err)
 	}
 }

@@ -15,6 +15,12 @@ type Compiled struct {
 	// (regressor). Both are populated so one Compiled serves either tree.
 	Label []int32
 	Value []float64
+	// Probs holds the flattened leaf class distributions: NumClasses
+	// values per node (all zeros at interior nodes), so confidence
+	// lookups walk the same contiguous arrays as class routing instead of
+	// chasing Node pointers. Empty for regressors (NumClasses 0).
+	Probs      []float64
+	NumClasses int
 }
 
 // compile flattens the tree rooted at n, returning its index.
@@ -26,6 +32,13 @@ func (c *Compiled) compile(n *Node) int32 {
 	c.Right = append(c.Right, -1)
 	c.Label = append(c.Label, int32(n.Label))
 	c.Value = append(c.Value, n.Value)
+	if c.NumClasses > 0 {
+		base := len(c.Probs)
+		c.Probs = append(c.Probs, make([]float64, c.NumClasses)...)
+		if n.Leaf {
+			copy(c.Probs[base:], n.Probs)
+		}
+	}
 	if !n.Leaf {
 		c.Feature[i] = int32(n.Feature)
 		c.Threshold[i] = n.Threshold
@@ -37,7 +50,7 @@ func (c *Compiled) compile(n *Node) int32 {
 
 // Compile flattens the classifier for low-latency inference.
 func (c *Classifier) Compile() *Compiled {
-	out := &Compiled{}
+	out := &Compiled{NumClasses: c.NumClasses}
 	out.compile(c.Root)
 	return out
 }
@@ -67,6 +80,40 @@ func (c *Compiled) PredictClass(x []float64) int { return int(c.Label[c.walk(x)]
 
 // PredictValue returns the regression estimate at the routed leaf.
 func (c *Compiled) PredictValue(x []float64) float64 { return c.Value[c.walk(x)] }
+
+// PredictProbaInto routes x to a leaf and copies its class distribution
+// into out, returning the leaf's class label. out must have at least
+// NumClasses elements. Unlike Classifier.PredictProba this allocates
+// nothing and never touches the pointer-chasing Node tree, so it is safe
+// on a serving hot path.
+func (c *Compiled) PredictProbaInto(x, out []float64) int {
+	i := int(c.walk(x))
+	copy(out[:c.NumClasses], c.Probs[i*c.NumClasses:(i+1)*c.NumClasses])
+	return int(c.Label[i])
+}
+
+// PredictConfident routes x to a leaf and returns its class, the leaf's
+// training probability mass for that class (the confidence), and the
+// margin over the runner-up class. The class is always identical to
+// PredictClass's; conf and margin are 0 for a regressor-compiled tree.
+func (c *Compiled) PredictConfident(x []float64) (class int, conf, margin float64) {
+	i := int(c.walk(x))
+	class = int(c.Label[i])
+	if c.NumClasses == 0 {
+		return class, 0, 0
+	}
+	base := i * c.NumClasses
+	runnerUp := 0.0
+	for k := 0; k < c.NumClasses; k++ {
+		p := c.Probs[base+k]
+		if k == class {
+			conf = p
+		} else if p > runnerUp {
+			runnerUp = p
+		}
+	}
+	return class, conf, conf - runnerUp
+}
 
 // NumNodes reports the flattened node count.
 func (c *Compiled) NumNodes() int { return len(c.Feature) }

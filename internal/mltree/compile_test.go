@@ -1,0 +1,156 @@
+package mltree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trainRandomClassifier grows a tree on a random dataset whose shape
+// (samples, features, classes, depth, noise) is itself randomized, so the
+// property tests below cover shallow pure trees, deep noisy trees, and
+// everything between.
+func trainRandomClassifier(t *testing.T, rng *rand.Rand) (*Classifier, int, int) {
+	t.Helper()
+	numFeatures := 2 + rng.Intn(5)
+	numClasses := 2 + rng.Intn(4)
+	n := 50 + rng.Intn(300)
+	noise := rng.Float64() * 0.3
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, numFeatures)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		x[i] = row
+		y[i] = int(row[0]*float64(numClasses)) % numClasses
+		if rng.Float64() < noise {
+			y[i] = rng.Intn(numClasses)
+		}
+	}
+	cfg := Config{MaxDepth: 2 + rng.Intn(10), MinSamplesLeaf: float64(1 + rng.Intn(4))}
+	cls, err := TrainClassifier(x, y, numClasses, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cls, numFeatures, numClasses
+}
+
+// TestPredictProbaIntoMatchesClassifier is the property test behind the
+// fast path: for random trees and random inputs, the compiled
+// allocation-free lookup returns bit-identical distributions and labels
+// to the pointer-walking Classifier methods.
+func TestPredictProbaIntoMatchesClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		cls, numFeatures, numClasses := trainRandomClassifier(t, rng)
+		cc := cls.Compile()
+		if cc.NumClasses != numClasses {
+			t.Fatalf("trial %d: compiled NumClasses = %d, want %d", trial, cc.NumClasses, numClasses)
+		}
+		if len(cc.Probs) != cc.NumNodes()*numClasses {
+			t.Fatalf("trial %d: %d flattened probs for %d nodes x %d classes",
+				trial, len(cc.Probs), cc.NumNodes(), numClasses)
+		}
+		out := make([]float64, numClasses)
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, numFeatures)
+			for j := range x {
+				// Mix in-range and out-of-range values so extreme leaves
+				// are reached too.
+				x[j] = rng.Float64()*2 - 0.5
+			}
+			want := cls.PredictProba(x)
+			label := cc.PredictProbaInto(x, out)
+			if label != cls.Predict(x) {
+				t.Fatalf("trial %d: PredictProbaInto label %d, Classifier.Predict %d", trial, label, cls.Predict(x))
+			}
+			for k := range want {
+				if out[k] != want[k] {
+					t.Fatalf("trial %d: class %d proba %v, want %v (x=%v)", trial, k, out[k], want[k], x)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictConfidentMatchesProba checks the confidence/margin lookup
+// against the reference distribution: class identical to PredictClass,
+// conf equal to the class's probability, margin equal to conf minus the
+// best other class.
+func TestPredictConfidentMatchesProba(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		cls, numFeatures, _ := trainRandomClassifier(t, rng)
+		cc := cls.Compile()
+		for probe := 0; probe < 200; probe++ {
+			x := make([]float64, numFeatures)
+			for j := range x {
+				x[j] = rng.Float64()*2 - 0.5
+			}
+			class, conf, margin := cc.PredictConfident(x)
+			if class != cc.PredictClass(x) {
+				t.Fatalf("trial %d: PredictConfident class %d, PredictClass %d", trial, class, cc.PredictClass(x))
+			}
+			probs := cls.PredictProba(x)
+			if conf != probs[class] {
+				t.Fatalf("trial %d: conf %v, want probs[%d] = %v", trial, conf, class, probs[class])
+			}
+			runnerUp := 0.0
+			for k, p := range probs {
+				if k != class && p > runnerUp {
+					runnerUp = p
+				}
+			}
+			if margin != conf-runnerUp {
+				t.Fatalf("trial %d: margin %v, want %v", trial, margin, conf-runnerUp)
+			}
+			if conf < 0 || conf > 1+1e-12 {
+				t.Fatalf("trial %d: confidence %v out of [0,1]", trial, conf)
+			}
+		}
+	}
+}
+
+// TestPredictConfidentRegressor: a regressor-compiled tree has no class
+// distributions; the confidence surface degrades to zeros, not a panic.
+func TestPredictConfidentRegressor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, 80)
+	y := make([]float64, 80)
+	for i := range x {
+		x[i] = []float64{rng.Float64(), rng.Float64()}
+		y[i] = x[i][0] * 3
+	}
+	reg, err := TrainRegressor(x, y, Config{MaxDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := reg.Compile()
+	if cc.NumClasses != 0 || len(cc.Probs) != 0 {
+		t.Fatalf("regressor compiled with NumClasses=%d, %d probs; want 0, 0", cc.NumClasses, len(cc.Probs))
+	}
+	_, conf, margin := cc.PredictConfident([]float64{0.5, 0.5})
+	if conf != 0 || margin != 0 {
+		t.Fatalf("regressor confidence = (%v, %v), want zeros", conf, margin)
+	}
+}
+
+// BenchmarkPredictProbaInto documents the zero-allocation claim the fast
+// path depends on.
+func BenchmarkPredictProbaInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := synthClassification(rng, 600, 4, 0.1)
+	cls, err := TrainClassifier(x, y, 4, nil, Config{MaxDepth: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cc := cls.Compile()
+	out := make([]float64, 4)
+	probe := []float64{0.3, 0.7}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.PredictProbaInto(probe, out)
+	}
+}

@@ -177,6 +177,17 @@ func (p *LatencyPredictor) PredictTarget(v features.Vector, id sim.DesignID) flo
 	return p.Regs[id].Predict(v.Slice())
 }
 
+// PredictAll estimates the latency of every design for one feature
+// vector — the fast path's stand-in for the four cycle simulations.
+func (p *LatencyPredictor) PredictAll(v features.Vector) [sim.NumDesigns]float64 {
+	var out [sim.NumDesigns]float64
+	x := v.Slice()
+	for _, id := range sim.AllDesigns {
+		out[id] = dataset.LatencyFromTarget(p.Regs[id].Predict(x))
+	}
+	return out
+}
+
 // Engine combines the predictor, the time model and the threshold rule.
 // An Engine is strictly immutable after construction: it holds no
 // accelerator state and every method is a pure function, so one Engine

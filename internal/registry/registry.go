@@ -123,14 +123,17 @@ func (s *Snapshot) Select(v features.Vector) sim.DesignID {
 // SelectWithConfidence also reports the routed leaf's class probability
 // for the chosen design.
 func (s *Snapshot) SelectWithConfidence(v features.Vector) (sim.DesignID, float64) {
-	probs := s.classifier.PredictProba(v.Slice())
-	best, bestP := 0, -1.0
-	for c, p := range probs {
-		if p > bestP {
-			best, bestP = c, p
-		}
-	}
-	return sim.DesignID(best), bestP
+	id, conf, _ := s.SelectConfident(v)
+	return id, conf
+}
+
+// SelectConfident is the fast path's gate lookup: the proposed design,
+// the routed leaf's probability mass for it (confidence), and the margin
+// over the runner-up design — all from the compiled tree, allocation-free
+// and without touching the pointer-chasing Classifier nodes.
+func (s *Snapshot) SelectConfident(v features.Vector) (id sim.DesignID, conf, margin float64) {
+	class, conf, margin := s.compiled.PredictConfident(v.Slice())
+	return sim.DesignID(class), conf, margin
 }
 
 var _ reconfig.Selector = (*Snapshot)(nil)

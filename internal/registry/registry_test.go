@@ -280,3 +280,38 @@ func BenchmarkRegistrySwapUnderLoad(b *testing.B) {
 	close(stop)
 	wg.Wait()
 }
+
+// TestSelectConfidentConsistency: the compiled confidence lookup must
+// agree with the reference Classifier on design, confidence and margin
+// for arbitrary feature vectors — it is the gate the fast path trusts.
+func TestSelectConfidentConsistency(t *testing.T) {
+	for marker := 0; marker < 4; marker++ {
+		s := markedSnapshot(t, marker)
+		for probe := 0; probe < 50; probe++ {
+			var v features.Vector
+			v[0] = float64(probe*7%200) - 50
+			id, conf, margin := s.SelectConfident(v)
+			if want := s.Select(v); id != want {
+				t.Fatalf("marker %d probe %d: SelectConfident design %v, Select %v", marker, probe, id, want)
+			}
+			probs := s.Classifier().PredictProba(v.Slice())
+			if conf != probs[id] {
+				t.Fatalf("marker %d probe %d: conf %v, want %v", marker, probe, conf, probs[id])
+			}
+			runnerUp := 0.0
+			for c, p := range probs {
+				if sim.DesignID(c) != id && p > runnerUp {
+					runnerUp = p
+				}
+			}
+			if margin != conf-runnerUp {
+				t.Fatalf("marker %d probe %d: margin %v, want %v", marker, probe, margin, conf-runnerUp)
+			}
+			id2, conf2 := s.SelectWithConfidence(v)
+			if id2 != id || conf2 != conf {
+				t.Fatalf("marker %d probe %d: SelectWithConfidence (%v, %v) disagrees with SelectConfident (%v, %v)",
+					marker, probe, id2, conf2, id, conf)
+			}
+		}
+	}
+}

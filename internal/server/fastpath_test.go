@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"misam"
+)
+
+// TestFastPathStatsOnEndpoint: the fastpath section appears on /v1/stats
+// and the analyze response reports its serving tier.
+func TestFastPathStatsOnEndpoint(t *testing.T) {
+	fw, err := misam.Train(misam.TrainOptions{CorpusSize: 80, MaxDim: 384, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(fw, Config{FastPath: true, Confidence: 0.5, CacheBytes: 8 << 20})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, body := postAnalyze(t, srv, map[string]any{"a_spec": "uniform:200:200:0.05", "b_spec": "dense:64", "seed": 7})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %v", resp.StatusCode, body)
+	}
+	path, _ := body["path"].(string)
+	if path != "fast" && path != "full" {
+		t.Fatalf("analyze response path = %q, want fast or full", path)
+	}
+
+	st, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Body.Close()
+	var stats struct {
+		FastPath *misam.FastPathStats `json:"fastpath"`
+	}
+	if err := json.NewDecoder(st.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.FastPath == nil {
+		t.Fatal("/v1/stats has no fastpath section")
+	}
+	if !stats.FastPath.Enabled || stats.FastPath.Served != 1 {
+		t.Fatalf("fastpath stats = %+v, want enabled with 1 served", stats.FastPath)
+	}
+}
+
+// TestFastPathHammerUnderPromotion is the PR's -race gate: flood the
+// server with fast-path traffic while the background verifier drains and
+// model promotions swap the serving snapshot mid-flight. Zero failed
+// requests, and the counter accounting must hold: served = fast + slow,
+// verified + dropped + errors ≤ offered ≤ fast.
+func TestFastPathHammerUnderPromotion(t *testing.T) {
+	fw, err := misam.Train(misam.TrainOptions{CorpusSize: 80, MaxDim: 384, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewWithConfig(fw, Config{
+		Devices:      4,
+		CacheBytes:   16 << 20,
+		Online:       true,
+		FastPath:     true,
+		Confidence:   0.5,
+		VerifySample: 2,
+	})
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const workers = 8
+	const perWorker = 24
+	var failed atomic.Int64
+	var done sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Promotion churn: keep publishing fresh snapshots (and rolling one
+	// back) while requests are in flight, so fast-path requests race
+	// against Current() swaps.
+	done.Add(1)
+	go func() {
+		defer done.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sabotageModel(t, fw)
+			if i%3 == 2 {
+				// Occasionally walk back, exercising the rollback path too.
+				_, _ = fw.Registry().Rollback()
+			}
+		}
+	}()
+
+	client := srv.Client()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// A small pool of distinct operand pairs: repeats hit the
+				// cache, the rest exercise the build path.
+				seed := int64((w*perWorker + i) % 6)
+				body, _ := json.Marshal(map[string]any{
+					"a_spec": "uniform:180:180:0.05",
+					"b_spec": "dense:48",
+					"seed":   10 + seed,
+				})
+				resp, err := client.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	done.Wait()
+
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d requests failed under promotion churn", n, workers*perWorker)
+	}
+	st, ok := fw.FastPathStats()
+	if !ok {
+		t.Fatal("fast path not enabled")
+	}
+	if st.Served != int64(workers*perWorker) {
+		t.Fatalf("served %d, want %d", st.Served, workers*perWorker)
+	}
+	if st.Fast+st.Slow != st.Served {
+		t.Fatalf("served %d != fast %d + slow %d", st.Served, st.Fast, st.Slow)
+	}
+	vs := st.Verifier
+	if vs.Offered > st.Fast {
+		t.Fatalf("verifier offered %d > %d fast hits", vs.Offered, st.Fast)
+	}
+	if vs.Verified+vs.Dropped+vs.Errors > vs.Offered {
+		t.Fatalf("verifier accounting broken: %+v", vs)
+	}
+	if vs.Agreed > vs.Verified {
+		t.Fatalf("agreed %d > verified %d", vs.Agreed, vs.Verified)
+	}
+	t.Logf("hammer: %d served (%d fast / %d slow), verifier %+v", st.Served, st.Fast, st.Slow, vs)
+	if st.Fast == 0 {
+		t.Fatal("hammer never took the fast path")
+	}
+}

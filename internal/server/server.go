@@ -66,6 +66,18 @@ type Config struct {
 	// OnlineConfig overrides the drift/retrain tuning (optional; the
 	// zero value uses the online package defaults).
 	OnlineConfig online.Config
+	// FastPath enables the confidence-gated two-tier pipeline: requests
+	// the selector is confident about are answered from the model's
+	// latency regressors without simulation; the rest (and a background
+	// audit sample) still run the full pipeline. See misam.WithFastPath.
+	FastPath bool
+	// Confidence is the fast-path gate threshold (default 0.9; >= 1
+	// disables the fast tier while keeping its counters).
+	Confidence float64
+	// VerifySample offers one in N fast-path hits to the background
+	// verifier for asynchronous re-simulation (default 8; negative
+	// disables verification).
+	VerifySample int
 }
 
 const (
@@ -93,6 +105,17 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TraceCapacity < 1 {
 		c.TraceCapacity = defaultTraceCapacity
+	}
+	if c.FastPath {
+		if c.Confidence <= 0 {
+			c.Confidence = 0.9
+		}
+		if c.VerifySample == 0 {
+			c.VerifySample = 8
+		}
+		if c.VerifySample < 0 {
+			c.VerifySample = 0
+		}
 	}
 	return c
 }
@@ -139,6 +162,15 @@ func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 		s.manager = online.NewManager(fw.Registry(), fw.Traces(), baseline, ocfg)
 		s.manager.Start()
 	}
+	if cfg.FastPath {
+		// After the online block: WithFastPath wires its verifier to the
+		// trace collector, which must exist by now for audit traces to
+		// reach drift detection.
+		fw.WithFastPath(misam.FastPathConfig{
+			Confidence:   cfg.Confidence,
+			VerifySample: cfg.VerifySample,
+		})
+	}
 	return s
 }
 
@@ -149,11 +181,15 @@ func (s *Server) Fleet() *misam.Fleet { return s.fleet }
 // off).
 func (s *Server) Manager() *online.Manager { return s.manager }
 
-// Close stops the background adaptation loop, if any. The HTTP handler
-// itself is stateless and needs no teardown.
+// Close stops the background adaptation loop and the fast-path verifier
+// pool, if any. The HTTP handler itself is stateless and needs no
+// teardown.
 func (s *Server) Close() {
 	if s.manager != nil {
 		s.manager.Close()
+	}
+	if s.cfg.FastPath {
+		s.fw.Close()
 	}
 }
 
@@ -247,6 +283,10 @@ type statsResponse struct {
 	Traces *online.CollectorStats `json:"traces,omitempty"`
 	// Adaptation carries drift-check and retrain/promotion counters.
 	Adaptation *online.ManagerStats `json:"adaptation,omitempty"`
+	// FastPath carries the two-tier serving counters (coverage, the
+	// background verifier's agreement and queue drops); omitted when the
+	// fast path is off.
+	FastPath *misam.FastPathStats `json:"fastpath,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -262,6 +302,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		ms := s.manager.Stats()
 		resp.Traces = &ts
 		resp.Adaptation = &ms
+	}
+	if fs, ok := s.fw.FastPathStats(); ok {
+		resp.FastPath = &fs
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -346,6 +389,11 @@ type analyzeResponse struct {
 	CPUMs            float64 `json:"cpu_ms"`
 	GPUMs            float64 `json:"gpu_ms"`
 	TrapezoidMs      float64 `json:"trapezoid_ms"`
+	// Path reports which serving tier answered ("full" or "fast");
+	// Confidence is the selector leaf's probability mass for the chosen
+	// design when the fast-path gate evaluated it.
+	Path       string  `json:"path,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // httpError pairs a status code with a client-facing message.
@@ -376,7 +424,21 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 
 	var rep misam.Report
 	var cmp misam.BaselineComparison
-	if _, cached := s.fw.CacheStats(); cached {
+	if s.cfg.FastPath {
+		// Two-tier pipeline: the gate decides per request whether the
+		// device transaction is the whole story (fast tier, priced from
+		// the regressors) or a full simulation runs. Baselines come from
+		// the workload precompute either way — no operand re-walk.
+		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
+			if s.onAcquire != nil {
+				s.onAcquire(dev)
+			}
+			var err error
+			rep, err = s.fw.AnalyzeFastOn(ctx, dev, wl)
+			return err
+		})
+		cmp = misam.CompareBaselinesWorkload(wl)
+	} else if _, cached := s.fw.CacheStats(); cached {
 		// Cached deployment: run (or coalesce onto, or skip via a hit) the
 		// design-independent analysis before touching the fleet, so cache
 		// hits never occupy a device's simulation slot and misses hold
@@ -427,6 +489,8 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 		CPUMs:            cmp.CPUSeconds * 1e3,
 		GPUMs:            cmp.GPUSeconds * 1e3,
 		TrapezoidMs:      cmp.TrapezoidSeconds * 1e3,
+		Path:             rep.Path,
+		Confidence:       rep.Confidence,
 	}, nil
 }
 

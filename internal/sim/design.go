@@ -143,18 +143,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ceilDiv64 returns ⌈a/b⌉. The divisor comes from Config fields (channel
-// counts, SIMD width, coalescing factors), which Validate guarantees are
-// positive; a nonpositive divisor therefore indicates a bug upstream and
-// panics rather than — as an earlier revision did — silently returning a
-// and corrupting cycle counts.
-func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		panic(fmt.Sprintf("sim: ceilDiv64 divisor %d is not positive (invalid Config?)", b))
-	}
-	return (a + b - 1) / b
-}
-
 // common returns the constants shared by all four designs.
 func common() Config {
 	return Config{

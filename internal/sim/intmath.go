@@ -1,0 +1,27 @@
+package sim
+
+import "fmt"
+
+// Integer helpers shared by the cycle models. Both sim.go and design.go
+// grew private copies of these over time; they live together here so the
+// panic contract below is stated (and tested) exactly once.
+
+// max64 returns the larger of a and b.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ceilDiv64 returns ⌈a/b⌉. The divisor comes from Config fields (channel
+// counts, SIMD width, coalescing factors), which Validate guarantees are
+// positive; a nonpositive divisor therefore indicates a bug upstream and
+// panics rather than — as an earlier revision did — silently returning a
+// and corrupting cycle counts.
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("sim: ceilDiv64 divisor %d is not positive (invalid Config?)", b))
+	}
+	return (a + b - 1) / b
+}

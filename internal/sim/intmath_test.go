@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+func TestMax64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0}, {1, 0, 1}, {0, 1, 1}, {-3, -7, -3},
+		{1 << 62, 1, 1 << 62}, {-1, 1, 1},
+	}
+	for _, c := range cases {
+		if got := max64(c.a, c.b); got != c.want {
+			t.Errorf("max64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDiv64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 1, 0}, {1, 1, 1}, {7, 2, 4}, {8, 2, 4}, {9, 2, 5},
+		{0, 8, 0}, {1, 8, 1}, {4096, 8, 512}, {4097, 8, 513},
+	}
+	for _, c := range cases {
+		if got := ceilDiv64(c.a, c.b); got != c.want {
+			t.Errorf("ceilDiv64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	for _, bad := range []int64{0, -1, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ceilDiv64(5, %d) did not panic", bad)
+				}
+			}()
+			ceilDiv64(5, bad)
+		}()
+	}
+}

@@ -280,10 +280,3 @@ func estimateCOutputs(a *sparse.CSR, bRowNNZ []int, n int) int64 {
 	}
 	return total
 }
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -214,28 +214,6 @@ func TestNewWorkloadDimensionMismatch(t *testing.T) {
 	}
 }
 
-func TestCeilDiv64(t *testing.T) {
-	cases := []struct{ a, b, want int64 }{
-		{0, 1, 0}, {1, 1, 1}, {7, 2, 4}, {8, 2, 4}, {9, 2, 5},
-		{0, 8, 0}, {1, 8, 1}, {4096, 8, 512}, {4097, 8, 513},
-	}
-	for _, c := range cases {
-		if got := ceilDiv64(c.a, c.b); got != c.want {
-			t.Errorf("ceilDiv64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
-		}
-	}
-	for _, bad := range []int64{0, -1, -8} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("ceilDiv64(5, %d) did not panic", bad)
-				}
-			}()
-			ceilDiv64(5, bad)
-		}()
-	}
-}
-
 // TestConfigValidateRejectsZeroChannels pins the satellite fix: a
 // zero-channel (or otherwise degenerate) Config must surface as an
 // explicit error from Simulate, never as quietly wrong cycle counts.

@@ -148,14 +148,8 @@ func (s *Selector) Select(v FeatureVector) Design {
 // engine's latency-predictor validation (§5.1: "an additional layer of
 // validation") matters most.
 func (s *Selector) SelectWithConfidence(v FeatureVector) (Design, float64) {
-	probs := s.Tree.PredictProba(v.Slice())
-	best, bestP := 0, -1.0
-	for c, p := range probs {
-		if p > bestP {
-			best, bestP = c, p
-		}
-	}
-	return Design(best), bestP
+	class, conf, _ := s.compiled.PredictConfident(v.Slice())
+	return Design(class), conf
 }
 
 // FeatureImportance returns the normalized gini importance per feature
@@ -204,6 +198,9 @@ type Framework struct {
 	// traces, when enabled via WithTraceCapture, records served analyses
 	// for the online adaptation loop.
 	traces *online.Collector
+	// fastpath, when enabled via WithFastPath, holds the confidence-gated
+	// two-tier serving state (see fastpath.go).
+	fastpath *fastPath
 }
 
 // Registry exposes the versioned model registry: the current snapshot
@@ -362,6 +359,7 @@ func (f *Framework) AnalyzeWith(ctx context.Context, dev *Accelerator, an *Analy
 	}
 	var rep Report
 	rep.Device = dev.Name()
+	rep.Path = PathFull
 	if err := ctx.Err(); err != nil {
 		return rep, err
 	}
@@ -497,6 +495,15 @@ type Report struct {
 	Design Design
 	// Device names the accelerator that served the request.
 	Device string
+	// Path records which serving tier produced the report: PathFull for
+	// the simulate-everything pipeline, PathFast for the confidence-gated
+	// tier that prices from the latency regressors alone (see
+	// AnalyzeFast).
+	Path string
+	// Confidence is the selector leaf's probability mass for the proposed
+	// design, populated whenever the fast-path gate evaluated it (zero on
+	// the plain Analyze pipeline, which never looks at it).
+	Confidence float64
 	// ModelVersion is the registry version of the model snapshot that
 	// served the request (1 for a freshly trained/loaded framework).
 	ModelVersion      uint64
@@ -576,6 +583,7 @@ func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Work
 	a, b := w.A, w.B
 	var rep Report
 	rep.Device = dev.Name()
+	rep.Path = PathFull
 	t0 := time.Now()
 	var v features.Vector
 	if f.Options.TopFeaturesOnly {
