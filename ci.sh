@@ -30,16 +30,32 @@ go test -race -shuffle=on -timeout 30m ./...
 echo "==> registry hot-swap hammer (-race)"
 go test -race -run 'TestSwapRollbackHammer|TestAnalyzeDuringHotSwap' ./internal/registry/ .
 
+# The early-exit pruned tier races a shared best-so-far bound across the
+# design fan-out; run its dedicated test by name under -race so a future
+# -run filter on the main pass can't silently skip it.
+echo "==> early-exit racing bound (-race)"
+go test -race -run 'TestEarlyExitRacingBound' ./internal/sim/
+
 # Benchmark smoke: one iteration of the fingerprint/memo/cache/registry/
-# fast-path benchmarks so their harness code can't rot. Scoped by name —
-# the figure-scale benchmarks are far too slow for CI.
+# fast-path/steady-state benchmarks so their harness code can't rot.
+# Scoped by name — the figure-scale benchmarks are far too slow for CI.
 echo "==> benchmark smoke (-benchtime=1x)"
-go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath' -benchtime=1x ./...
+go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath|SteadyState' -benchtime=1x ./...
 
 # Fast-path experiment smoke: one quick-scale pass over the serving
 # tiers (baseline + four gate thresholds) without writing BENCH_PR5.json.
 echo "==> fastpath experiment smoke"
 go run ./cmd/misam-bench -scale quick -experiment fastpath -fastout ""
+
+# Slow-tier experiment smoke: one quick-scale pass over the exact and
+# pruned tiers. Writing to a scratch path (not the committed
+# BENCH_PR6.json) makes the driver run its write/re-read/schema
+# validation, and the run itself asserts argmin agreement and winner
+# bit-identity on a real timing stream.
+echo "==> slowtier experiment smoke"
+slowout="${TMPDIR:-/tmp}/misam_bench_pr6_smoke.json"
+go run ./cmd/misam-bench -scale quick -experiment slowtier -slowout "$slowout"
+rm -f "$slowout"
 
 # Online-adaptation smoke: replay a tiny shifting stream through the
 # collector end to end (drift report + retrain + promotion gate).

@@ -24,11 +24,13 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier")
 	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	fastout := flag.String("fastout", "BENCH_PR5.json",
 		"where the fastpath experiment writes its machine-readable report (empty to skip the file)")
+	slowout := flag.String("slowout", "BENCH_PR6.json",
+		"where the slowtier experiment writes its machine-readable report (empty to skip the file)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -78,12 +80,15 @@ func main() {
 		// fastpath is opt-in too (-experiment fastpath): it re-times the
 		// confidence-gated serving tiers and rewrites BENCH_PR5.json.
 		{"fastpath", func() error { _, err := experiments.FastPathReport(ctx, *fastout, w); return err }},
+		// slowtier is opt-in (-experiment slowtier): it re-times the exact
+		// and pruned simulation tiers and rewrites BENCH_PR6.json.
+		{"slowtier", func() error { _, err := experiments.SlowTierReport(ctx, *slowout, w); return err }},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
-		if want == "all" && (d.name == "perf" || d.name == "fastpath") {
+		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier") {
 			continue
 		}
 		if want != "all" && want != d.name {

@@ -64,6 +64,7 @@ func main() {
 	fastPath := flag.Bool("fastpath", false, "serve high-confidence requests from the model without simulation")
 	confidence := flag.Float64("confidence", 0.9, "fast-path gate: minimum selector leaf confidence (>= 1 disables the fast tier)")
 	verifySample := flag.Int("verify-sample", 8, "re-simulate one in N fast-path hits in the background (<= 0 disables)")
+	prunedVerify := flag.Bool("pruned-verify", false, "run background audits through the pruned slow tier (same argmin, lower-bound losers)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own mux; off when empty)")
 	flag.Parse()
 
@@ -99,6 +100,7 @@ func main() {
 		FastPath:        *fastPath,
 		Confidence:      *confidence,
 		VerifySample:    *verifySample,
+		PrunedVerify:    *prunedVerify,
 	})
 	defer srv.Close()
 

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"misam/internal/sim"
+	"misam/internal/sparse"
+)
+
+// TestLabelAllOptsPruned: pruned labelling keeps the classifier label and
+// the winner's exact latency while marking the eliminated losers, whose
+// entries carry a valid lower bound (above the winner, at or below the
+// exact total) and no energy figure; GenerateLatency then skips exactly
+// those entries.
+func TestLabelAllOptsPruned(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	pairs := []Pair{
+		{Family: "ms-dense", A: sparse.Uniform(rng, 300, 300, 0.03), B: sparse.DenseRandom(rng, 300, 64)},
+		{Family: "hs-hs", A: sparse.Uniform(rng, 400, 400, 0.002), B: sparse.Uniform(rng, 400, 400, 0.002)},
+		{Family: "graph", A: sparse.PowerLaw(rng, 350, 350, 2800, 1.7), B: sparse.Uniform(rng, 350, 96, 0.08)},
+		{Family: "banded", A: sparse.Banded(rng, 320, 320, 3, 0.9), B: sparse.DenseRandom(rng, 320, 32)},
+		{Family: "tiny", A: sparse.Uniform(rng, 128, 128, 0.01), B: sparse.DenseRandom(rng, 128, 8)},
+		{Family: "imb", A: sparse.Imbalanced(rng, 384, 384, 3000, 0.01, 0.8), B: sparse.DenseRandom(rng, 384, 16)},
+	}
+	exact, err := LabelAll(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := LabelAllOpts(context.Background(), pairs, LabelOptions{Pruned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prunedEntries := 0
+	for i := range pairs {
+		e, p := exact[i], pruned[i]
+		if p.Best != e.Best {
+			t.Fatalf("pair %d: pruned label %v != exact %v", i, p.Best, e.Best)
+		}
+		if p.Pruned[p.Best] {
+			t.Fatalf("pair %d: winner marked pruned", i)
+		}
+		if p.LatencySec[p.Best] != e.LatencySec[e.Best] {
+			t.Fatalf("pair %d: winner latency %.6g != exact %.6g", i, p.LatencySec[p.Best], e.LatencySec[e.Best])
+		}
+		if e.Pruned != [sim.NumDesigns]bool{} {
+			t.Fatalf("pair %d: exact labelling marked designs pruned: %v", i, e.Pruned)
+		}
+		for _, id := range sim.AllDesigns {
+			if !p.Pruned[id] {
+				if p.LatencySec[id] != e.LatencySec[id] || p.EnergyJ[id] != e.EnergyJ[id] {
+					t.Fatalf("pair %d design %v: non-pruned entry diverged from exact", i, id)
+				}
+				continue
+			}
+			prunedEntries++
+			if p.LatencySec[id] > e.LatencySec[id] {
+				t.Fatalf("pair %d design %v: bound %.6g exceeds exact %.6g", i, id, p.LatencySec[id], e.LatencySec[id])
+			}
+			if p.LatencySec[id] <= p.LatencySec[p.Best] {
+				t.Fatalf("pair %d design %v: pruned bound %.6g not strictly worse than winner %.6g",
+					i, id, p.LatencySec[id], p.LatencySec[p.Best])
+			}
+			if p.EnergyJ[id] != 0 {
+				t.Fatalf("pair %d design %v: pruned entry carries energy %.6g", i, id, p.EnergyJ[id])
+			}
+		}
+	}
+
+	x, y := GenerateLatency(&Corpus{Samples: pruned})
+	if want := len(pairs)*int(sim.NumDesigns) - prunedEntries; len(x) != want || len(y) != want {
+		t.Fatalf("latency corpus has %d records, want %d (= %d entries minus %d pruned)",
+			len(x), want, len(pairs)*int(sim.NumDesigns), prunedEntries)
+	}
+}
+
+// TestLabelAllOptsZeroValueMatchesLabelAll pins that the zero LabelOptions
+// is the exact path, bit for bit.
+func TestLabelAllOptsZeroValueMatchesLabelAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	a := sparse.Uniform(rng, 200, 200, 0.02)
+	b := sparse.DenseRandom(rng, 200, 32)
+	pairs := []Pair{{Family: "t", A: a, B: b}}
+	s1, err := LabelAll(context.Background(), pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := LabelAllOpts(context.Background(), pairs, LabelOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1[0].Best != s2[0].Best || s1[0].LatencySec != s2[0].LatencySec || s1[0].EnergyJ != s2[0].EnergyJ {
+		t.Fatalf("zero LabelOptions diverged from LabelAll:\n%+v\n%+v", s1[0], s2[0])
+	}
+}

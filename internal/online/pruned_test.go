@@ -1,0 +1,144 @@
+package online
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"misam/internal/features"
+	"misam/internal/sim"
+)
+
+// TestVerifierStampsPrunedTraces: audit traces produced from the pruned
+// slow tier carry the per-design Pruned marks, and the argmin is still
+// computed correctly (pruned losers report bounds strictly worse than
+// the winner, so strict-< argmin is unaffected).
+func TestVerifierStampsPrunedTraces(t *testing.T) {
+	col := NewCollector(8, 1)
+	v := NewVerifier(col, 1, 4)
+	defer v.Close()
+
+	results := verifyResults(sim.Design2)
+	results[sim.Design4].Pruned = true
+	results[sim.Design4].Seconds = 2 // lower bound, still > winner's 1
+	v.Offer(VerifyJob{
+		Predicted: sim.Design2,
+		Simulate: func(context.Context) ([sim.NumDesigns]sim.Result, error) {
+			return results, nil
+		},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := v.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	traces := col.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("collector holds %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Best != sim.Design2 {
+		t.Fatalf("trace Best = %v, want %v", tr.Best, sim.Design2)
+	}
+	want := [sim.NumDesigns]bool{}
+	want[sim.Design4] = true
+	if tr.Pruned != want {
+		t.Fatalf("trace Pruned = %v, want %v", tr.Pruned, want)
+	}
+	if tr.Pruned[tr.Best] {
+		t.Fatal("winner marked pruned")
+	}
+}
+
+// fixedSelector always proposes one design, so shadowEval's per-trace
+// "chosen" is under test control.
+type fixedSelector sim.DesignID
+
+func (s fixedSelector) Select(features.Vector) sim.DesignID { return sim.DesignID(s) }
+
+// TestShadowEvalSkipsPrunedChosen: when the selector's pick was only
+// bounded (not simulated to completion) in a trace, its lower-bound
+// seconds must not enter the geomean slowdown — the bound would
+// understate how bad the pick really was.
+func TestShadowEvalSkipsPrunedChosen(t *testing.T) {
+	mk := func(pruned bool) Trace {
+		var tr Trace
+		tr.Best = sim.Design1
+		tr.Seconds = [sim.NumDesigns]float64{1e-3, 2e-3, 5e-3, 3e-3}
+		if pruned {
+			tr.Pruned[sim.Design3] = true
+			tr.Seconds[sim.Design3] = 2e-3 // bound: true cost unknown, > winner
+		}
+		return tr
+	}
+	traces := []Trace{mk(false), mk(false), mk(true), mk(true)}
+	geomean, acc := shadowEval(fixedSelector(sim.Design3), traces)
+	if acc != 0 {
+		t.Fatalf("accuracy %.3f, want 0 (selector never picks the argmin)", acc)
+	}
+	// Only the two exact traces contribute log(5e-3/1e-3); the two pruned
+	// ones are skipped (the divisor stays len(traces), matching the
+	// existing degenerate-trace handling).
+	want := math.Exp(2 * math.Log(5) / 4)
+	if math.Abs(geomean-want) > 1e-9 {
+		t.Fatalf("geomean %.6f, want %.6f (pruned bounds leaked into the ratio)", geomean, want)
+	}
+}
+
+// prunedSynthTraces marks design id pruned (with a plausible lower bound
+// just above the winner) in every nth trace of a synthetic stream.
+func prunedSynthTraces(seed int64, n int, id sim.DesignID, every int) []Trace {
+	traces := append(synthTraces(seed, n/2, false, true), synthTraces(seed+1, n-n/2, true, true)...)
+	for i := range traces {
+		if i%every != 0 {
+			continue
+		}
+		traces[i].Pruned[id] = true
+		traces[i].Seconds[id] = traces[i].Seconds[traces[i].Best] * 1.5
+	}
+	return traces
+}
+
+// TestRetrainInheritsRegressorForFullyPrunedDesign: a design with zero
+// exact latency samples keeps the incumbent's regressor instead of
+// fitting one to lower bounds.
+func TestRetrainInheritsRegressorForFullyPrunedDesign(t *testing.T) {
+	incumbent := incumbentSnapshot(t, false)
+	traces := prunedSynthTraces(21, 120, sim.Design4, 1) // every trace pruned for D4
+	cand, _, err := Retrain(incumbent, traces, RetrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cand.Engine().Predictor.Regs[sim.Design4], incumbent.Engine().Predictor.Regs[sim.Design4]; got != want {
+		t.Fatal("candidate did not inherit the incumbent's regressor for the fully-pruned design")
+	}
+	for _, id := range sim.AllDesigns[:3] {
+		if cand.Engine().Predictor.Regs[id] == incumbent.Engine().Predictor.Regs[id] {
+			t.Fatalf("design %v had exact samples but kept the incumbent regressor", id)
+		}
+	}
+}
+
+// TestRetrainExcludesPrunedLatenciesFromRegressor: with a mix of exact
+// and pruned samples for one design, the refreshed regressor is fit only
+// to the exact ones. The synthetic stream prices design 4 at a constant
+// 5e-3 s when simulated exactly, so the candidate must predict that — a
+// fit polluted by the 1.5e-3 s bounds would be pulled low.
+func TestRetrainExcludesPrunedLatenciesFromRegressor(t *testing.T) {
+	incumbent := incumbentSnapshot(t, false)
+	traces := prunedSynthTraces(22, 120, sim.Design4, 2) // half pruned for D4
+	cand, _, err := Retrain(incumbent, traces, RetrainConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range traces {
+		if tr.Pruned[sim.Design4] {
+			continue
+		}
+		got := cand.Engine().Predictor.Predict(tr.Features, sim.Design4)
+		if math.Abs(got-5e-3) > 5e-4 {
+			t.Fatalf("regressor predicts %.4g s for a design whose exact corpus is constant 5e-3 s", got)
+		}
+	}
+}

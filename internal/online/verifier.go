@@ -169,6 +169,7 @@ func (v *Verifier) run(j VerifyJob) {
 	for _, id := range sim.AllDesigns {
 		tr.Seconds[id] = results[id].Seconds
 		tr.Cycles[id] = results[id].Cycles
+		tr.Pruned[id] = results[id].Pruned
 	}
 	if v.col != nil {
 		v.col.Observe(tr)

@@ -78,6 +78,12 @@ type Config struct {
 	// verifier for asynchronous re-simulation (default 8; negative
 	// disables verification).
 	VerifySample int
+	// PrunedVerify routes background audits through the pruned slow tier
+	// (coarse-then-exact + early-exit) instead of the exact four-design
+	// pipeline — same argmin and exact winner, lower-bound losers marked
+	// in the trace, roughly the BENCH_PR6 speedup per audit. Only
+	// meaningful with FastPath.
+	PrunedVerify bool
 }
 
 const (
@@ -169,6 +175,7 @@ func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 		fw.WithFastPath(misam.FastPathConfig{
 			Confidence:   cfg.Confidence,
 			VerifySample: cfg.VerifySample,
+			PrunedVerify: cfg.PrunedVerify,
 		})
 	}
 	return s

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -54,6 +55,36 @@ func TestGoldenCycleCounts(t *testing.T) {
 	// the calibrated behavior rather than exact constants, so benign
 	// cost-model tweaks don't thrash the test while regressions (e.g. a
 	// broken bandwidth term) still trip it.
+	// Exactness-claiming pruned modes must reproduce the serial winner
+	// bit for bit on the golden workloads — the argmin and its full
+	// Result, not just the cycle count.
+	for _, pair := range []struct {
+		name string
+		a, b *sparse.CSR
+	}{{"msxd", a, b}, {"hs", a, hs}} {
+		serial, err := SimulateAllSerial(pair.a, pair.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := BestDesign(serial)
+		for _, os := range prunedOptionSets {
+			w, err := NewWorkload(pair.a, pair.b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := w.SimulateAllOpts(context.Background(), os.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotBest := BestDesign(got); gotBest != best {
+				t.Errorf("golden %s/%s: pruned argmin %v != serial %v", pair.name, os.name, gotBest, best)
+			} else if got[best] != serial[best] {
+				t.Errorf("golden %s/%s: winner Result not bit-identical:\nserial: %+v\npruned: %+v",
+					pair.name, os.name, serial[best], got[best])
+			}
+		}
+	}
+
 	r1, _ := SimulateDesign(Design1, a, b)
 	r2, _ := SimulateDesign(Design2, a, b)
 	r4d, _ := SimulateDesign(Design4, a, b) // D4 on a dense B

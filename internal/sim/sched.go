@@ -32,33 +32,77 @@ type PESchedule struct {
 	Issues []Issue
 }
 
-// schedScratch holds the per-PE scheduling buffers so the hot simulation
-// path (simulateTile → schedulePEG → schedulePE, once per PE per PEG per
-// tile) reuses one map and one slice per tile worker instead of
-// allocating fresh ones on every call. PEs within a tile are scheduled
-// sequentially, so a single scratch per simulateTile call is safe; the
-// zero value is ready to use.
+// schedScratch owns every reusable buffer of the per-tile simulation path
+// (simulateTile → splitByPEGScratch → schedulePEGAgg → schedulePEScratch).
+// Tiles on a worker run sequentially, so one scratch per worker serves
+// every PEG and tile that worker touches; the steady state allocates
+// nothing. The zero value is ready to use.
 type schedScratch struct {
-	lastIssue map[int]int64
-	done      []bool
+	// ready[r] is row r's earliest next issue time, valid only when
+	// stamp[r] equals the current epoch. This is the slice-table
+	// replacement for the historical map[int]int64: one epoch bump
+	// invalidates the whole table in O(1), and row lookup is a bounds
+	// check plus a stamp compare instead of a hash probe.
+	ready []int64
+	stamp []uint64
+	epoch uint64
+	// done marks scheduled elements of the PE currently being scheduled.
+	done []bool
+	// rowsHint, when positive, is an upper bound on every Elem.Row this
+	// scratch will ever schedule (the workload's A.Rows). It lets
+	// schedulePEScratch size the row table without scanning the queue for
+	// its max row first.
+	rowsHint int
+	// queueCounts/queueBuf/queues back fillQueues' per-PE partition of a
+	// PEG's elements.
+	queueCounts []int
+	queueBuf    []Elem
+	queues      [][]Elem
+	// pegCounts/pegBuf/pegGroups back splitByPEGScratch.
+	pegCounts []int
+	pegBuf    []Elem
+	pegGroups [][]Elem
+	// mergeKeys backs mergeCyclesScratch's sort fallback (PEG > 64);
+	// mergeMask/mergeStamp/mergeEpoch back its one-pass per-row PEG
+	// bitmask dedup (the common case).
+	mergeKeys  []rowPeg
+	mergeMask  []uint64
+	mergeStamp []uint64
+	mergeEpoch uint64
 }
 
-// take returns the cleared buffers sized for n elements.
-func (sc *schedScratch) take(n int) (map[int]int64, []bool) {
-	if sc.lastIssue == nil {
-		sc.lastIssue = make(map[int]int64, 64)
-	} else {
-		clear(sc.lastIssue)
+// begin opens a fresh PE schedule over n elements whose output rows are
+// all below rows: done flags are cleared and the row-release table is
+// invalidated by bumping the epoch (no O(rows) clear).
+func (sc *schedScratch) begin(n, rows int) {
+	sc.epoch++
+	if rows > len(sc.ready) {
+		grown := 2 * len(sc.ready)
+		if grown < rows {
+			grown = rows
+		}
+		sc.ready = make([]int64, grown)
+		sc.stamp = make([]uint64, grown)
 	}
 	if cap(sc.done) < n {
 		sc.done = make([]bool, n)
 	} else {
 		sc.done = sc.done[:n]
-		for i := range sc.done {
-			sc.done[i] = false
-		}
+		clear(sc.done)
 	}
-	return sc.lastIssue, sc.done
+}
+
+// readyAt returns row's earliest next issue time in the current epoch.
+func (sc *schedScratch) readyAt(row int) int64 {
+	if sc.stamp[row] == sc.epoch {
+		return sc.ready[row]
+	}
+	return 0
+}
+
+func (sc *schedScratch) setReady(row int, t int64) {
+	sc.stamp[row] = sc.epoch
+	sc.ready[row] = t
 }
 
 // schedulePE runs greedy windowed list scheduling over elems for one PE.
@@ -82,18 +126,54 @@ func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *s
 	if window < 1 {
 		window = 1
 	}
-	// lastIssue maps row → earliest next start time (issue + depGap·service).
-	var lastIssue map[int]int64
-	var done []bool
-	if sc != nil {
-		lastIssue, done = sc.take(len(elems))
-	} else {
-		lastIssue = make(map[int]int64, 64)
-		done = make([]bool, len(elems))
+	if sc == nil {
+		sc = &schedScratch{}
 	}
+	rows := sc.rowsHint
+	if rows <= 0 {
+		maxRow := 0
+		for i := range elems {
+			if elems[i].Row > maxRow {
+				maxRow = elems[i].Row
+			}
+		}
+		rows = maxRow + 1
+	}
+	sc.begin(len(elems), rows)
+	done := sc.done
 	head := 0
-	remaining := len(elems)
 	t := int64(0)
+	if !trace {
+		// Optimistic in-order prefix: while the head element's row
+		// dependency is already satisfied, the windowed scan trivially
+		// chooses the head (it is checked first and taken on ready <= t),
+		// so issue it without running the scan machinery. The loop below
+		// is the general scheduler specialized to chosen == head; on the
+		// first stalled head it stops and the general loop resumes from
+		// exactly this state (prefix indices are never revisited — head
+		// only advances — so done flags for them are not needed).
+		stamp, ready, epoch := sc.stamp, sc.ready, sc.epoch
+		for head < len(elems) {
+			e := &elems[head]
+			if stamp[e.Row] == epoch && ready[e.Row] > t {
+				break
+			}
+			svc := e.Service
+			if svc < 1 {
+				svc = 1
+			}
+			stamp[e.Row] = epoch
+			ready[e.Row] = t + depGap*svc
+			s.Busy += svc
+			t += svc
+			head++
+		}
+		if head == len(elems) {
+			s.Makespan = t
+			return s
+		}
+	}
+	remaining := len(elems) - head
 	for remaining > 0 {
 		// Advance head past completed elements.
 		for head < len(elems) && done[head] {
@@ -110,10 +190,7 @@ func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *s
 				continue
 			}
 			live++
-			ready := int64(0)
-			if rel, ok := lastIssue[elems[i].Row]; ok {
-				ready = rel
-			}
+			ready := sc.readyAt(elems[i].Row)
 			if ready <= t {
 				chosen = i
 				break
@@ -139,7 +216,7 @@ func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *s
 		if svc < 1 {
 			svc = 1
 		}
-		lastIssue[e.Row] = t + depGap*svc
+		sc.setReady(e.Row, t+depGap*svc)
 		s.Busy += svc
 		t += svc
 	}
@@ -156,6 +233,57 @@ type PEGSchedule struct {
 	PEs      []PESchedule
 }
 
+// fillQueues partitions elems (already in traversal order) into numPEs
+// per-PE queues using the design's assignment rule, backed entirely by
+// the scratch buffers. A counting pass sizes every queue exactly, so the
+// fill pass never reallocates and queue order matches the historical
+// append-based round-robin bit for bit.
+func (sc *schedScratch) fillQueues(elems []Elem, numPEs int, traversal Traversal, colStride int) [][]Elem {
+	if cap(sc.queueCounts) < numPEs {
+		sc.queueCounts = make([]int, numPEs)
+	} else {
+		sc.queueCounts = sc.queueCounts[:numPEs]
+		clear(sc.queueCounts)
+	}
+	counts := sc.queueCounts
+	if traversal == RowWise {
+		// Design 3: "elements are assigned to PEs based on the column
+		// index modulo the PE count (column_num%PE)" (§3.2.3).
+		for i := range elems {
+			counts[(elems[i].Col/colStride)%numPEs]++
+		}
+	} else {
+		// Round-robin in traversal order (§3.2.1).
+		for i := range elems {
+			counts[i%numPEs]++
+		}
+	}
+	if cap(sc.queueBuf) < len(elems) {
+		sc.queueBuf = make([]Elem, len(elems))
+	}
+	buf := sc.queueBuf[:len(elems)]
+	if cap(sc.queues) < numPEs {
+		sc.queues = make([][]Elem, numPEs)
+	}
+	queues := sc.queues[:numPEs]
+	off := 0
+	for p := 0; p < numPEs; p++ {
+		queues[p] = buf[off : off : off+counts[p]]
+		off += counts[p]
+	}
+	if traversal == RowWise {
+		for i := range elems {
+			p := (elems[i].Col / colStride) % numPEs
+			queues[p] = append(queues[p], elems[i])
+		}
+	} else {
+		for i := range elems {
+			queues[i%numPEs] = append(queues[i%numPEs], elems[i])
+		}
+	}
+	return queues
+}
+
 // schedulePEG distributes elems (already in traversal order) to numPEs
 // queues using the design's assignment rule, schedules each PE, and
 // reports the group makespan (the PEG finishes when its slowest PE does,
@@ -164,34 +292,14 @@ type PEGSchedule struct {
 // the group the PE index is (col / colStride) % numPEs; direct callers
 // use colStride 1 for the flat column_num%PE rule.
 func schedulePEG(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, trace bool) PEGSchedule {
-	return schedulePEGScratch(elems, numPEs, traversal, colStride, depGap, window, trace, nil)
-}
-
-// schedulePEGScratch is schedulePEG with a caller-owned scheduling
-// scratch (nil allocates per PE). The tile simulation threads one scratch
-// per worker through here so the per-PE buffers are reused across every
-// PEG and tile that worker touches.
-func schedulePEGScratch(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, trace bool, sc *schedScratch) PEGSchedule {
 	if colStride < 1 {
 		colStride = 1
 	}
-	queues := make([][]Elem, numPEs)
-	switch traversal {
-	case ColWise:
-		// Round-robin in traversal order (§3.2.1).
-		for i, e := range elems {
-			queues[i%numPEs] = append(queues[i%numPEs], e)
-		}
-	case RowWise:
-		// Design 3: "elements are assigned to PEs based on the column
-		// index modulo the PE count (column_num%PE)" (§3.2.3).
-		for _, e := range elems {
-			queues[(e.Col/colStride)%numPEs] = append(queues[(e.Col/colStride)%numPEs], e)
-		}
-	}
+	var sc schedScratch
+	queues := sc.fillQueues(elems, numPEs, traversal, colStride)
 	g := PEGSchedule{PEs: make([]PESchedule, numPEs)}
 	for p, q := range queues {
-		ps := schedulePEScratch(q, depGap, window, trace, sc)
+		ps := schedulePEScratch(q, depGap, window, trace, &sc)
 		g.PEs[p] = ps
 		g.Busy += ps.Busy
 		g.Bubbles += ps.Bubbles
@@ -201,4 +309,24 @@ func schedulePEGScratch(elems []Elem, numPEs int, traversal Traversal, colStride
 	}
 	g.Capacity = int64(numPEs) * g.Makespan
 	return g
+}
+
+// schedulePEGAgg is the allocation-free hot-path form of schedulePEG: it
+// returns only the aggregates the tile cost model consumes (total busy,
+// total bubbles, group makespan) and never materializes PESchedule
+// slices. Quantities are bit-identical to schedulePEG's.
+func schedulePEGAgg(elems []Elem, numPEs int, traversal Traversal, colStride int, depGap int64, window int, sc *schedScratch) (busy, bubbles, makespan int64) {
+	if colStride < 1 {
+		colStride = 1
+	}
+	queues := sc.fillQueues(elems, numPEs, traversal, colStride)
+	for _, q := range queues {
+		ps := schedulePEScratch(q, depGap, window, false, sc)
+		busy += ps.Busy
+		bubbles += ps.Bubbles
+		if ps.Makespan > makespan {
+			makespan = ps.Makespan
+		}
+	}
+	return busy, bubbles, makespan
 }

@@ -1,7 +1,7 @@
 package sim
 
 import (
-	"sort"
+	"slices"
 
 	"misam/internal/sparse"
 )
@@ -35,6 +35,14 @@ type Result struct {
 	Flops int64
 	// COutputs is the (estimated) number of C entries written back.
 	COutputs int64
+
+	// Pruned marks a design whose evaluation was cut short by the
+	// early-exit bound or skipped by the coarse analytic ranking. Cycles
+	// and Seconds then hold a lower bound that is already provably worse
+	// than the winning design's exact total; the breakdown fields are
+	// zero. The winner of a pruned SimulateAll is never pruned — its
+	// Result is bit-identical to the exact path (see SimulateAllOpts).
+	Pruned bool
 }
 
 // Throughput reports useful GFLOP/s (2 ops per multiply-accumulate).
@@ -80,6 +88,20 @@ func SimulateAll(a, b *sparse.CSR) ([NumDesigns]Result, error) {
 	return w.SimulateAll()
 }
 
+// SimulateAllPruned runs every design with coarse-then-exact pruning and
+// early exit (see Workload.SimulateAllOpts): the returned winner and its
+// Result are bit-identical to SimulateAll's, but losers may carry only a
+// pruned lower bound. Single-shot "which design wins?" callers — the
+// background verifier, the dataset labeller — should prefer this.
+func SimulateAllPruned(a, b *sparse.CSR) ([NumDesigns]Result, error) {
+	w, err := NewWorkload(a, b)
+	if err != nil {
+		var out [NumDesigns]Result
+		return out, err
+	}
+	return w.SimulateAllPruned()
+}
+
 // BestDesign returns the design with the lowest simulated latency.
 func BestDesign(results [NumDesigns]Result) DesignID {
 	best := Design1
@@ -102,31 +124,50 @@ func BestDesign(results [NumDesigns]Result) DesignID {
 // exactly, so the fill pass never reallocates; all buckets share one
 // backing array.
 func splitByPEG(elems []Elem, pegs int, traversal Traversal) [][]Elem {
-	counts := make([]int, pegs)
+	return splitByPEGScratch(elems, pegs, traversal, &schedScratch{})
+}
+
+// splitByPEGScratch is splitByPEG backed by the worker's scratch buffers;
+// the returned groups alias sc.pegBuf and stay valid until the next call
+// on the same scratch.
+func splitByPEGScratch(elems []Elem, pegs int, traversal Traversal, sc *schedScratch) [][]Elem {
+	if cap(sc.pegCounts) < pegs {
+		sc.pegCounts = make([]int, pegs)
+	} else {
+		sc.pegCounts = sc.pegCounts[:pegs]
+		clear(sc.pegCounts)
+	}
+	counts := sc.pegCounts
 	if traversal == RowWise {
-		for _, e := range elems {
-			counts[e.Col%pegs]++
+		for i := range elems {
+			counts[elems[i].Col%pegs]++
 		}
 	} else {
-		for _, e := range elems {
-			counts[e.Row%pegs]++
+		for i := range elems {
+			counts[elems[i].Row%pegs]++
 		}
 	}
-	buf := make([]Elem, len(elems))
-	out := make([][]Elem, pegs)
+	if cap(sc.pegBuf) < len(elems) {
+		sc.pegBuf = make([]Elem, len(elems))
+	}
+	buf := sc.pegBuf[:len(elems)]
+	if cap(sc.pegGroups) < pegs {
+		sc.pegGroups = make([][]Elem, pegs)
+	}
+	out := sc.pegGroups[:pegs]
 	off := 0
 	for p := range out {
 		out[p] = buf[off : off : off+counts[p]]
 		off += counts[p]
 	}
-	for _, e := range elems {
+	for i := range elems {
 		var p int
 		if traversal == RowWise {
-			p = e.Col % pegs
+			p = elems[i].Col % pegs
 		} else {
-			p = e.Row % pegs
+			p = elems[i].Row % pegs
 		}
-		out[p] = append(out[p], e)
+		out[p] = append(out[p], elems[i])
 	}
 	return out
 }
@@ -143,27 +184,103 @@ func splitByPEG(elems []Elem, pegs int, traversal Traversal) [][]Elem {
 // width, matching the historical map-based implementation — leads its
 // group.
 func mergeCycles(elems []Elem, cfg Config) int64 {
+	return mergeCyclesScratch(elems, cfg, &schedScratch{})
+}
+
+// rowPeg is mergeCycles' sort key: a (row, peg) pair with the traversal
+// index as tiebreak and the element's service width along for the merge
+// cost.
+type rowPeg struct {
+	row, peg, idx int
+	svc           int64
+}
+
+func compareRowPeg(a, b rowPeg) int {
+	if a.row != b.row {
+		if a.row < b.row {
+			return -1
+		}
+		return 1
+	}
+	if a.peg != b.peg {
+		if a.peg < b.peg {
+			return -1
+		}
+		return 1
+	}
+	if a.idx < b.idx {
+		return -1
+	}
+	return 1
+}
+
+// mergeCyclesScratch is mergeCycles backed by the worker's scratch so the
+// hot path allocates nothing. When the design has at most 64 PEGs (every
+// Table 1 design does), the dedup is a single pass over an epoch-stamped
+// per-row PEG bitmask — O(n) instead of the O(n log n) sort, with the
+// same distinct-(row, peg) set and the same max-Service merge width, so
+// the result is bit-identical. Wider configs fall back to the sort.
+func mergeCyclesScratch(elems []Elem, cfg Config, sc *schedScratch) int64 {
 	if len(elems) == 0 {
 		return 0
 	}
-	type rowPeg struct {
-		row, peg, idx int
-		svc           int64
+	if cfg.PEG <= 64 {
+		rows := sc.rowsHint
+		if rows <= 0 {
+			maxRow := 0
+			for i := range elems {
+				if elems[i].Row > maxRow {
+					maxRow = elems[i].Row
+				}
+			}
+			rows = maxRow + 1
+		}
+		if rows > len(sc.mergeStamp) {
+			grown := 2 * len(sc.mergeStamp)
+			if grown < rows {
+				grown = rows
+			}
+			sc.mergeStamp = make([]uint64, grown)
+			sc.mergeMask = make([]uint64, grown)
+		}
+		sc.mergeEpoch++
+		stamp, mask, epoch := sc.mergeStamp, sc.mergeMask, sc.mergeEpoch
+		var svc int64 = 1
+		var pairs, touched int64 // distinct (row, peg) pairs; distinct rows
+		for i := range elems {
+			e := &elems[i]
+			bit := uint64(1) << (e.Col % cfg.PEG)
+			if stamp[e.Row] != epoch {
+				stamp[e.Row] = epoch
+				mask[e.Row] = bit
+				touched++
+				pairs++
+				if e.Service > svc {
+					svc = e.Service
+				}
+				continue
+			}
+			if mask[e.Row]&bit == 0 {
+				mask[e.Row] |= bit
+				pairs++
+				if e.Service > svc {
+					svc = e.Service
+				}
+			}
+		}
+		// Σ over rows of (distinct PEGs − 1) = pairs − touched.
+		return ceilDiv64((pairs-touched)*svc, int64(cfg.ACC))
 	}
-	keys := make([]rowPeg, len(elems))
+	if cap(sc.mergeKeys) < len(elems) {
+		sc.mergeKeys = make([]rowPeg, len(elems))
+	}
+	keys := sc.mergeKeys[:len(elems)]
 	for i, e := range elems {
 		keys[i] = rowPeg{row: e.Row, peg: e.Col % cfg.PEG, idx: i, svc: e.Service}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.row != b.row {
-			return a.row < b.row
-		}
-		if a.peg != b.peg {
-			return a.peg < b.peg
-		}
-		return a.idx < b.idx
-	})
+	// The idx tiebreak makes the order total, so the (unstable) sort is
+	// deterministic and equal to the historical sort.Slice order.
+	slices.SortFunc(keys, compareRowPeg)
 	var svc int64 = 1
 	var merges int64 // Σ over rows of (distinct PEGs − 1)
 	var perRow int64

@@ -70,34 +70,70 @@ func tileIndex(tiles []Span, cols int) []int {
 // binByTileColWise walks A column-major (via its CSC form) and groups
 // elements by B row tile, preserving column-major order within each tile
 // — the traversal order of Designs 1, 2 and 4.
+// A counting pass sizes each bin exactly and the bins share one backing
+// array, so the fill pass never reallocates or copies.
 func binByTileColWise(aCSC *sparse.CSC, tiles []Span, service func(col int) int64) [][]Elem {
 	out := make([][]Elem, len(tiles))
-	for _, s := range tiles {
+	counts := make([]int, len(tiles))
+	total := 0
+	for t, s := range tiles {
+		for c := s.Lo; c < s.Hi && c < aCSC.Cols; c++ {
+			rows, _ := aCSC.Col(c)
+			counts[t] += len(rows)
+		}
+		total += counts[t]
+	}
+	buf := make([]Elem, total)
+	off := 0
+	for t, s := range tiles {
+		dst := buf[off : off+counts[t]]
+		off += counts[t]
+		k := 0
 		for c := s.Lo; c < s.Hi && c < aCSC.Cols; c++ {
 			rows, _ := aCSC.Col(c)
 			if len(rows) == 0 {
 				continue
 			}
-			t := tileOf(tiles, c)
 			svc := service(c)
 			for _, r := range rows {
-				out[t] = append(out[t], Elem{Row: r, Col: c, Service: svc})
+				dst[k] = Elem{Row: r, Col: c, Service: svc}
+				k++
 			}
 		}
+		out[t] = dst
 	}
 	return out
 }
 
 // binByTileRowWise walks A row-major (CSR) and groups elements by B row
 // tile, preserving row-major order within each tile — Design 3's order.
+// Like binByTileColWise it counts first and fills one shared backing
+// array, avoiding append regrowth on every bin.
 func binByTileRowWise(a *sparse.CSR, tiles []Span, service func(col int) int64) [][]Elem {
 	out := make([][]Elem, len(tiles))
 	idx := tileIndex(tiles, a.Cols)
+	counts := make([]int, len(tiles))
+	total := 0
+	for r := 0; r < a.Rows; r++ {
+		cols, _ := a.Row(r)
+		for _, c := range cols {
+			counts[idx[c]]++
+		}
+		total += len(cols)
+	}
+	buf := make([]Elem, total)
+	pos := make([]int, len(tiles))
+	off := 0
+	for t := range tiles {
+		out[t] = buf[off : off+counts[t]]
+		off += counts[t]
+	}
 	for r := 0; r < a.Rows; r++ {
 		cols, _ := a.Row(r)
 		for _, c := range cols {
 			t := idx[c]
-			out[t] = append(out[t], Elem{Row: r, Col: c, Service: service(c)})
+			out[t][pos[t]] = Elem{Row: r, Col: c, Service: service(c)}
+			pos[t]++
 		}
 	}
 	return out

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -41,6 +42,98 @@ type Workload struct {
 	mu      sync.Mutex
 	tilings map[tilingKey]*tilingEntry
 	bins    map[binKey]*binEntry
+
+	// poolMu guards the workload-level scratch freelists. Scheduling
+	// scratches and per-call tile state are pooled here — not per
+	// Simulate call — so warm serving reuses fully grown buffers across
+	// requests and the steady state allocates nothing. Plain freelists
+	// rather than sync.Pool: the GC never clears them, which is what lets
+	// the AllocsPerRun guard pin 0 allocs/op.
+	poolMu    sync.Mutex
+	schedFree []*schedScratch
+	runFree   []*tileRun
+	boundFree []*raceBound
+}
+
+// tileRun is the pooled per-Simulate-call state: the tile outcome buffer
+// plus the shared counters the tile workers race on.
+type tileRun struct {
+	outs    []tileOutcome
+	next    int64
+	partial atomic.Int64
+	abort   atomic.Bool
+}
+
+func (w *Workload) getSched() *schedScratch {
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	if n := len(w.schedFree); n > 0 {
+		sc := w.schedFree[n-1]
+		w.schedFree = w.schedFree[:n-1]
+		return sc
+	}
+	// Every Elem.Row this workload schedules is an A row index, so the
+	// scratch can size its row tables up front instead of scanning each
+	// PE queue for its max row.
+	return &schedScratch{rowsHint: w.A.Rows}
+}
+
+func (w *Workload) putSched(sc *schedScratch) {
+	w.poolMu.Lock()
+	w.schedFree = append(w.schedFree, sc)
+	w.poolMu.Unlock()
+}
+
+// getRun returns per-call tile state with outs sized for n tiles. Every
+// live (non-skip) slot is written before the reduction reads it, and the
+// abort path never reduces, so outs needs no zeroing.
+func (w *Workload) getRun(n int) *tileRun {
+	w.poolMu.Lock()
+	var run *tileRun
+	if ln := len(w.runFree); ln > 0 {
+		run = w.runFree[ln-1]
+		w.runFree = w.runFree[:ln-1]
+	} else {
+		run = &tileRun{}
+	}
+	w.poolMu.Unlock()
+	if cap(run.outs) < n {
+		run.outs = make([]tileOutcome, n)
+	}
+	run.outs = run.outs[:n]
+	run.next = 0
+	run.partial.Store(0)
+	run.abort.Store(false)
+	return run
+}
+
+func (w *Workload) putRun(run *tileRun) {
+	w.poolMu.Lock()
+	w.runFree = append(w.runFree, run)
+	w.poolMu.Unlock()
+}
+
+// getBound returns a pooled racing bound reset to +Inf. Bounds escape to
+// the heap (goroutines capture them), so pooling keeps the pruned paths
+// allocation-free in the steady state.
+func (w *Workload) getBound() *raceBound {
+	w.poolMu.Lock()
+	var b *raceBound
+	if n := len(w.boundFree); n > 0 {
+		b = w.boundFree[n-1]
+		w.boundFree = w.boundFree[:n-1]
+	} else {
+		b = &raceBound{}
+	}
+	w.poolMu.Unlock()
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+func (w *Workload) putBound(b *raceBound) {
+	w.poolMu.Lock()
+	w.boundFree = append(w.boundFree, b)
+	w.poolMu.Unlock()
 }
 
 // tilingKey identifies one B row-tiling scheme: Design 4's sparsity-aware
@@ -71,6 +164,11 @@ type tilingEntry struct {
 type binEntry struct {
 	once    sync.Once
 	perTile [][]Elem
+	// tileBusy[t] is Σ max(1, Service) over tile t's elements — the
+	// exact busy-cycle total every schedule of the tile must pay,
+	// regardless of PE assignment. The coarse design bound divides it by
+	// the PE count for a no-scheduling compute floor.
+	tileBusy []int64
 }
 
 // NewWorkload validates the product dimensions and returns an empty
@@ -197,10 +295,11 @@ func (w *Workload) tiling(cfg Config) ([]Span, []int64) {
 }
 
 // binned returns the cached per-tile element bins of A for a design's
-// tiling, traversal and service rule. Designs 1 and 2 share one entry
-// (same dense tiling, column-wise order, SIMD width); Design 3 adds a
-// row-wise entry over the same tiling; Design 4 has its own.
-func (w *Workload) binned(cfg Config, tiles []Span) [][]Elem {
+// tiling, traversal and service rule, plus the per-tile busy-cycle
+// totals. Designs 1 and 2 share one entry (same dense tiling,
+// column-wise order, SIMD width); Design 3 adds a row-wise entry over
+// the same tiling; Design 4 has its own.
+func (w *Workload) binned(cfg Config, tiles []Span) ([][]Elem, []int64) {
 	key := binKey{
 		tiling:     tilingKey{compressed: cfg.CompressedB, param: cfg.BRAMRowsPerTile},
 		traversal:  cfg.SchedulerA,
@@ -224,8 +323,20 @@ func (w *Workload) binned(cfg Config, tiles []Span) [][]Elem {
 		} else {
 			e.perTile = binByTileRowWise(w.A, tiles, service)
 		}
+		e.tileBusy = make([]int64, len(e.perTile))
+		for t, elems := range e.perTile {
+			var busy int64
+			for i := range elems {
+				svc := elems[i].Service
+				if svc < 1 {
+					svc = 1
+				}
+				busy += svc
+			}
+			e.tileBusy[t] = busy
+		}
 	})
-	return e.perTile
+	return e.perTile, e.tileBusy
 }
 
 // serviceFunc builds the per-column service-time rule of §3.2.1/§3.2.4:
@@ -278,8 +389,12 @@ func (w *Workload) SimulateAll() ([NumDesigns]Result, error) {
 // SimulateAllCtx is SimulateAll under a context; a cancelled or expired
 // context aborts all four design simulations mid-tile-pool.
 func (w *Workload) SimulateAllCtx(ctx context.Context) ([NumDesigns]Result, error) {
-	var out [NumDesigns]Result
+	// The serial and parallel paths live in separate functions so the
+	// serial result array is never captured by a goroutine closure —
+	// such a capture would box it on the heap on every call and break
+	// the steady-state zero-allocation guarantee.
 	if numTileWorkers() <= 1 {
+		var out [NumDesigns]Result
 		for _, id := range AllDesigns {
 			var err error
 			if out[id], err = w.simulate(ctx, GetConfig(id), true); err != nil {
@@ -288,13 +403,25 @@ func (w *Workload) SimulateAllCtx(ctx context.Context) ([NumDesigns]Result, erro
 		}
 		return out, nil
 	}
+	return w.simulateAllParallel(ctx, nil)
+}
+
+// simulateAllParallel fans the four designs out over goroutines; bound,
+// when non-nil, is the shared racing early-exit bound each completing
+// design lowers.
+func (w *Workload) simulateAllParallel(ctx context.Context, bound *raceBound) ([NumDesigns]Result, error) {
+	var out [NumDesigns]Result
 	var errs [NumDesigns]error
 	var wg sync.WaitGroup
 	for _, id := range AllDesigns {
 		wg.Add(1)
 		go func(id DesignID) {
 			defer wg.Done()
-			out[id], errs[id] = w.simulate(ctx, GetConfig(id), true)
+			r, err := w.simulateBound(ctx, GetConfig(id), true, bound)
+			out[id], errs[id] = r, err
+			if bound != nil && err == nil && !r.Pruned {
+				bound.offer(r.Seconds)
+			}
 		}(id)
 	}
 	wg.Wait()
@@ -304,6 +431,215 @@ func (w *Workload) SimulateAllCtx(ctx context.Context) ([NumDesigns]Result, erro
 		}
 	}
 	return out, nil
+}
+
+// Options selects the pruned evaluation modes of SimulateAllOpts. The
+// zero value is the exact path (identical to SimulateAll).
+type Options struct {
+	// EarlyExit aborts a design's tile loop once its partial cycle total
+	// (plus the exact write-back charge) is strictly worse than the best
+	// complete design seen so far. Argmin-preserving: per-tile charges
+	// are non-negative, so a design whose exact total is ≤ the bound can
+	// never trip it.
+	EarlyExit bool
+	// Coarse ranks the designs by a cheap analytic lower bound (tiling
+	// shapes + per-tile busy totals, no scheduling) before the exact
+	// pass, evaluates them most-promising first, and skips any design
+	// whose bound alone is strictly worse than a completed contender.
+	// Argmin-preserving for the same reason: the bound never exceeds the
+	// exact total.
+	Coarse bool
+}
+
+// PruneOptions enables both pruning layers — the recommended setting for
+// single-shot "which design wins?" callers.
+func PruneOptions() Options {
+	return Options{EarlyExit: true, Coarse: true}
+}
+
+// raceBound is the best-so-far complete design latency shared across the
+// design fan-out, stored as float64 bits in an atomic for lock-free
+// CAS-min updates.
+type raceBound struct {
+	bits atomic.Uint64
+}
+
+func (b *raceBound) best() float64 {
+	return math.Float64frombits(b.bits.Load())
+}
+
+// offer lowers the bound to s if s is smaller. Only complete (non-pruned)
+// design totals may be offered — a pruned lower bound could otherwise
+// incorrectly prune the true winner.
+func (b *raceBound) offer(s float64) {
+	for {
+		cur := b.bits.Load()
+		if s >= math.Float64frombits(cur) {
+			return
+		}
+		if b.bits.CompareAndSwap(cur, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// SimulateAllPruned is SimulateAll under PruneOptions: same winner, same
+// winning Result, losers possibly reduced to pruned lower bounds.
+func (w *Workload) SimulateAllPruned() ([NumDesigns]Result, error) {
+	return w.SimulateAllOpts(context.Background(), PruneOptions())
+}
+
+// SimulateAllPrunedCtx is SimulateAllPruned under a context.
+func (w *Workload) SimulateAllPrunedCtx(ctx context.Context) ([NumDesigns]Result, error) {
+	return w.SimulateAllOpts(ctx, PruneOptions())
+}
+
+// SimulateAllOpts evaluates every design under the given pruning
+// options. Guarantees, for any Options value:
+//
+//   - BestDesign over the returned array equals BestDesign over the
+//     exact SimulateAll array (ties included: pruned losers report
+//     strictly worse Seconds than the winner, so design-order
+//     tie-breaking is unaffected).
+//   - The winner's Result — and every Result with Pruned == false — is
+//     bit-identical to the exact path.
+//   - Pruned == true marks every Result that is a lower bound rather
+//     than an exact total.
+func (w *Workload) SimulateAllOpts(ctx context.Context, opt Options) ([NumDesigns]Result, error) {
+	if !opt.EarlyExit && !opt.Coarse {
+		return w.SimulateAllCtx(ctx)
+	}
+	if opt.Coarse {
+		return w.simulateAllCoarse(ctx, opt.EarlyExit)
+	}
+	return w.simulateAllEarlyExit(ctx)
+}
+
+// simulateAllEarlyExit runs the design fan-out with a shared racing
+// best-so-far bound but no coarse ranking. With multiple processors the
+// four designs race concurrently, each lowering the bound as it
+// completes; on a single processor they run in design order.
+func (w *Workload) simulateAllEarlyExit(ctx context.Context) ([NumDesigns]Result, error) {
+	bound := w.getBound()
+	defer w.putBound(bound)
+	if numTileWorkers() <= 1 {
+		var out [NumDesigns]Result
+		for _, id := range AllDesigns {
+			r, err := w.simulateBound(ctx, GetConfig(id), true, bound)
+			if err != nil {
+				return out, err
+			}
+			out[id] = r
+			if !r.Pruned {
+				bound.offer(r.Seconds)
+			}
+		}
+		return out, nil
+	}
+	return w.simulateAllParallel(ctx, bound)
+}
+
+// simulateAllCoarse ranks the designs by their analytic lower bounds,
+// evaluates them most-promising first, and skips any design whose bound
+// alone exceeds a completed contender's total. Evaluation is sequential
+// by rank — the whole point is that later designs see the tightest
+// possible bound.
+func (w *Workload) simulateAllCoarse(ctx context.Context, earlyExit bool) ([NumDesigns]Result, error) {
+	var out [NumDesigns]Result
+	var lbCycles [NumDesigns]int64
+	var lbSeconds [NumDesigns]float64
+	var nTiles [NumDesigns]int
+	for _, id := range AllDesigns {
+		cfg := GetConfig(id)
+		if err := cfg.Validate(); err != nil {
+			return out, err
+		}
+		lbCycles[id], nTiles[id] = w.coarseBound(cfg)
+		lbSeconds[id] = float64(lbCycles[id]) / (cfg.FreqMHz * 1e6)
+	}
+	// Rank by (bound, design order) — a 4-element insertion sort.
+	var order [NumDesigns]DesignID
+	copy(order[:], AllDesigns)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if lbSeconds[a] < lbSeconds[b] || (lbSeconds[a] == lbSeconds[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+	bound := w.getBound()
+	defer w.putBound(bound)
+	for _, id := range order {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if lbSeconds[id] > bound.best() {
+			// The analytic floor alone beats the bound: skip the exact
+			// pass entirely and report the floor as a pruned result.
+			out[id] = Result{
+				Design:  id,
+				Tiles:   nTiles[id],
+				Cycles:  lbCycles[id],
+				Seconds: lbSeconds[id],
+				Pruned:  true,
+			}
+			continue
+		}
+		var b *raceBound
+		if earlyExit {
+			b = bound
+		}
+		r, err := w.simulateBound(ctx, GetConfig(id), true, b)
+		if err != nil {
+			return out, err
+		}
+		out[id] = r
+		if !r.Pruned {
+			bound.offer(r.Seconds)
+		}
+	}
+	return out, nil
+}
+
+// coarseBound computes an analytic lower bound on cfg's total cycle
+// count from the cached tiling shapes, per-tile nonzero counts and
+// per-tile busy totals — no scheduling. Per tile it charges
+// max(ceil(busy/PEs), A read, B read) + broadcast + dependency gap,
+// each term a floor of the exact per-tile charge (any schedule's group
+// makespan is at least busy/PEs, and row-wise merge cycles only add);
+// the write-back term is exact. It costs O(tiles) after the cached
+// precompute.
+func (w *Workload) coarseBound(cfg Config) (int64, int) {
+	tiles, tileNNZ := w.tiling(cfg)
+	perTile, tileBusy := w.binned(cfg, tiles)
+	pes := int64(cfg.PEs())
+	var total int64
+	for t, s := range tiles {
+		elems := perTile[t]
+		if len(elems) == 0 && tileNNZ[t] == 0 {
+			continue
+		}
+		var bRead int64
+		if cfg.CompressedB {
+			bRead = ceilDiv64(tileNNZ[t], int64(cfg.BCOOElemsPerRead*cfg.ChB))
+		} else {
+			bRead = ceilDiv64(int64(s.Rows())*int64(w.B.Cols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
+		}
+		aRead := ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
+		compute := ceilDiv64(tileBusy[t], pes)
+		m := compute
+		if aRead > m {
+			m = aRead
+		}
+		if bRead > m {
+			m = bRead
+		}
+		total += m + int64(cfg.PEG) + cfg.DepGapCycles
+	}
+	total += ceilDiv64(w.COutputs(), int64(cfg.CElemsPerWrite*cfg.ChC))
+	return total, len(tiles)
 }
 
 // tileOutcome is the per-tile contribution to a Result, computed
@@ -330,6 +666,20 @@ const minParallelTiles = 4
 var numTileWorkers = runtime.NumCPU
 
 func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool) (Result, error) {
+	return w.simulateBound(ctx, cfg, parallelTiles, nil)
+}
+
+// simulateBound is simulate with an optional early-exit bound. When
+// bound is non-nil, a running partial cycle total — seeded with the
+// exact C write-back charge and grown by each finished tile's charge —
+// is compared against the best complete design seconds seen so far;
+// once the partial total alone is strictly worse, the remaining tiles
+// cannot change the argmin and the design returns a Pruned lower-bound
+// Result. Every per-tile charge is non-negative, so the partial total
+// is monotone and the abort is safe: a design that would have won (or
+// tied) the comparison never aborts, and its Result is bit-identical to
+// the exact path.
+func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles bool, bound *raceBound) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -342,15 +692,17 @@ func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool)
 	res := Result{Design: cfg.ID}
 
 	tiles, tileNNZ := w.tiling(cfg)
-	perTile := w.binned(cfg, tiles)
+	perTile, _ := w.binned(cfg, tiles)
 	res.Tiles = len(tiles)
 
-	outs := make([]tileOutcome, len(tiles))
-	// Each worker owns one schedScratch: tiles on a worker run
-	// sequentially, so the per-PE scheduling buffers are reused across
-	// every tile that worker claims instead of reallocated per PE.
-	run := func(t int, sc *schedScratch) {
-		outs[t] = simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc)
+	freqHz := cfg.FreqMHz * 1e6
+	run := w.getRun(len(tiles))
+	defer w.putRun(run)
+	outs := run.outs
+	if bound != nil {
+		// The write-back term is exact and design-fixed; charging it up
+		// front tightens the partial bound from the first tile on.
+		run.partial.Store(ceilDiv64(w.COutputs(), int64(cfg.CElemsPerWrite*cfg.ChC)))
 	}
 	workers := numTileWorkers()
 	if workers > len(tiles) {
@@ -358,36 +710,42 @@ func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool)
 	}
 	// Cancellation is polled between tiles (an atomic load per claim);
 	// in-flight tiles finish, so an abort costs at most one tile per
-	// worker.
+	// worker. Each worker owns one pooled schedScratch: tiles on a
+	// worker run sequentially, so the per-PE scheduling buffers are
+	// reused across every tile that worker claims — and, because the
+	// pool lives on the Workload, across requests.
 	if parallelTiles && workers > 1 && len(tiles) >= minParallelTiles {
-		var next int64
-		var wg sync.WaitGroup
-		for i := 0; i < workers; i++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var sc schedScratch
-				for ctx.Err() == nil {
-					t := int(atomic.AddInt64(&next, 1)) - 1
-					if t >= len(tiles) {
-						return
-					}
-					run(t, &sc)
-				}
-			}()
-		}
-		wg.Wait()
+		w.runTilesParallel(ctx, cfg, tiles, perTile, tileNNZ, run, bound, freqHz, workers)
 	} else {
-		var sc schedScratch
+		sc := w.getSched()
 		for t := range tiles {
 			if ctx.Err() != nil {
 				break
 			}
-			run(t, &sc)
+			o := simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc)
+			outs[t] = o
+			if bound != nil && float64(run.partial.Add(o.cycles))/freqHz > bound.best() {
+				run.abort.Store(true)
+				break
+			}
 		}
+		w.putSched(sc)
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
+	}
+	if run.abort.Load() {
+		// The partial total (simulated tiles + exact write-back) is a
+		// valid lower bound on the design's true cycle count, and it is
+		// already strictly above the best complete design's seconds.
+		lb := run.partial.Load()
+		return Result{
+			Design:  cfg.ID,
+			Tiles:   len(tiles),
+			Cycles:  lb,
+			Seconds: float64(lb) / freqHz,
+			Pruned:  true,
+		}, nil
 	}
 
 	// Deterministic reduction in tile order (every term is an exact
@@ -417,8 +775,38 @@ func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool)
 	if capacity > 0 {
 		res.PEUtilization = float64(busy) / float64(capacity)
 	}
-	res.Seconds = float64(res.Cycles) / (cfg.FreqMHz * 1e6)
+	res.Seconds = float64(res.Cycles) / freqHz
 	return res, nil
+}
+
+// runTilesParallel is the goroutine tile pool of simulateBound, split
+// into its own function so none of the serial path's locals are captured
+// by a goroutine closure (such captures would box them on the heap on
+// every call, breaking the steady-state zero-allocation guarantee).
+func (w *Workload) runTilesParallel(ctx context.Context, cfg Config, tiles []Span, perTile [][]Elem, tileNNZ []int64, run *tileRun, bound *raceBound, freqHz float64, workers int) {
+	outs := run.outs
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := w.getSched()
+			defer w.putSched(sc)
+			for ctx.Err() == nil && !run.abort.Load() {
+				t := int(atomic.AddInt64(&run.next, 1)) - 1
+				if t >= len(tiles) {
+					return
+				}
+				o := simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc)
+				outs[t] = o
+				if bound != nil && float64(run.partial.Add(o.cycles))/freqHz > bound.best() {
+					run.abort.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // simulateTile charges one B row tile: the max(compute, A read, B read)
@@ -443,19 +831,19 @@ func simulateTile(cfg Config, s Span, elems []Elem, tileNNZ int64, bCols int, sc
 
 	// Schedule each PEG's share; the tile completes when the slowest PEG
 	// does.
-	for _, g := range splitByPEG(elems, cfg.PEG, cfg.SchedulerA) {
-		gs := schedulePEGScratch(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, false, sc)
-		o.busy += gs.Busy
-		o.bubbles += gs.Bubbles
-		if gs.Makespan > o.compute {
-			o.compute = gs.Makespan
+	for _, g := range splitByPEGScratch(elems, cfg.PEG, cfg.SchedulerA, sc) {
+		busy, bubbles, makespan := schedulePEGAgg(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, sc)
+		o.busy += busy
+		o.bubbles += bubbles
+		if makespan > o.compute {
+			o.compute = makespan
 		}
 	}
 	// Row-wise designs spread each output row over many PEGs, so the
 	// partial vectors must merge across accumulator groups before
 	// write-back (see mergeCycles).
 	if cfg.SchedulerA == RowWise {
-		o.compute += mergeCycles(elems, cfg)
+		o.compute += mergeCyclesScratch(elems, cfg, sc)
 	}
 	// Utilization counts idle lanes against the straggler PEG's makespan —
 	// the §3.2.2 "bubbles plus padding" effect.

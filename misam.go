@@ -808,6 +808,15 @@ func SimulateAllDesigns(a, b *Matrix) ([sim.NumDesigns]sim.Result, error) {
 	return sim.SimulateAll(a, b)
 }
 
+// SimulateAllDesignsPruned is SimulateAllDesigns through the pruned slow
+// tier (coarse-then-exact ordering plus early-exit simulation): the
+// argmin design and its Result are bit-identical to the exact pass, while
+// provably losing designs may return early with a marked lower bound
+// (Result.Pruned) instead of a full simulation.
+func SimulateAllDesignsPruned(a, b *Matrix) ([sim.NumDesigns]sim.Result, error) {
+	return sim.SimulateAllPruned(a, b)
+}
+
 // Workload is the design-independent simulation precompute for one A×B
 // pair (see sim.NewWorkload). Build it once when the same pair will be
 // analyzed or simulated repeatedly.
