@@ -36,6 +36,13 @@ go test -race -run 'TestSwapRollbackHammer|TestAnalyzeDuringHotSwap' ./internal/
 echo "==> early-exit racing bound (-race)"
 go test -race -run 'TestEarlyExitRacingBound' ./internal/sim/
 
+# The placement pool reorders only idle-device selection; waiter
+# handover must stay strictly FIFO or preferred traffic starves plain
+# requests. Run the starvation proofs by name under -race so a future
+# -run filter on the main pass can't silently skip them.
+echo "==> placement pool hammer (-race)"
+go test -race -run 'TestAcquirePreferredHammer|TestSaturatedHandoverIsFIFO' ./internal/fleet/
+
 # Benchmark smoke: one iteration of the fingerprint/memo/cache/registry/
 # fast-path/steady-state benchmarks so their harness code can't rot.
 # Scoped by name — the figure-scale benchmarks are far too slow for CI.
@@ -56,6 +63,16 @@ echo "==> slowtier experiment smoke"
 slowout="${TMPDIR:-/tmp}/misam_bench_pr6_smoke.json"
 go run ./cmd/misam-bench -scale quick -experiment slowtier -slowout "$slowout"
 rm -f "$slowout"
+
+# Placement experiment smoke: one quick-scale replay of the skewed
+# stream through the FIFO pool and the placement pool. The scratch path
+# exercises the write/re-read/schema validation, and the run itself
+# fails unless every analysis is bit-identical between pools and
+# placement avoids >= 50% of FIFO's reconfigurations.
+echo "==> placement experiment smoke"
+placeout="${TMPDIR:-/tmp}/misam_bench_pr7_smoke.json"
+go run ./cmd/misam-bench -scale quick -experiment placement -placeout "$placeout"
+rm -f "$placeout"
 
 # Online-adaptation smoke: replay a tiny shifting stream through the
 # collector end to end (drift report + retrain + promotion gate).

@@ -24,13 +24,15 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier, placement")
 	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	fastout := flag.String("fastout", "BENCH_PR5.json",
 		"where the fastpath experiment writes its machine-readable report (empty to skip the file)")
 	slowout := flag.String("slowout", "BENCH_PR6.json",
 		"where the slowtier experiment writes its machine-readable report (empty to skip the file)")
+	placeout := flag.String("placeout", "BENCH_PR7.json",
+		"where the placement experiment writes its machine-readable report (empty to skip the file)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -83,12 +85,20 @@ func main() {
 		// slowtier is opt-in (-experiment slowtier): it re-times the exact
 		// and pruned simulation tiers and rewrites BENCH_PR6.json.
 		{"slowtier", func() error { _, err := experiments.SlowTierReport(ctx, *slowout, w); return err }},
+		// placement is opt-in (-experiment placement): it replays a skewed
+		// stream through the FIFO and placement pools and rewrites
+		// BENCH_PR7.json. It publishes a CGRA-mode pricing snapshot into
+		// the shared framework, so it runs with its own context.
+		{"placement", func() error {
+			_, err := experiments.PlacementReport(experiments.NewContext(cfg), *placeout, w)
+			return err
+		}},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
-		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier") {
+		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier" || d.name == "placement") {
 			continue
 		}
 		if want != "all" && want != d.name {

@@ -65,6 +65,9 @@ func main() {
 	confidence := flag.Float64("confidence", 0.9, "fast-path gate: minimum selector leaf confidence (>= 1 disables the fast tier)")
 	verifySample := flag.Int("verify-sample", 8, "re-simulate one in N fast-path hits in the background (<= 0 disables)")
 	prunedVerify := flag.Bool("pruned-verify", false, "run background audits through the pruned slow tier (same argmin, lower-bound losers)")
+	placementOn := flag.Bool("placement", false, "bitstream-aware device selection: route each request to the idle device where serving it is predicted cheapest")
+	queueWeight := flag.Float64("queue-weight", 0, "placement cost model queue-pressure weight (<= 0 = package default)")
+	rebalanceEvery := flag.Duration("rebalance-interval", 0, "background portfolio rebalancer cadence (0 = off; needs -placement)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own mux; off when empty)")
 	flag.Parse()
 
@@ -89,18 +92,21 @@ func main() {
 	}
 
 	srv := server.NewWithConfig(fw, server.Config{
-		Devices:         *devices,
-		RequestTimeout:  *timeout,
-		MaxBodyBytes:    *maxBody,
-		CacheBytes:      *cacheBytes,
-		Online:          *onlineMode,
-		TraceSample:     *traceSample,
-		TraceCapacity:   *traceCap,
-		RetrainInterval: *retrainEvery,
-		FastPath:        *fastPath,
-		Confidence:      *confidence,
-		VerifySample:    *verifySample,
-		PrunedVerify:    *prunedVerify,
+		Devices:           *devices,
+		RequestTimeout:    *timeout,
+		MaxBodyBytes:      *maxBody,
+		CacheBytes:        *cacheBytes,
+		Online:            *onlineMode,
+		TraceSample:       *traceSample,
+		TraceCapacity:     *traceCap,
+		RetrainInterval:   *retrainEvery,
+		FastPath:          *fastPath,
+		Confidence:        *confidence,
+		VerifySample:      *verifySample,
+		PrunedVerify:      *prunedVerify,
+		Placement:         *placementOn,
+		QueueWeight:       *queueWeight,
+		RebalanceInterval: *rebalanceEvery,
 	})
 	defer srv.Close()
 
@@ -134,6 +140,12 @@ func main() {
 	}
 	if *fastPath {
 		mode += fmt.Sprintf(", fast path at %.2f confidence", *confidence)
+	}
+	if *placementOn {
+		mode += ", placement on"
+		if *rebalanceEvery > 0 {
+			mode += fmt.Sprintf(", rebalancing every %s", *rebalanceEvery)
+		}
 	}
 	fmt.Printf("serving %d device(s) on %s%s (GET /healthz /v1/designs /v1/fleet /v1/stats /v1/models, POST /v1/analyze /v1/analyze/batch /v1/models/retrain /v1/models/rollback)\n",
 		*devices, *addr, mode)

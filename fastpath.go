@@ -235,6 +235,13 @@ func (f *Framework) AnalyzeFastOn(ctx context.Context, dev *Accelerator, w *sim.
 		return rep, err
 	}
 	fp.fast.Add(1)
+	if f.traces != nil {
+		// A fast hit never simulates, so it offers no training trace —
+		// but its proposal is bitstream demand the portfolio rebalancer
+		// must see, or a fast-path-dominated fleet would rebalance on
+		// the unrepresentative slow-tier slice alone.
+		f.traces.ObserveProposal(proposed)
+	}
 
 	dec := dev.DecideApplyWith(snap.Engine(), v, proposed, 1)
 	var rep Report

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPlacementReport is the placement layer's equivalence gate: it
+// replays the skewed stream through the FIFO pool and the placement
+// pool and fails unless every request's analysis (features, all four
+// design Results, baselines, model version) is bit-identical between
+// the two, while the placement pool still avoids at least half the
+// FIFO pool's reconfigurations. PlacementReport's own validation
+// enforces both after re-reading the JSON it wrote.
+//
+// The report publishes a CGRA-mode pricing snapshot into its context's
+// framework, so it gets a private context instead of the shared
+// ctxForTest one.
+func TestPlacementReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a quick-scale model and replays 2x96 requests")
+	}
+	ctx := NewContext(QuickConfig())
+	path := filepath.Join(t.TempDir(), "BENCH_PR7.json")
+	var sb strings.Builder
+	data, err := PlacementReport(ctx, path, &sb)
+	if err != nil {
+		t.Fatalf("PlacementReport: %v\noutput:\n%s", err, sb.String())
+	}
+
+	if !data.ReportsBitIdentical {
+		t.Fatal("placement changed an analysis result (bit-identity broken)")
+	}
+	if data.FIFOReconfigs == 0 {
+		t.Fatal("stream triggered no FIFO reconfigurations; the benchmark regime is degenerate")
+	}
+	if data.ReconfigsAvoidedVsFIFO < 0.5 {
+		t.Fatalf("placement avoided only %.0f%% of FIFO reconfigurations, want >= 50%%",
+			100*data.ReconfigsAvoidedVsFIFO)
+	}
+	if data.PlacedReconfigs > data.FIFOReconfigs {
+		t.Errorf("placement paid more reconfigs (%d) than FIFO (%d)", data.PlacedReconfigs, data.FIFOReconfigs)
+	}
+	if data.AffinityHits == 0 {
+		t.Error("placement pool recorded no affinity hits on a skewed stream")
+	}
+	if data.Requests == 0 || data.Devices == 0 || data.BitstreamGroups < 2 {
+		t.Errorf("stream shape degenerate: %d requests, %d devices, %d bitstream groups",
+			data.Requests, data.Devices, data.BitstreamGroups)
+	}
+
+	// The file on disk must round-trip to the same verdicts.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk PlacementReportData
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("BENCH_PR7.json is not valid JSON: %v", err)
+	}
+	if onDisk.Schema != data.Schema || !onDisk.ReportsBitIdentical ||
+		onDisk.FIFOReconfigs != data.FIFOReconfigs || onDisk.PlacedReconfigs != data.PlacedReconfigs {
+		t.Errorf("written report disagrees with returned data: %+v vs %+v", onDisk, data)
+	}
+	for _, want := range []string{"fifo", "placement", "bit-identical true"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("text output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

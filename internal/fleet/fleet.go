@@ -3,23 +3,82 @@
 // duration of one request — per-device serialization — while different
 // devices serve different requests concurrently. Admission is
 // context-aware: a caller whose deadline expires while every device is
-// busy is turned away instead of queueing forever. This is the serving
-// shape of the paper's §6.3 heterogeneous-fleet extension: stateless
-// models (selector, latency predictor) shared read-only across N devices
-// that each track their own bitstream.
+// busy is turned away instead of queueing forever.
+//
+// Beyond the plain FIFO checkout (Acquire/Do), the pool is
+// bitstream-aware: the idle set is indexed by each device's loaded
+// design, so AcquirePreferred can hand a request an idle device that
+// already holds its predicted winner — avoiding a reconfiguration the
+// request would otherwise risk on an arbitrary device — and
+// AcquireScored generalizes that to an arbitrary placement cost model
+// (see internal/placement). Selection only ever reorders *which idle
+// device* a request gets; admission order for a busy fleet stays FIFO,
+// so non-preferred requests can never starve behind affinity traffic.
+//
+// This is the serving shape of the paper's §6.3 heterogeneous-fleet
+// extension: stateless models (selector, latency predictor) shared
+// read-only across N devices that each track their own bitstream.
 package fleet
 
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"misam/internal/reconfig"
+	"misam/internal/sim"
 )
 
-// Fleet is a fixed set of devices with checkout-based admission.
+// Scorer prices one candidate device for a request: the predicted cost
+// of serving the request on a device whose bitstream state is st while
+// `queued` other requests are waiting fleet-wide. Lower is better.
+// internal/placement.Request is the production implementation.
+type Scorer interface {
+	Score(st reconfig.State, queued int) float64
+}
+
+// Stats are the pool's placement counters, cumulative since construction.
+type Stats struct {
+	// Acquires counts successful checkouts (all flavours, including
+	// TryAcquire).
+	Acquires int64 `json:"acquires"`
+	// Preferred counts checkouts that carried a design preference
+	// (AcquirePreferred/AcquireScored through an idle pool; blocked
+	// acquisitions are counted when the device is finally handed over).
+	Preferred int64 `json:"preferred"`
+	// AffinityHits counts preferred checkouts served by a device already
+	// holding the predicted winner's bitstream (or one sharing it);
+	// AffinityMisses counts the fallbacks to a non-matching device.
+	AffinityHits   int64 `json:"affinity_hits"`
+	AffinityMisses int64 `json:"affinity_misses"`
+	// Waits counts acquisitions that found every device busy and queued.
+	Waits int64 `json:"waits"`
+}
+
+// waiter is one blocked acquisition. Delivery happens under the fleet
+// lock into the buffered channel, so after the lock is held a waiter is
+// either still queued or already owns a device — never in between.
+type waiter struct {
+	ch     chan *reconfig.Device
+	design sim.DesignID
+	pref   bool
+}
+
+// Fleet is a fixed set of devices with checkout-based admission and
+// bitstream-aware selection among idle devices.
 type Fleet struct {
 	devices []*reconfig.Device
-	idle    chan *reconfig.Device
+
+	mu sync.Mutex
+	// idle is FIFO: idle[0] has been idle longest. The design index is
+	// implicit — each idle device's loaded bitstream is read through the
+	// wait-free Device.Loaded mirror at selection time, which can never
+	// go stale while the device is idle: a device's bitstream only
+	// changes while it is checked out.
+	idle    []*reconfig.Device
+	held    map[*reconfig.Device]bool
+	waiters []*waiter
+	stats   Stats
 }
 
 // New builds a fleet of n fresh devices (named "fpga0".."fpgaN-1"), all
@@ -39,14 +98,11 @@ func New(e *reconfig.Engine, n int) *Fleet {
 // heterogeneous pools: devices may differ in engine, threshold, or
 // reconfiguration mode).
 func FromDevices(devs []*reconfig.Device) *Fleet {
-	f := &Fleet{
+	return &Fleet{
 		devices: devs,
-		idle:    make(chan *reconfig.Device, len(devs)),
+		idle:    append([]*reconfig.Device(nil), devs...),
+		held:    make(map[*reconfig.Device]bool, len(devs)),
 	}
-	for _, d := range devs {
-		f.idle <- d
-	}
-	return f
 }
 
 // Size is the number of devices in the fleet.
@@ -58,35 +114,213 @@ func (f *Fleet) Devices() []*reconfig.Device {
 	return append([]*reconfig.Device(nil), f.devices...)
 }
 
+// Stats snapshots the pool's placement counters.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Queued reports how many acquisitions are currently blocked waiting for
+// a device — the fleet-wide queue pressure the placement cost model
+// folds into its scores.
+func (f *Fleet) Queued() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
 // Acquire checks a device out of the fleet, blocking until one is idle or
 // ctx is done. The caller owns the device exclusively until Release.
+// Selection is FIFO over the idle set (longest-idle first), exactly the
+// pre-placement pool's behavior.
 func (f *Fleet) Acquire(ctx context.Context) (*reconfig.Device, error) {
-	// Prefer an idle device even when ctx is already expiring, but never
-	// block past the deadline.
-	select {
-	case d := <-f.idle:
-		return d, nil
-	default:
+	return f.acquire(ctx, 0, false, nil)
+}
+
+// AcquirePreferred is Acquire with a bitstream preference: when any idle
+// device already holds design (or a bitstream shared with it), that
+// device is handed out and the request pays no reconfiguration;
+// otherwise it falls back to the longest-idle device. A busy fleet
+// queues FIFO regardless of preference — affinity reorders devices,
+// never requests.
+func (f *Fleet) AcquirePreferred(ctx context.Context, design sim.DesignID) (*reconfig.Device, error) {
+	return f.acquire(ctx, design, true, nil)
+}
+
+// AcquireScored is AcquirePreferred driven by a placement cost model:
+// the idle device with the lowest sc.Score wins (FIFO order breaks
+// ties), with design used only for the affinity-hit accounting. A nil
+// scorer degrades to AcquirePreferred.
+func (f *Fleet) AcquireScored(ctx context.Context, design sim.DesignID, sc Scorer) (*reconfig.Device, error) {
+	return f.acquire(ctx, design, true, sc)
+}
+
+func (f *Fleet) acquire(ctx context.Context, design sim.DesignID, pref bool, sc Scorer) (*reconfig.Device, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	f.mu.Lock()
+	if len(f.idle) > 0 {
+		// Hand out an idle device even when ctx is already expiring, so
+		// callers holding work can still drain a healthy pool.
+		d := f.pickLocked(design, pref, sc)
+		f.checkoutLocked(d, design, pref)
+		f.mu.Unlock()
+		return d, nil
+	}
+	w := &waiter{ch: make(chan *reconfig.Device, 1), design: design, pref: pref}
+	f.waiters = append(f.waiters, w)
+	f.stats.Waits++
+	f.mu.Unlock()
+
 	select {
-	case d := <-f.idle:
+	case d := <-w.ch:
 		return d, nil
 	case <-ctx.Done():
+		f.mu.Lock()
+		for i, q := range f.waiters {
+			if q == w {
+				f.waiters = append(f.waiters[:i], f.waiters[i+1:]...)
+				f.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		f.mu.Unlock()
+		// Not queued anymore: a Release delivered a device concurrently
+		// with the deadline (delivery happens under the lock into the
+		// buffered channel, so it is already there). The caller is being
+		// turned away — put the device straight back.
+		f.Release(<-w.ch)
 		return nil, ctx.Err()
 	}
 }
 
-// Release returns a device to the idle pool. Releasing a device that was
-// not acquired (or releasing twice) corrupts the pool; Do wraps the pair
+// pickLocked selects which idle device a request gets; f.mu must be held
+// and f.idle must be non-empty. Plain acquisitions take the
+// longest-idle device (FIFO). Preferred acquisitions take an exact
+// bitstream match first, then a shared-bitstream match, then fall back
+// to FIFO; scored acquisitions take the cost-model argmin.
+func (f *Fleet) pickLocked(design sim.DesignID, pref bool, sc Scorer) *reconfig.Device {
+	if !pref {
+		return f.idle[0]
+	}
+	if sc != nil {
+		best, bestScore := f.idle[0], sc.Score(f.idle[0].LoadedState(), len(f.waiters))
+		for _, d := range f.idle[1:] {
+			if s := sc.Score(d.LoadedState(), len(f.waiters)); s < bestScore {
+				best, bestScore = d, s
+			}
+		}
+		return best
+	}
+	var shared *reconfig.Device
+	for _, d := range f.idle {
+		id, ok := d.Loaded()
+		if !ok {
+			continue
+		}
+		if id == design {
+			return d
+		}
+		if shared == nil && sim.SharedBitstream(id, design) {
+			shared = d
+		}
+	}
+	if shared != nil {
+		return shared
+	}
+	return f.idle[0]
+}
+
+// checkoutLocked removes d from the idle set, marks it held, and folds
+// the acquisition into the placement counters; f.mu must be held.
+func (f *Fleet) checkoutLocked(d *reconfig.Device, design sim.DesignID, pref bool) {
+	for i, q := range f.idle {
+		if q == d {
+			f.idle = append(f.idle[:i], f.idle[i+1:]...)
+			break
+		}
+	}
+	f.held[d] = true
+	f.noteAcquireLocked(d, design, pref)
+}
+
+// noteAcquireLocked accounts one checkout; f.mu must be held.
+func (f *Fleet) noteAcquireLocked(d *reconfig.Device, design sim.DesignID, pref bool) {
+	f.stats.Acquires++
+	if !pref {
+		return
+	}
+	f.stats.Preferred++
+	if id, ok := d.Loaded(); ok && sim.SharedBitstream(id, design) {
+		f.stats.AffinityHits++
+		d.CountReconfigAvoided()
+	} else {
+		f.stats.AffinityMisses++
+	}
+}
+
+// TryAcquire checks out one specific device if and only if it is idle
+// right now, without blocking. The portfolio rebalancer uses it to
+// preload bitstreams on idle devices without ever delaying a request.
+func (f *Fleet) TryAcquire(d *reconfig.Device) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, q := range f.idle {
+		if q == d {
+			f.idle = append(f.idle[:i], f.idle[i+1:]...)
+			f.held[d] = true
+			f.stats.Acquires++
+			return true
+		}
+	}
+	return false
+}
+
+// Release returns a device to the pool, handing it to the oldest blocked
+// acquisition if one is queued. Releasing a device that is not checked
+// out — a double release, or a release of a foreign device — panics
+// with the device name: the pool's accounting (and the design index
+// over idle devices) would be silently corrupted otherwise, so the
+// invariant is enforced loudly. Do wraps the acquire/release pair
 // safely.
 func (f *Fleet) Release(d *reconfig.Device) {
-	f.idle <- d
+	f.mu.Lock()
+	if !f.held[d] {
+		f.mu.Unlock()
+		panic(fmt.Sprintf("fleet: double release of device %s (release without a matching acquire)", d.Name()))
+	}
+	if len(f.waiters) > 0 {
+		// FIFO handover: the oldest waiter gets the device regardless of
+		// its preference — fairness beats affinity once the fleet is
+		// saturated, so non-preferred requests can never starve.
+		w := f.waiters[0]
+		f.waiters = f.waiters[1:]
+		f.noteAcquireLocked(d, w.design, w.pref)
+		w.ch <- d // buffered; never blocks under the lock
+		f.mu.Unlock()
+		return
+	}
+	delete(f.held, d)
+	f.idle = append(f.idle, d)
+	f.mu.Unlock()
 }
 
 // Do acquires a device, runs fn with it, and releases it — the
 // recommended request path.
 func (f *Fleet) Do(ctx context.Context, fn func(*reconfig.Device) error) error {
 	d, err := f.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer f.Release(d)
+	return fn(d)
+}
+
+// DoPreferred is Do with a bitstream preference (see AcquirePreferred).
+func (f *Fleet) DoPreferred(ctx context.Context, design sim.DesignID, fn func(*reconfig.Device) error) error {
+	d, err := f.AcquirePreferred(ctx, design)
 	if err != nil {
 		return err
 	}

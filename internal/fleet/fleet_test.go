@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -175,5 +176,262 @@ func TestFleetConcurrentDo(t *testing.T) {
 	}
 	if maxInFlight < 2 {
 		t.Logf("note: max concurrency observed %d (machine may be single-core)", maxInFlight)
+	}
+}
+
+func TestReleaseDoubleReleasePanics(t *testing.T) {
+	f := New(smallEngine(t), 1)
+	d, err := f.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release(d)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, d.Name()) {
+			t.Fatalf("panic %v does not name device %s", r, d.Name())
+		}
+	}()
+	f.Release(d)
+}
+
+func TestReleaseForeignDevicePanics(t *testing.T) {
+	f := New(smallEngine(t), 1)
+	stranger := reconfig.NewDevice("stranger", smallEngine(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("releasing a foreign device did not panic")
+		}
+	}()
+	f.Release(stranger)
+}
+
+// TestAcquirePlainFIFORotation pins the placement refactor's
+// compatibility contract: without a preference the pool behaves exactly
+// like the old channel pool — longest-idle device first, released
+// devices go to the back of the line.
+func TestAcquirePlainFIFORotation(t *testing.T) {
+	f := New(smallEngine(t), 3)
+	ctx := context.Background()
+	want := []string{"fpga0", "fpga1", "fpga2", "fpga0", "fpga1", "fpga2"}
+	for i, name := range want {
+		d, err := f.Acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name() != name {
+			t.Fatalf("acquire %d = %s, want %s (FIFO rotation broken)", i, d.Name(), name)
+		}
+		f.Release(d)
+	}
+	st := f.Stats()
+	if st.Preferred != 0 || st.AffinityHits != 0 {
+		t.Errorf("plain acquires counted as preferred: %+v", st)
+	}
+}
+
+func TestAcquirePreferredPicksLoadedDevice(t *testing.T) {
+	f := New(smallEngine(t), 3)
+	ctx := context.Background()
+	devs := f.Devices()
+	devs[1].ForceLoad(sim.Design1)
+	devs[2].ForceLoad(sim.Design2)
+
+	// Exact match beats FIFO order: fpga2 holds Design2 even though
+	// fpga0 has been idle longest.
+	d, err := f.AcquirePreferred(ctx, sim.Design2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != devs[2] {
+		t.Fatalf("preferred acquire got %s, want fpga2", d.Name())
+	}
+	// Shared bitstream counts as a hit: Design3 shares Design2's.
+	d2, err := f.AcquirePreferred(ctx, sim.Design3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != devs[2] && d2.Name() != "fpga2" {
+		// fpga2 is held; no other device shares Design3's bitstream, so
+		// the fallback is the longest-idle device.
+		if d2 != devs[0] {
+			t.Fatalf("fallback acquire got %s, want fpga0", d2.Name())
+		}
+	}
+	f.Release(d)
+	f.Release(d2)
+	st := f.Stats()
+	if st.Preferred != 2 || st.AffinityHits != 1 || st.AffinityMisses != 1 {
+		t.Errorf("stats = %+v, want 2 preferred / 1 hit / 1 miss", st)
+	}
+	if got := devs[2].Stats().ReconfigsAvoided; got != 1 {
+		t.Errorf("fpga2 ReconfigsAvoided = %d, want 1", got)
+	}
+}
+
+func TestAcquirePreferredSharedBitstreamMatch(t *testing.T) {
+	f := New(smallEngine(t), 2)
+	devs := f.Devices()
+	devs[1].ForceLoad(sim.Design3)
+	d, err := f.AcquirePreferred(context.Background(), sim.Design2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != devs[1] {
+		t.Fatalf("shared-bitstream acquire got %s, want fpga1", d.Name())
+	}
+	f.Release(d)
+	if st := f.Stats(); st.AffinityHits != 1 {
+		t.Errorf("shared bitstream not counted as hit: %+v", st)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	f := New(smallEngine(t), 2)
+	d := f.Devices()[1]
+	if !f.TryAcquire(d) {
+		t.Fatal("TryAcquire on idle device failed")
+	}
+	if f.TryAcquire(d) {
+		t.Fatal("TryAcquire on held device succeeded")
+	}
+	f.Release(d)
+	if !f.TryAcquire(d) {
+		t.Fatal("TryAcquire after release failed")
+	}
+	f.Release(d)
+}
+
+// TestSaturatedHandoverIsFIFO pins the starvation guarantee: once every
+// device is busy, waiters are served strictly in arrival order, a
+// later-arriving preferred request cannot jump an earlier plain one.
+func TestSaturatedHandoverIsFIFO(t *testing.T) {
+	f := New(smallEngine(t), 1)
+	ctx := context.Background()
+	held, err := f.Acquire(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	held.ForceLoad(sim.Design1)
+
+	order := make(chan string, 2)
+	var started sync.WaitGroup
+	started.Add(2)
+	go func() {
+		started.Done()
+		d, err := f.Acquire(ctx)
+		if err == nil {
+			order <- "plain"
+			f.Release(d)
+		}
+	}()
+	// Ensure the plain waiter queues first.
+	for f.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go func() {
+		started.Done()
+		d, err := f.AcquirePreferred(ctx, sim.Design1)
+		if err == nil {
+			order <- "preferred"
+			f.Release(d)
+		}
+	}()
+	for f.Queued() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	started.Wait()
+	f.Release(held)
+	if first := <-order; first != "plain" {
+		t.Fatalf("first handover went to %q; preferred request jumped the FIFO queue", first)
+	}
+	if second := <-order; second != "preferred" {
+		t.Fatalf("second handover went to %q", second)
+	}
+}
+
+// TestAcquirePreferredHammer drives skewed preferred traffic and plain
+// traffic through a small fleet concurrently under -race: every request
+// must complete (no starvation of the non-preferred minority), the
+// checkout accounting must balance exactly, and nothing may still be
+// held at the end.
+func TestAcquirePreferredHammer(t *testing.T) {
+	eng := smallEngine(t)
+	f := New(eng, 4)
+	const jobs = 400
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var plainDone, prefDone int64
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var v features.Vector
+			if i%5 == 0 {
+				// The plain minority: must never starve behind affinity.
+				err := f.Do(ctx, func(d *reconfig.Device) error {
+					d.DecideApply(v, sim.AllDesigns[i%4], 1)
+					return nil
+				})
+				if err != nil {
+					t.Errorf("plain job %d: %v", i, err)
+					return
+				}
+				mu.Lock()
+				plainDone++
+				mu.Unlock()
+				return
+			}
+			// Skewed preference: 80% of preferred traffic wants Design1.
+			design := sim.Design1
+			if i%7 == 0 {
+				design = sim.Design4
+			}
+			d, err := f.AcquirePreferred(ctx, design)
+			if err != nil {
+				t.Errorf("preferred job %d: %v", i, err)
+				return
+			}
+			d.DecideApply(v, design, 1)
+			f.Release(d)
+			mu.Lock()
+			prefDone++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	if plainDone+prefDone != jobs {
+		t.Fatalf("completed %d+%d jobs, want %d", plainDone, prefDone, jobs)
+	}
+	st := f.Stats()
+	if st.Acquires != jobs {
+		t.Errorf("Acquires = %d, want %d", st.Acquires, jobs)
+	}
+	if st.Preferred != prefDone {
+		t.Errorf("Preferred = %d, want %d", st.Preferred, prefDone)
+	}
+	if st.AffinityHits+st.AffinityMisses != st.Preferred {
+		t.Errorf("hits %d + misses %d != preferred %d", st.AffinityHits, st.AffinityMisses, st.Preferred)
+	}
+	var total int64
+	for _, d := range f.Devices() {
+		total += d.Stats().Requests
+	}
+	if total != jobs {
+		t.Errorf("device transactions = %d, want %d", total, jobs)
+	}
+	// The pool must be fully idle again: all devices acquirable.
+	for i := 0; i < f.Size(); i++ {
+		d, err := f.Acquire(ctx)
+		if err != nil {
+			t.Fatalf("device leaked by hammer: %v", err)
+		}
+		defer f.Release(d)
 	}
 }

@@ -77,7 +77,22 @@ type Collector struct {
 	observed    int64
 	sampled     int64
 	dropped     int64
+
+	// demand is the per-design EWMA of the serving proposal mix: every
+	// observation (sampled or not) decays the vector and adds demandAlpha
+	// to the proposed design's share. The portfolio rebalancer reads it
+	// to keep the fleet's loaded bitstreams tracking the traffic mix.
+	// demandN counts the observations behind it — full traces plus the
+	// proposal-only observations the fast path records.
+	demand  [sim.NumDesigns]float64
+	demandN int64
 }
+
+// demandAlpha is the EWMA weight of one observation: a half-life of
+// ~44 observations, fast enough to follow a workload phase shift within
+// one trace window, slow enough that a burst of one request type does
+// not thrash the fleet's portfolio.
+const demandAlpha = 1.0 / 64
 
 // NewCollector returns a collector holding at most capacity traces,
 // admitting one in every sampleEvery observations (<=1 admits all).
@@ -97,6 +112,7 @@ func (c *Collector) Observe(t Trace) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.observed++
+	c.noteDemandLocked(t.Predicted)
 	if (c.observed-1)%c.sampleEvery != 0 {
 		return false
 	}
@@ -147,6 +163,50 @@ func (c *Collector) Window(n int) []Trace {
 		out[i] = c.buf[(c.start+c.n-n+i)%len(c.buf)]
 	}
 	return out
+}
+
+// noteDemandLocked folds one proposal into the demand EWMA; c.mu must
+// be held.
+func (c *Collector) noteDemandLocked(id sim.DesignID) {
+	if id < 0 || int(id) >= len(c.demand) {
+		return
+	}
+	for i := range c.demand {
+		c.demand[i] *= 1 - demandAlpha
+	}
+	c.demand[id] += demandAlpha
+	c.demandN++
+}
+
+// ObserveProposal records one served proposal into the demand EWMA
+// without offering a trace — the fast path's contribution to the
+// portfolio signal: a fast-tier hit never simulates (so it has no
+// training trace to offer), but its proposed design is exactly the
+// bitstream demand the rebalancer must track.
+func (c *Collector) ObserveProposal(id sim.DesignID) {
+	c.mu.Lock()
+	c.noteDemandLocked(id)
+	c.mu.Unlock()
+}
+
+// Demand returns the normalized per-design EWMA of the serving proposal
+// mix (summing to 1) and the number of observations behind it. Before
+// any observation the mix is all zeros — callers should treat a small n
+// as "no signal yet" rather than acting on the early, noisy estimate.
+func (c *Collector) Demand() (mix [sim.NumDesigns]float64, n int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sum float64
+	for _, v := range c.demand {
+		sum += v
+	}
+	if sum <= 0 {
+		return mix, c.demandN
+	}
+	for i, v := range c.demand {
+		mix[i] = v / sum
+	}
+	return mix, c.demandN
 }
 
 // Stats snapshots the counters.

@@ -363,3 +363,51 @@ func TestOutcomeReasonIsAuditable(t *testing.T) {
 		t.Errorf("reason %q does not cite %q", out.Reason, want)
 	}
 }
+
+func TestCollectorDemandEWMA(t *testing.T) {
+	c := NewCollector(16, 1)
+	if mix, n := c.Demand(); n != 0 || mix != ([sim.NumDesigns]float64{}) {
+		t.Fatalf("cold collector demand = %v (n=%d), want zeros", mix, n)
+	}
+
+	// A skewed proposal stream: 3/4 Design2, 1/4 Design4, fed through
+	// both entry points — sampled traces and fast-path proposal notes.
+	for i := 0; i < 400; i++ {
+		id := sim.Design2
+		if i%4 == 0 {
+			id = sim.Design4
+		}
+		if i%2 == 0 {
+			c.Observe(Trace{Predicted: id})
+		} else {
+			c.ObserveProposal(id)
+		}
+	}
+	mix, n := c.Demand()
+	if n != 400 {
+		t.Fatalf("demand observations = %d, want 400", n)
+	}
+	var sum float64
+	for _, v := range mix {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("demand mix sums to %g, want 1", sum)
+	}
+	if mix[sim.Design2] < 0.6 || mix[sim.Design2] > 0.9 {
+		t.Errorf("Design2 share = %g, want near 0.75", mix[sim.Design2])
+	}
+	if mix[sim.Design1] > 0.01 || mix[sim.Design3] > 0.01 {
+		t.Errorf("unrequested designs carry demand: %v", mix)
+	}
+
+	// The EWMA must track a shift: the stream flips to pure Design1 and
+	// the mix follows it.
+	for i := 0; i < 400; i++ {
+		c.ObserveProposal(sim.Design1)
+	}
+	mix, _ = c.Demand()
+	if mix[sim.Design1] < 0.9 {
+		t.Errorf("after shift Design1 share = %g, want > 0.9", mix[sim.Design1])
+	}
+}

@@ -1,0 +1,118 @@
+// Package placement is the cost-model-driven device-selection layer of
+// the serving stack. The reconfiguration engine (internal/reconfig)
+// prices a bitstream switch on *one* device; at fleet scale the
+// expensive decision is *which* device takes a request — a request
+// whose winning design is already loaded on fpga2 should not land on
+// fpga0 and pay a full reconfiguration anyway.
+//
+// The package has two halves:
+//
+//   - Request (placement.go) scores each (device, design) candidate for
+//     one request as predicted compute latency plus reconfiguration
+//     charge plus a queue-pressure term, mirroring exactly the decision the
+//     acquired device will commit — same model snapshot, same
+//     threshold rule — so the cost-model argmin is the cheapest real
+//     outcome, not an estimate that can disagree with the device. It
+//     satisfies fleet.Scorer, and is the learned-cost-model placement
+//     shape of SambaNova's "Learned Cost Model for Placement on
+//     Reconfigurable Dataflow Hardware" scaled to this stack: predict
+//     the cost of every candidate placement, pick the argmin.
+//
+//   - Rebalancer (rebalancer.go) is the background portfolio
+//     optimizer: it reads the trace collector's per-design demand EWMA
+//     and preloads bitstreams on idle devices so the fleet's portfolio
+//     tracks the traffic mix — single-flight, bounded per tick, and
+//     inert when traffic is uniform.
+//
+// Placement is strictly advisory: it changes which device a request
+// checks out, never the analysis pipeline, so reports stay bit-identical
+// in every design-independent field (argmin, cycles, baselines) to the
+// FIFO pool's.
+package placement
+
+import (
+	"misam/internal/features"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+// DefaultQueueWeight scales the queue-pressure term: each request queued
+// fleet-wide inflates a candidate's reconfiguration charge by this
+// fraction, so under congestion the model avoids spending the last idle
+// device on a bitstream switch that also delays everyone behind it.
+const DefaultQueueWeight = 0.5
+
+// Request is the placement cost model for one request, built once from
+// a model snapshot's engine and reused across every candidate device.
+// All four per-design latency predictions are computed up front
+// (LatencyPredictor.PredictAll), so scoring a candidate is arithmetic
+// only — no tree walks on the fleet's selection path. A Request is
+// immutable after construction and safe for concurrent use.
+//
+// Building the request from one registry snapshot's engine keeps
+// scoring consistent under hot-swap: the proposal, the candidate scores
+// and the acquired device's decide/apply transaction all price with the
+// same model generation.
+type Request struct {
+	times       reconfig.TimeModel
+	threshold   float64
+	lat         [sim.NumDesigns]float64
+	proposed    sim.DesignID
+	queueWeight float64
+}
+
+// NewRequest builds the cost model for one request: the snapshot
+// engine's pricing, the predicted latency of every design for v, and
+// the selector's proposed design. queueWeight <= 0 uses
+// DefaultQueueWeight.
+func NewRequest(e *reconfig.Engine, v features.Vector, proposed sim.DesignID, queueWeight float64) *Request {
+	if queueWeight <= 0 {
+		queueWeight = DefaultQueueWeight
+	}
+	return &Request{
+		times:       e.Times,
+		threshold:   e.Threshold,
+		lat:         e.Predictor.PredictAll(v),
+		proposed:    proposed,
+		queueWeight: queueWeight,
+	}
+}
+
+// Proposed is the selector's proposed design behind this request.
+func (r *Request) Proposed() sim.DesignID { return r.proposed }
+
+// PredictedSeconds is the predicted compute latency of design id for
+// this request.
+func (r *Request) PredictedSeconds(id sim.DesignID) float64 { return r.lat[id] }
+
+// Score prices serving this request on a device in bitstream state st
+// while `queued` requests wait fleet-wide: the predicted compute
+// latency of whatever design the device would actually run, plus the
+// reconfiguration charge if the device would switch, with the charge
+// inflated by queueWeight per queued request. It mirrors
+// reconfig.Engine.Decide (remainingUnits = 1) exactly — same predictor,
+// same threshold, same shared-bitstream rule — so the argmin device is
+// the one on which the committed decision really is cheapest.
+func (r *Request) Score(st reconfig.State, queued int) float64 {
+	congestion := 1 + r.queueWeight*float64(queued)
+	if !st.HasLoaded {
+		// Nothing loaded: programming is mandatory, and the device will
+		// pick the proposal.
+		return r.lat[r.proposed] + r.times.FullReconfig(r.proposed)*congestion
+	}
+	if st.Loaded == r.proposed {
+		return r.lat[r.proposed]
+	}
+	cur, best := r.lat[st.Loaded], r.lat[r.proposed]
+	overhead := r.times.Switch(st.Loaded, r.proposed)
+	if gain := cur - best; gain > 0 && overhead < r.threshold*gain {
+		// The device would switch: charge the move.
+		return best + overhead*congestion
+	}
+	// The device would stay on its loaded design and eat the slowdown.
+	return cur
+}
+
+var _ interface {
+	Score(reconfig.State, int) float64
+} = (*Request)(nil)

@@ -1,0 +1,290 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"misam/internal/dataset"
+	"misam/internal/features"
+	"misam/internal/fleet"
+	"misam/internal/mltree"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+var (
+	testEngine     *reconfig.Engine
+	testEngineOnce sync.Once
+	testEngineErr  error
+)
+
+func smallEngine(t *testing.T) *reconfig.Engine {
+	t.Helper()
+	testEngineOnce.Do(func() {
+		rng := rand.New(rand.NewSource(23))
+		c, err := dataset.GenerateClassifier(rng, 60, 384)
+		if err != nil {
+			testEngineErr = err
+			return
+		}
+		p, err := reconfig.TrainLatencyPredictor(c, mltree.Config{MaxDepth: 10, MinSamplesLeaf: 2})
+		if err != nil {
+			testEngineErr = err
+			return
+		}
+		testEngine = reconfig.NewEngine(p, reconfig.DefaultTimeModel(), 0.20)
+	})
+	if testEngineErr != nil {
+		t.Fatal(testEngineErr)
+	}
+	return testEngine
+}
+
+func randVector(rng *rand.Rand) features.Vector {
+	var v features.Vector
+	for i := range v {
+		v[i] = rng.Float64() * 10
+	}
+	return v
+}
+
+// TestScoreMirrorsDecide is the cost model's core property: with no
+// queue pressure, Score(st, 0) must equal the latency plus
+// reconfiguration charge of the decision the device would actually
+// commit — lat[dec.Target] + dec.ReconfigSeconds — for every bitstream
+// state. If the two ever diverge, the argmin device is no longer the
+// cheapest real outcome.
+func TestScoreMirrorsDecide(t *testing.T) {
+	e := smallEngine(t)
+	rng := rand.New(rand.NewSource(99))
+	states := []reconfig.State{{}}
+	for _, id := range sim.AllDesigns {
+		states = append(states, reconfig.State{Loaded: id, HasLoaded: true})
+	}
+	for trial := 0; trial < 200; trial++ {
+		v := randVector(rng)
+		proposed := sim.AllDesigns[trial%len(sim.AllDesigns)]
+		req := NewRequest(e, v, proposed, 0)
+		for _, st := range states {
+			dec := e.Decide(st, v, proposed, 1)
+			want := e.Predictor.Predict(v, dec.Target) + dec.ReconfigSeconds
+			got := req.Score(st, 0)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d state %+v proposed %v: Score = %g, Decide implies %g (target %v, reconfig %g)",
+					trial, st, proposed, got, want, dec.Target, dec.ReconfigSeconds)
+			}
+		}
+	}
+}
+
+// TestScoreQueuePressure: queue pressure inflates only reconfiguration
+// charges. A candidate already holding the proposal costs the same at
+// any queue depth; a candidate that must switch gets monotonically more
+// expensive as the queue grows.
+func TestScoreQueuePressure(t *testing.T) {
+	e := smallEngine(t)
+	rng := rand.New(rand.NewSource(7))
+	found := false
+	for trial := 0; trial < 100 && !found; trial++ {
+		v := randVector(rng)
+		for _, proposed := range sim.AllDesigns {
+			req := NewRequest(e, v, proposed, 0.5)
+			hit := reconfig.State{Loaded: proposed, HasLoaded: true}
+			if req.Score(hit, 0) != req.Score(hit, 8) {
+				t.Fatalf("loaded-match score varies with queue depth")
+			}
+			empty := reconfig.State{}
+			s0, s4, s8 := req.Score(empty, 0), req.Score(empty, 4), req.Score(empty, 8)
+			if !(s0 < s4 && s4 < s8) {
+				t.Fatalf("empty-device score not monotone in queue depth: %g, %g, %g", s0, s4, s8)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no scoring candidates exercised")
+	}
+}
+
+// fakeDemand is a scriptable DemandSource for rebalancer tests.
+type fakeDemand struct {
+	mu  sync.Mutex
+	mix [sim.NumDesigns]float64
+	n   int64
+}
+
+func (f *fakeDemand) set(mix [sim.NumDesigns]float64, n int64) {
+	f.mu.Lock()
+	f.mix, f.n = mix, n
+	f.mu.Unlock()
+}
+
+func (f *fakeDemand) Demand() ([sim.NumDesigns]float64, int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mix, f.n
+}
+
+// bareFleet builds an n-device fleet with no engine: rebalancer tests
+// only touch ForceLoad/Loaded, which never consult one.
+func bareFleet(n int) *fleet.Fleet {
+	devs := make([]*reconfig.Device, n)
+	for i := range devs {
+		devs[i] = reconfig.NewDevice("d"+string(rune('0'+i)), nil)
+	}
+	return fleet.FromDevices(devs)
+}
+
+func holdings(fl *fleet.Fleet) [sim.NumDesigns]int {
+	var have [sim.NumDesigns]int
+	for _, d := range fl.Devices() {
+		if id, ok := d.Loaded(); ok {
+			have[id]++
+		}
+	}
+	return have
+}
+
+func TestRebalancerSkipsColdAndUniform(t *testing.T) {
+	fl := bareFleet(4)
+	demand := &fakeDemand{}
+	rb := NewRebalancer(fl, demand, RebalancerConfig{MinObservations: 64, UniformSlack: 0.10})
+
+	// Cold: sample below the floor, regardless of skew.
+	demand.set([sim.NumDesigns]float64{0.9, 0.1, 0, 0}, 10)
+	if got := rb.Tick(); got != 0 {
+		t.Fatalf("cold tick preloaded %d bitstreams", got)
+	}
+	// Uniform: warm sample, but nothing worth chasing.
+	demand.set([sim.NumDesigns]float64{0.27, 0.25, 0.24, 0.24}, 1000)
+	if got := rb.Tick(); got != 0 {
+		t.Fatalf("uniform tick preloaded %d bitstreams", got)
+	}
+	st := rb.Stats()
+	if st.Ticks != 2 || st.SkippedCold != 1 || st.SkippedUniform != 1 || st.Loads != 0 {
+		t.Errorf("stats = %+v, want 2 ticks, 1 cold skip, 1 uniform skip, 0 loads", st)
+	}
+	if holdings(fl) != ([sim.NumDesigns]int{}) {
+		t.Errorf("inert rebalancer touched device state: %v", holdings(fl))
+	}
+}
+
+func TestRebalancerConvergesToDemand(t *testing.T) {
+	fl := bareFleet(4)
+	demand := &fakeDemand{}
+	rb := NewRebalancer(fl, demand, RebalancerConfig{MinObservations: 16})
+
+	// Skewed mix: 3 slots of Design1, 1 of Design2 by largest remainder.
+	mix := [sim.NumDesigns]float64{0.70, 0.30, 0, 0}
+	demand.set(mix, 500)
+	want := apportion(mix, fl.Size())
+	for i := 0; i < 10; i++ {
+		rb.Tick()
+	}
+	if got := holdings(fl); got != want {
+		t.Fatalf("portfolio after skewed demand = %v, want %v", got, want)
+	}
+	loadsAfterConverge := rb.Stats().Loads
+
+	// Converged portfolio: further ticks must be no-ops.
+	for i := 0; i < 3; i++ {
+		if rb.Tick() != 0 {
+			t.Fatal("tick on a converged portfolio preloaded a bitstream")
+		}
+	}
+	if rb.Stats().Loads != loadsAfterConverge {
+		t.Fatal("converged ticks counted loads")
+	}
+
+	// Demand shifts: the portfolio must follow.
+	mix = [sim.NumDesigns]float64{0.10, 0.10, 0.75, 0.05}
+	demand.set(mix, 500)
+	want = apportion(mix, fl.Size())
+	for i := 0; i < 10; i++ {
+		rb.Tick()
+	}
+	if got := holdings(fl); got != want {
+		t.Fatalf("portfolio after demand shift = %v, want %v", got, want)
+	}
+}
+
+func TestRebalancerSkipsBusyFleet(t *testing.T) {
+	fl := bareFleet(2)
+	demand := &fakeDemand{}
+	demand.set([sim.NumDesigns]float64{0.9, 0.1, 0, 0}, 500)
+	rb := NewRebalancer(fl, demand, RebalancerConfig{MinObservations: 16})
+
+	// Hold every device: the rebalancer wants to preload but must never
+	// wait for (or steal) a busy device.
+	var held []*reconfig.Device
+	for _, d := range fl.Devices() {
+		if !fl.TryAcquire(d) {
+			t.Fatal("TryAcquire on idle fleet failed")
+		}
+		held = append(held, d)
+	}
+	if got := rb.Tick(); got != 0 {
+		t.Fatalf("busy tick preloaded %d bitstreams", got)
+	}
+	if st := rb.Stats(); st.SkippedBusy != 1 {
+		t.Errorf("SkippedBusy = %d, want 1", st.SkippedBusy)
+	}
+	for _, d := range held {
+		fl.Release(d)
+	}
+	if got := rb.Tick(); got == 0 {
+		t.Fatal("idle fleet tick preloaded nothing under skewed demand")
+	}
+}
+
+func TestRebalancerBoundedLoadsPerTick(t *testing.T) {
+	fl := bareFleet(6)
+	demand := &fakeDemand{}
+	demand.set([sim.NumDesigns]float64{1, 0, 0, 0}, 500)
+	rb := NewRebalancer(fl, demand, RebalancerConfig{MinObservations: 16, MaxLoadsPerTick: 2})
+	if got := rb.Tick(); got != 2 {
+		t.Fatalf("tick preloaded %d bitstreams, MaxLoadsPerTick is 2", got)
+	}
+}
+
+func TestRebalancerStartClose(t *testing.T) {
+	fl := bareFleet(2)
+	demand := &fakeDemand{}
+	rb := NewRebalancer(fl, demand, RebalancerConfig{Interval: time.Millisecond})
+	rb.Start()
+	rb.Start() // idempotent
+	rb.Close()
+	rb.Close() // idempotent
+	// A never-started rebalancer must also close cleanly.
+	NewRebalancer(fl, demand, RebalancerConfig{}).Close()
+}
+
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		mix  [sim.NumDesigns]float64
+		n    int
+		want [sim.NumDesigns]int
+	}{
+		{[sim.NumDesigns]float64{1, 0, 0, 0}, 4, [sim.NumDesigns]int{4, 0, 0, 0}},
+		{[sim.NumDesigns]float64{0.5, 0.5, 0, 0}, 4, [sim.NumDesigns]int{2, 2, 0, 0}},
+		{[sim.NumDesigns]float64{0.70, 0.30, 0, 0}, 4, [sim.NumDesigns]int{3, 1, 0, 0}},
+		{[sim.NumDesigns]float64{0.4, 0.3, 0.2, 0.1}, 5, [sim.NumDesigns]int{2, 2, 1, 0}},
+		{[sim.NumDesigns]float64{0.25, 0.25, 0.25, 0.25}, 3, [sim.NumDesigns]int{1, 1, 1, 0}},
+	}
+	for _, c := range cases {
+		got := apportion(c.mix, c.n)
+		if got != c.want {
+			t.Errorf("apportion(%v, %d) = %v, want %v", c.mix, c.n, got, c.want)
+		}
+		sum := 0
+		for _, v := range got {
+			sum += v
+		}
+		if sum != c.n {
+			t.Errorf("apportion(%v, %d) sums to %d", c.mix, c.n, sum)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package placement
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"misam/internal/fleet"
+	"misam/internal/reconfig"
+	"misam/internal/sim"
+)
+
+// DemandSource supplies the traffic's per-design demand mix: a
+// normalized share per design (summing to 1 once warm) and the number
+// of observations behind it. internal/online.Collector.Demand is the
+// production implementation — the serving path already records every
+// proposal there.
+type DemandSource interface {
+	Demand() (mix [sim.NumDesigns]float64, n int64)
+}
+
+// RebalancerConfig tunes the background portfolio optimizer. The zero
+// value is a sensible deployment.
+type RebalancerConfig struct {
+	// Interval is the background tick cadence (default 5s).
+	Interval time.Duration
+	// MaxLoadsPerTick bounds how many bitstreams one tick may preload
+	// (default 1) — rebalancing must trickle, never storm the fleet.
+	MaxLoadsPerTick int
+	// MinObservations is the demand-sample floor before the rebalancer
+	// acts at all (default 64): the EWMA needs warmup before it means
+	// anything.
+	MinObservations int64
+	// UniformSlack keeps the rebalancer inert while the demand mix is
+	// within this much of uniform (default 0.10): when traffic spreads
+	// evenly across designs there is no portfolio worth chasing, and
+	// preloading would only churn bitstreams.
+	UniformSlack float64
+}
+
+func (c RebalancerConfig) withDefaults() RebalancerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.MaxLoadsPerTick <= 0 {
+		c.MaxLoadsPerTick = 1
+	}
+	if c.MinObservations <= 0 {
+		c.MinObservations = 64
+	}
+	if c.UniformSlack <= 0 {
+		c.UniformSlack = 0.10
+	}
+	return c
+}
+
+// RebalancerStats are the optimizer's counters, cumulative since
+// construction.
+type RebalancerStats struct {
+	// Ticks counts rebalance passes that ran (manual or background).
+	Ticks int64 `json:"ticks"`
+	// Loads counts bitstreams preloaded onto idle devices.
+	Loads int64 `json:"loads"`
+	// SkippedCold counts ticks skipped for a demand sample below the
+	// floor; SkippedUniform counts ticks where the mix was within slack
+	// of uniform (nothing worth chasing); SkippedBusy counts ticks that
+	// wanted to move a bitstream but found no idle surplus device.
+	SkippedCold    int64 `json:"skipped_cold"`
+	SkippedUniform int64 `json:"skipped_uniform"`
+	SkippedBusy    int64 `json:"skipped_busy"`
+	// LastDemand is the demand mix the last acting tick saw.
+	LastDemand []float64 `json:"last_demand,omitempty"`
+}
+
+// Rebalancer keeps the fleet's bitstream portfolio tracking the traffic
+// mix: each tick it apportions the fleet across designs by demand share
+// (largest-remainder), finds deficit designs, and preloads them onto
+// idle devices currently holding surplus bitstreams — through
+// Fleet.TryAcquire, so a preload never delays a request. All methods
+// are safe for concurrent use; ticks are single-flight.
+type Rebalancer struct {
+	fl     *fleet.Fleet
+	demand DemandSource
+	cfg    RebalancerConfig
+
+	ticking atomic.Bool // single-flight guard: Tick vs background loop
+	started atomic.Bool
+
+	mu    sync.Mutex
+	stats RebalancerStats
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewRebalancer builds a rebalancer over fl driven by the demand
+// source. Call Start for the background loop, or Tick directly for
+// deterministic drivers and tests.
+func NewRebalancer(fl *fleet.Fleet, demand DemandSource, cfg RebalancerConfig) *Rebalancer {
+	return &Rebalancer{
+		fl:     fl,
+		demand: demand,
+		cfg:    cfg.withDefaults(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the background loop (idempotent). Call Close to stop
+// it.
+func (r *Rebalancer) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(r.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Tick()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the background loop and waits for it to exit. A
+// rebalancer that was never Started may still be Closed.
+func (r *Rebalancer) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.started.Load() {
+		<-r.done
+	}
+}
+
+// Stats snapshots the counters.
+func (r *Rebalancer) Stats() RebalancerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.LastDemand = append([]float64(nil), r.stats.LastDemand...)
+	return st
+}
+
+// Tick runs one rebalance pass and reports how many bitstreams it
+// preloaded. Concurrent ticks are single-flight: a pass that finds one
+// already running returns 0 immediately.
+func (r *Rebalancer) Tick() int {
+	if !r.ticking.CompareAndSwap(false, true) {
+		return 0
+	}
+	defer r.ticking.Store(false)
+
+	mix, n := r.demand.Demand()
+	r.mu.Lock()
+	r.stats.Ticks++
+	r.mu.Unlock()
+	if n < r.cfg.MinObservations {
+		r.count(func(s *RebalancerStats) { s.SkippedCold++ })
+		return 0
+	}
+	maxShare := 0.0
+	for _, v := range mix {
+		if v > maxShare {
+			maxShare = v
+		}
+	}
+	if maxShare-1.0/float64(sim.NumDesigns) <= r.cfg.UniformSlack {
+		r.count(func(s *RebalancerStats) { s.SkippedUniform++ })
+		return 0
+	}
+
+	targets := apportion(mix, r.fl.Size())
+	devs := r.fl.Devices()
+
+	// Holdings over the whole fleet (busy devices included — a busy
+	// device's bitstream serves traffic too; the wait-free Loaded read
+	// makes this scan contention-free).
+	var have [sim.NumDesigns]int
+	unloaded := 0
+	for _, d := range devs {
+		if id, ok := d.Loaded(); ok {
+			have[id]++
+		} else {
+			unloaded++
+		}
+	}
+
+	loads := 0
+	wanted := false
+	for loads < r.cfg.MaxLoadsPerTick {
+		// Largest deficit first: the most under-served design gets the
+		// next preload.
+		deficit, want := -1, 0
+		for _, id := range sim.AllDesigns {
+			if d := targets[id] - have[id]; d > want {
+				deficit, want = int(id), d
+			}
+		}
+		if deficit < 0 {
+			break
+		}
+		wanted = true
+		target := sim.DesignID(deficit)
+		moved := false
+		// Donor order: an unloaded device first (programming it is pure
+		// gain), then the device holding the largest-surplus design.
+		for _, d := range pickDonors(devs, targets, have, unloaded > 0) {
+			if !r.fl.TryAcquire(d) {
+				continue
+			}
+			if id, ok := d.Loaded(); ok {
+				have[id]--
+			} else {
+				unloaded--
+			}
+			d.ForceLoad(target)
+			have[target]++
+			r.fl.Release(d)
+			loads++
+			moved = true
+			break
+		}
+		if !moved {
+			break
+		}
+	}
+	r.mu.Lock()
+	r.stats.Loads += int64(loads)
+	if wanted && loads == 0 {
+		r.stats.SkippedBusy++
+	}
+	r.stats.LastDemand = mix[:]
+	r.mu.Unlock()
+	return loads
+}
+
+func (r *Rebalancer) count(f func(*RebalancerStats)) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+}
+
+// pickDonors orders candidate devices to take the next preload:
+// unloaded devices first (programming them is pure gain), then devices
+// whose loaded design is held in surplus, most surplus first. Devices
+// holding a design at or below its target are never donors — the
+// rebalancer only converts excess capacity, it never robs a design the
+// traffic still wants.
+func pickDonors(devs []*reconfig.Device, targets, have [sim.NumDesigns]int, anyUnloaded bool) []*reconfig.Device {
+	type cand struct {
+		d       *reconfig.Device
+		surplus int // math.MaxInt stands in for "unloaded"
+	}
+	var cands []cand
+	for _, d := range devs {
+		id, ok := d.Loaded()
+		if !ok {
+			cands = append(cands, cand{d, int(^uint(0) >> 1)})
+			continue
+		}
+		if s := have[id] - targets[id]; s > 0 {
+			cands = append(cands, cand{d, s})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].surplus > cands[j].surplus })
+	out := make([]*reconfig.Device, len(cands))
+	for i, c := range cands {
+		out[i] = c.d
+	}
+	return out
+}
+
+// apportion distributes n fleet slots across designs proportionally to
+// mix using the largest-remainder method, so target counts always sum
+// to n and every design with meaningful share gets representation
+// before any design doubles up.
+func apportion(mix [sim.NumDesigns]float64, n int) [sim.NumDesigns]int {
+	var out [sim.NumDesigns]int
+	type rem struct {
+		id   sim.DesignID
+		frac float64
+	}
+	rems := make([]rem, 0, sim.NumDesigns)
+	used := 0
+	for _, id := range sim.AllDesigns {
+		exact := mix[id] * float64(n)
+		whole := int(exact)
+		out[id] = whole
+		used += whole
+		rems = append(rems, rem{id, exact - float64(whole)})
+	}
+	for used < n {
+		// Largest remainder takes the next slot; ties break on lower id
+		// for determinism.
+		best := 0
+		for i := 1; i < len(rems); i++ {
+			if rems[i].frac > rems[best].frac {
+				best = i
+			}
+		}
+		out[rems[best].id]++
+		rems[best].frac = -1
+		used++
+	}
+	return out
+}

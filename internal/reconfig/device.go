@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"misam/internal/features"
 	"misam/internal/memo"
@@ -23,6 +24,12 @@ type DeviceStats struct {
 	ReconfigSeconds float64
 	// Tiles counts tiles executed through Stream.
 	Tiles int64
+	// ReconfigsAvoided counts placement affinity hits: acquisitions that
+	// landed on this device because it already held (or shared a
+	// bitstream with) the request's predicted winner, so the request
+	// paid no switch it would otherwise have risked on an arbitrary
+	// device. The fleet's placement layer increments it at checkout.
+	ReconfigsAvoided int64
 }
 
 // Device is one (simulated) reconfigurable accelerator: it owns the
@@ -38,6 +45,18 @@ type DeviceStats struct {
 type Device struct {
 	name   string
 	engine *Engine
+
+	// loaded mirrors st.{Loaded,HasLoaded} as a single packed word
+	// (0 = nothing loaded, otherwise DesignID+1) so Loaded is wait-free:
+	// the placement layer scans every device's bitstream on its hot path
+	// and must never contend with an in-flight DecideApply holding mu.
+	// Written only under mu (all st writers), read without it.
+	loaded atomic.Uint32
+
+	// avoided is DeviceStats.ReconfigsAvoided. It is written by the
+	// fleet at checkout time — outside the decide/apply transaction —
+	// so it lives beside mu rather than under it.
+	avoided atomic.Int64
 
 	mu    sync.Mutex
 	st    State
@@ -56,13 +75,37 @@ func (d *Device) Name() string { return d.name }
 // Engine returns the immutable pricing engine behind the device.
 func (d *Device) Engine() *Engine { return d.engine }
 
-// Loaded reports the currently loaded design; ok is false before the
-// first load.
-func (d *Device) Loaded() (sim.DesignID, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.st.Loaded, d.st.HasLoaded
+// storeLoadedLocked refreshes the wait-free bitstream mirror; d.mu must
+// be held (it is the only place st is written, so the mirror can never
+// tear or go stale against the lock-protected truth).
+func (d *Device) storeLoadedLocked() {
+	if d.st.HasLoaded {
+		d.loaded.Store(uint32(d.st.Loaded) + 1)
+	} else {
+		d.loaded.Store(0)
+	}
 }
+
+// Loaded reports the currently loaded design; ok is false before the
+// first load. It is wait-free — a single atomic load — so placement
+// scans never block behind an in-flight decide/apply transaction.
+func (d *Device) Loaded() (sim.DesignID, bool) {
+	packed := d.loaded.Load()
+	if packed == 0 {
+		return 0, false
+	}
+	return sim.DesignID(packed - 1), true
+}
+
+// LoadedState is Loaded as a State value, for cost-model scoring.
+func (d *Device) LoadedState() State {
+	id, ok := d.Loaded()
+	return State{Loaded: id, HasLoaded: ok}
+}
+
+// CountReconfigAvoided records one placement affinity hit (see
+// DeviceStats.ReconfigsAvoided). Called by the fleet, not by requests.
+func (d *Device) CountReconfigAvoided() { d.avoided.Add(1) }
 
 // State snapshots the device's bitstream state.
 func (d *Device) State() State {
@@ -74,15 +117,19 @@ func (d *Device) State() State {
 // Stats snapshots the device's counters.
 func (d *Device) Stats() DeviceStats {
 	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	st := d.stats
+	d.mu.Unlock()
+	st.ReconfigsAvoided = d.avoided.Load()
+	return st
 }
 
-// ForceLoad installs a bitstream unconditionally (initial programming).
+// ForceLoad installs a bitstream unconditionally (initial programming,
+// or a rebalancer preload on an idle device the caller has checked out).
 func (d *Device) ForceLoad(id sim.DesignID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.st = State{Loaded: id, HasLoaded: true}
+	d.storeLoadedLocked()
 }
 
 // Decide prices a proposal against the device's current state without
@@ -128,6 +175,7 @@ func (d *Device) DecideApplyWith(e *Engine, v features.Vector, proposed sim.Desi
 // commitLocked folds a decision into state and stats; d.mu must be held.
 func (d *Device) commitLocked(dec Decision) {
 	d.st = d.st.Apply(dec)
+	d.storeLoadedLocked()
 	d.stats.Requests++
 	if dec.Reconfigure {
 		d.stats.Reconfigs++
@@ -155,6 +203,7 @@ func (d *Device) StreamCached(ctx context.Context, rng *rand.Rand, sel Selector,
 
 	d.mu.Lock()
 	d.st = final
+	d.storeLoadedLocked()
 	d.stats.Tiles += int64(len(res.Outcomes))
 	d.stats.Reconfigs += int64(res.Reconfigs)
 	d.stats.ReconfigSeconds += res.ReconfigSeconds

@@ -1,0 +1,146 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPlacementStatsAndFleetEndpoint wires the placement config through
+// the HTTP surface: analyze requests go through cost-model acquisition,
+// /v1/stats grows a placement block whose accounting balances, and
+// /v1/fleet reports per-device reconfigs_avoided.
+func TestPlacementStatsAndFleetEndpoint(t *testing.T) {
+	s := NewWithConfig(trainedFW(t), Config{
+		Devices:           3,
+		Placement:         true,
+		RebalanceInterval: time.Hour, // loop exists but never ticks mid-test
+	})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	const requests = 18
+	var wg sync.WaitGroup
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			body := map[string]any{"a_spec": "uniform:300:300:0.02", "b_spec": "dense:16", "seed": g % 3}
+			raw, _ := json.Marshal(body)
+			resp, err := http.Post(srv.URL+"/v1/analyze", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d", g, resp.StatusCode)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Placement *struct {
+			Enabled bool `json:"enabled"`
+			Fleet   struct {
+				Acquires     int64 `json:"acquires"`
+				Preferred    int64 `json:"preferred"`
+				AffinityHits int64 `json:"affinity_hits"`
+				AffinityMiss int64 `json:"affinity_misses"`
+			} `json:"fleet"`
+			Reconfigs struct {
+				Paid    int64 `json:"paid"`
+				Avoided int64 `json:"avoided"`
+			} `json:"reconfigs"`
+			Rebalancer *struct {
+				Ticks int64 `json:"ticks"`
+			} `json:"rebalancer"`
+			DemandN int64 `json:"demand_n"`
+		} `json:"placement"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	p := stats.Placement
+	if p == nil || !p.Enabled {
+		t.Fatal("/v1/stats has no enabled placement block with -placement on")
+	}
+	if p.Fleet.Acquires < requests {
+		t.Errorf("placement pool acquires = %d, want >= %d", p.Fleet.Acquires, requests)
+	}
+	if p.Fleet.Preferred == 0 {
+		t.Error("no acquisition went through the placement scorer")
+	}
+	if p.Fleet.AffinityHits+p.Fleet.AffinityMiss != p.Fleet.Preferred {
+		t.Errorf("affinity accounting broken: %d hits + %d misses != %d preferred",
+			p.Fleet.AffinityHits, p.Fleet.AffinityMiss, p.Fleet.Preferred)
+	}
+	if p.Fleet.AffinityHits != p.Reconfigs.Avoided {
+		t.Errorf("pool hits (%d) disagree with device avoided sum (%d)",
+			p.Fleet.AffinityHits, p.Reconfigs.Avoided)
+	}
+	if p.Rebalancer == nil {
+		t.Error("rebalancer stats missing with -rebalance-interval set")
+	}
+	if p.DemandN < requests {
+		t.Errorf("demand observations = %d, want >= %d (placement must feed the demand EWMA)",
+			p.DemandN, requests)
+	}
+
+	fresp, err := http.Get(srv.URL + "/v1/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var devices []struct {
+		Name             string `json:"name"`
+		ReconfigsAvoided int64  `json:"reconfigs_avoided"`
+	}
+	if err := json.NewDecoder(fresp.Body).Decode(&devices); err != nil {
+		t.Fatal(err)
+	}
+	if len(devices) != 3 {
+		t.Fatalf("fleet endpoint lists %d devices, want 3", len(devices))
+	}
+	var avoided int64
+	for _, d := range devices {
+		avoided += d.ReconfigsAvoided
+	}
+	if avoided != p.Reconfigs.Avoided {
+		t.Errorf("/v1/fleet avoided sum %d != /v1/stats avoided %d", avoided, p.Reconfigs.Avoided)
+	}
+}
+
+// TestStatsOmitsPlacementWhenOff pins the compatibility contract: a
+// server without Placement serves through the plain FIFO pool and the
+// stats payload carries no placement block at all.
+func TestStatsOmitsPlacementWhenOff(t *testing.T) {
+	s := NewWithConfig(trainedFW(t), Config{Devices: 1})
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["placement"]; present {
+		t.Error("placement block present with placement off")
+	}
+}

@@ -24,7 +24,9 @@ import (
 	"time"
 
 	"misam"
+	"misam/internal/fleet"
 	"misam/internal/online"
+	"misam/internal/placement"
 	"misam/internal/registry"
 	"misam/internal/sim"
 )
@@ -84,6 +86,22 @@ type Config struct {
 	// in the trace, roughly the BENCH_PR6 speedup per audit. Only
 	// meaningful with FastPath.
 	PrunedVerify bool
+	// Placement enables bitstream-aware device selection: each request's
+	// predicted winner is computed before acquisition and the placement
+	// cost model picks the idle device on which serving it is cheapest —
+	// typically one already holding the winning bitstream. Off, the
+	// fleet hands out devices FIFO exactly as before. Placement never
+	// changes analysis results, only which device pays the switch.
+	Placement bool
+	// QueueWeight tunes the placement cost model's queue-pressure term
+	// (<= 0 uses the placement package default).
+	QueueWeight float64
+	// RebalanceInterval, when positive (and Placement is on), runs the
+	// background portfolio rebalancer at this cadence: idle devices are
+	// preloaded with the bitstreams the traffic mix demands, fed by the
+	// trace collector's per-design EWMA. Trace capture is enabled
+	// automatically when the rebalancer needs it.
+	RebalanceInterval time.Duration
 }
 
 const (
@@ -137,6 +155,9 @@ type Server struct {
 	// manager drives the online adaptation loop (nil when Config.Online
 	// is false).
 	manager *online.Manager
+	// rebalancer keeps the fleet's bitstream portfolio tracking the
+	// traffic mix (nil unless Placement and RebalanceInterval are set).
+	rebalancer *placement.Rebalancer
 
 	// onAcquire, when set, runs after a request checks its device out and
 	// before analysis starts. Test hook for concurrency assertions.
@@ -178,6 +199,17 @@ func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 			PrunedVerify: cfg.PrunedVerify,
 		})
 	}
+	if cfg.Placement && cfg.RebalanceInterval > 0 {
+		// The rebalancer reads the trace collector's demand EWMA; enable
+		// capture if online mode did not already.
+		if fw.Traces() == nil {
+			fw.WithTraceCapture(cfg.TraceCapacity, cfg.TraceSample)
+		}
+		s.rebalancer = placement.NewRebalancer(s.fleet, fw.Traces(), placement.RebalancerConfig{
+			Interval: cfg.RebalanceInterval,
+		})
+		s.rebalancer.Start()
+	}
 	return s
 }
 
@@ -188,10 +220,13 @@ func (s *Server) Fleet() *misam.Fleet { return s.fleet }
 // off).
 func (s *Server) Manager() *online.Manager { return s.manager }
 
-// Close stops the background adaptation loop and the fast-path verifier
-// pool, if any. The HTTP handler itself is stateless and needs no
-// teardown.
+// Close stops the background adaptation loop, the portfolio rebalancer
+// and the fast-path verifier pool, if any. The HTTP handler itself is
+// stateless and needs no teardown.
 func (s *Server) Close() {
+	if s.rebalancer != nil {
+		s.rebalancer.Close()
+	}
 	if s.manager != nil {
 		s.manager.Close()
 	}
@@ -256,6 +291,9 @@ type deviceInfo struct {
 	Requests        int64   `json:"requests"`
 	Reconfigs       int64   `json:"reconfigs"`
 	ReconfigSeconds float64 `json:"reconfig_seconds"`
+	// ReconfigsAvoided counts checkouts where the device already held the
+	// request's predicted bitstream — switches placement saved.
+	ReconfigsAvoided int64 `json:"reconfigs_avoided"`
 }
 
 func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
@@ -269,6 +307,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
 		info.Requests = st.Requests
 		info.Reconfigs = st.Reconfigs
 		info.ReconfigSeconds = st.ReconfigSeconds
+		info.ReconfigsAvoided = st.ReconfigsAvoided
 		out = append(out, info)
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -294,6 +333,35 @@ type statsResponse struct {
 	// background verifier's agreement and queue drops); omitted when the
 	// fast path is off.
 	FastPath *misam.FastPathStats `json:"fastpath,omitempty"`
+	// Placement carries the bitstream-aware placement counters; omitted
+	// when placement is off.
+	Placement *placementStats `json:"placement,omitempty"`
+}
+
+// placementStats reports the placement layer's effect: the pool's
+// affinity counters, the switches it saved fleet-wide, and the portfolio
+// rebalancer's activity.
+type placementStats struct {
+	Enabled bool `json:"enabled"`
+	// Fleet carries the pool counters: affinity_hits counts checkouts
+	// that landed on a device already holding the predicted bitstream.
+	Fleet fleet.Stats `json:"fleet"`
+	// Reconfigs groups the switch accounting placement exists to improve.
+	Reconfigs struct {
+		// Paid sums per-device reconfigurations actually performed;
+		// Avoided sums checkouts where the predicted bitstream was already
+		// resident.
+		Paid    int64 `json:"paid"`
+		Avoided int64 `json:"avoided"`
+	} `json:"reconfigs"`
+	// Rebalancer carries the background portfolio optimizer's counters
+	// (omitted when no rebalancer runs).
+	Rebalancer *placement.RebalancerStats `json:"rebalancer,omitempty"`
+	// Demand is the normalized per-design traffic mix feeding the
+	// rebalancer, with DemandN observations behind it (omitted without a
+	// trace collector).
+	Demand  []float64 `json:"demand,omitempty"`
+	DemandN int64     `json:"demand_n,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -312,6 +380,24 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	if fs, ok := s.fw.FastPathStats(); ok {
 		resp.FastPath = &fs
+	}
+	if s.cfg.Placement {
+		ps := &placementStats{Enabled: true, Fleet: s.fleet.Stats()}
+		for _, d := range s.fleet.Devices() {
+			dst := d.Stats()
+			ps.Reconfigs.Paid += dst.Reconfigs
+			ps.Reconfigs.Avoided += dst.ReconfigsAvoided
+		}
+		if s.rebalancer != nil {
+			rs := s.rebalancer.Stats()
+			ps.Rebalancer = &rs
+		}
+		if tr := s.fw.Traces(); tr != nil {
+			mix, n := tr.Demand()
+			ps.Demand = mix[:]
+			ps.DemandN = n
+		}
+		resp.Placement = ps
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -411,6 +497,30 @@ type httpError struct {
 
 func (e *httpError) Error() string { return e.err.Error() }
 
+// withDevice checks a device out for one request and runs fn with it.
+// With placement on, the request's predicted winner is planned before
+// acquisition and the cost model picks the idle device on which serving
+// is cheapest (typically one already holding the winning bitstream);
+// otherwise the fleet hands out devices FIFO exactly as before.
+// Placement never changes what fn computes — only which device runs it.
+func (s *Server) withDevice(ctx context.Context, wl *misam.Workload, fn func(*misam.Accelerator) error) error {
+	run := func(dev *misam.Accelerator) error {
+		if s.onAcquire != nil {
+			s.onAcquire(dev)
+		}
+		return fn(dev)
+	}
+	if !s.cfg.Placement {
+		return s.fleet.Do(ctx, run)
+	}
+	dev, err := s.fw.AcquirePlaced(ctx, s.fleet, wl, misam.PlacementConfig{QueueWeight: s.cfg.QueueWeight})
+	if err != nil {
+		return err
+	}
+	defer s.fleet.Release(dev)
+	return run(dev)
+}
+
 // analyzeOne resolves one request's operands, checks a device out of the
 // fleet, and runs the analyze pipeline. The workload precompute is built
 // once and shared between Analyze and the baseline comparison.
@@ -436,10 +546,7 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 		// device transaction is the whole story (fast tier, priced from
 		// the regressors) or a full simulation runs. Baselines come from
 		// the workload precompute either way — no operand re-walk.
-		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
-			if s.onAcquire != nil {
-				s.onAcquire(dev)
-			}
+		err = s.withDevice(ctx, wl, func(dev *misam.Accelerator) error {
 			var err error
 			rep, err = s.fw.AnalyzeFastOn(ctx, dev, wl)
 			return err
@@ -456,10 +563,7 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 			return analyzeResponse{}, &httpError{statusFor(aerr), aerr}
 		}
 		pre := time.Since(t0).Seconds()
-		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
-			if s.onAcquire != nil {
-				s.onAcquire(dev)
-			}
+		err = s.withDevice(ctx, wl, func(dev *misam.Accelerator) error {
 			var err error
 			rep, err = s.fw.AnalyzeWith(ctx, dev, an)
 			return err
@@ -468,10 +572,7 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 		rep.TotalSeconds += pre
 		cmp = misam.CompareBaselineStats(an.Baseline)
 	} else {
-		err = s.fleet.Do(ctx, func(dev *misam.Accelerator) error {
-			if s.onAcquire != nil {
-				s.onAcquire(dev)
-			}
+		err = s.withDevice(ctx, wl, func(dev *misam.Accelerator) error {
 			var err error
 			rep, err = s.fw.AnalyzeOn(ctx, dev, wl)
 			return err
