@@ -47,7 +47,7 @@ go test -race -run 'TestAcquirePreferredHammer|TestSaturatedHandoverIsFIFO' ./in
 # fast-path/steady-state benchmarks so their harness code can't rot.
 # Scoped by name — the figure-scale benchmarks are far too slow for CI.
 echo "==> benchmark smoke (-benchtime=1x)"
-go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath|SteadyState' -benchtime=1x ./...
+go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath|SteadyState|WriteJSON|Binary|Fused' -benchtime=1x ./...
 
 # Fast-path experiment smoke: one quick-scale pass over the serving
 # tiers (baseline + four gate thresholds) without writing BENCH_PR5.json.
@@ -73,6 +73,28 @@ echo "==> placement experiment smoke"
 placeout="${TMPDIR:-/tmp}/misam_bench_pr7_smoke.json"
 go run ./cmd/misam-bench -scale quick -experiment placement -placeout "$placeout"
 rm -f "$placeout"
+
+# Ingest experiment smoke: one quick-scale pass over binary-vs-
+# MatrixMarket decode, fused extraction, and both e2e serving paths.
+# The scratch path exercises the write/re-read/schema validation, and
+# the run itself fails unless the decode speedup, zero-alloc, transport
+# bit-identity and e2e-p50 gates all hold.
+echo "==> ingest experiment smoke"
+ingestout="${TMPDIR:-/tmp}/misam_bench_pr8_smoke.json"
+go run ./cmd/misam-bench -scale quick -experiment ingest -ingestout "$ingestout"
+rm -f "$ingestout"
+
+# Wire-decoder fuzz smoke: 10 s of coverage-guided mutation against the
+# binary CSR decoder. The seed corpus + regression entries run inside
+# the full suite above; this pass actually mutates.
+echo "==> wire decoder fuzz smoke (-fuzztime=10s)"
+go test -run '^$' -fuzz 'FuzzDecodeBinary' -fuzztime 10s ./internal/sparse/
+
+# The zero-alloc ingestion pins guard the binary serving floor: run
+# them by name so a future -run filter on the main pass can't silently
+# skip them.
+echo "==> zero-alloc ingestion pins"
+go test -run 'SteadyStateZeroAllocs' ./internal/sparse/ ./internal/features/
 
 # Online-adaptation smoke: replay a tiny shifting stream through the
 # collector end to end (drift report + retrain + promotion gate).

@@ -11,12 +11,108 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
+	"misam"
 	"misam/internal/experiments"
 )
+
+// dumpBinarySpecs encodes each generator spec as a binary wire blob and
+// writes the concatenation to w — a ready-made request body for the
+// binary analyze endpoints (two specs per analyze pair). The grammar
+// mirrors the server's: uniform:rows:cols:density, dense:cols,
+// powerlaw:n:nnz, banded:n:halfbw, or "self" to repeat the previous
+// matrix. Successive specs draw seeds seed, seed+1, ...
+func dumpBinarySpecs(w io.Writer, specs string, seed int64) error {
+	var prev *misam.Matrix
+	var buf []byte
+	for i, spec := range strings.Split(specs, ",") {
+		spec = strings.TrimSpace(spec)
+		m, err := genSpec(spec, seed+int64(i), prev)
+		if err != nil {
+			return fmt.Errorf("spec %d (%q): %w", i, spec, err)
+		}
+		buf = misam.AppendMatrixBinary(buf, m)
+		prev = m
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+func genSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, error) {
+	if spec == "self" {
+		if prev == nil {
+			return nil, fmt.Errorf("'self' needs a preceding spec")
+		}
+		return prev, nil
+	}
+	parts := strings.Split(spec, ":")
+	atoi := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("missing field %d", i)
+		}
+		v, err := strconv.Atoi(parts[i])
+		if err != nil || v < 1 {
+			return 0, fmt.Errorf("bad field %d", i)
+		}
+		return v, nil
+	}
+	switch parts[0] {
+	case "uniform":
+		rows, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) < 4 {
+			return nil, fmt.Errorf("uniform needs a density")
+		}
+		dens, err := strconv.ParseFloat(parts[3], 64)
+		if err != nil || dens < 0 || dens > 1 {
+			return nil, fmt.Errorf("bad density %q", parts[3])
+		}
+		return misam.RandUniform(seed, rows, cols, dens), nil
+	case "dense":
+		cols, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		rows := cols
+		if prev != nil {
+			rows = prev.Cols
+		}
+		return misam.RandDense(seed, rows, cols), nil
+	case "powerlaw":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		nnz, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return misam.RandPowerLaw(seed, n, n, nnz, 1.9), nil
+	case "banded":
+		n, err := atoi(1)
+		if err != nil {
+			return nil, err
+		}
+		half, err := atoi(2)
+		if err != nil {
+			return nil, err
+		}
+		return misam.RandBanded(seed, n, n, half, 0.8), nil
+	default:
+		return nil, fmt.Errorf("unknown generator %q", parts[0])
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -24,7 +120,7 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier, placement")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier, placement, ingest")
 	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	fastout := flag.String("fastout", "BENCH_PR5.json",
@@ -33,7 +129,20 @@ func main() {
 		"where the slowtier experiment writes its machine-readable report (empty to skip the file)")
 	placeout := flag.String("placeout", "BENCH_PR7.json",
 		"where the placement experiment writes its machine-readable report (empty to skip the file)")
+	ingestout := flag.String("ingestout", "BENCH_PR8.json",
+		"where the ingest experiment writes its machine-readable report (empty to skip the file)")
+	dumpBinary := flag.String("dump-binary", "",
+		"comma-separated generator specs (e.g. 'uniform:200:200:0.05,dense:64'); encodes them as "+
+			"concatenated binary wire blobs on stdout — pipe into curl for the binary analyze endpoints")
+	dumpSeed := flag.Int64("dump-seed", 1, "seed for -dump-binary generator specs")
 	flag.Parse()
+
+	if *dumpBinary != "" {
+		if err := dumpBinarySpecs(os.Stdout, *dumpBinary, *dumpSeed); err != nil {
+			log.Fatalf("dump-binary: %v", err)
+		}
+		return
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -93,12 +202,17 @@ func main() {
 			_, err := experiments.PlacementReport(experiments.NewContext(cfg), *placeout, w)
 			return err
 		}},
+		// ingest is opt-in (-experiment ingest): it benchmarks the binary
+		// wire format against MatrixMarket/JSON ingestion and rewrites
+		// BENCH_PR8.json.
+		{"ingest", func() error { _, err := experiments.IngestReport(ctx, *ingestout, w); return err }},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
-		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier" || d.name == "placement") {
+		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier" ||
+			d.name == "placement" || d.name == "ingest") {
 			continue
 		}
 		if want != "all" && want != d.name {

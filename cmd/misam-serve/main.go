@@ -24,6 +24,9 @@
 //	curl -s -X POST localhost:8080/v1/analyze/batch \
 //	     -d '{"items":[{"a_spec":"powerlaw:20000:80000","b_spec":"dense:64"},
 //	                   {"a_spec":"uniform:3000:3000:0.002","b_spec":"self"}]}' | jq
+//	misam-bench -dump-binary 'powerlaw:20000:80000,dense:64' |
+//	    curl -s -X POST localhost:8080/v1/analyze \
+//	         -H 'Content-Type: application/x-misam-csr' --data-binary @- | jq
 //
 // SIGINT/SIGTERM drain the server gracefully: in-flight requests get
 // -drain to finish before the process exits.
@@ -68,6 +71,7 @@ func main() {
 	placementOn := flag.Bool("placement", false, "bitstream-aware device selection: route each request to the idle device where serving it is predicted cheapest")
 	queueWeight := flag.Float64("queue-weight", 0, "placement cost model queue-pressure weight (<= 0 = package default)")
 	rebalanceEvery := flag.Duration("rebalance-interval", 0, "background portfolio rebalancer cadence (0 = off; needs -placement)")
+	binary := flag.Bool("binary", true, "accept application/x-misam-csr binary operand bodies on the analyze endpoints")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own mux; off when empty)")
 	flag.Parse()
 
@@ -107,6 +111,7 @@ func main() {
 		Placement:         *placementOn,
 		QueueWeight:       *queueWeight,
 		RebalanceInterval: *rebalanceEvery,
+		DisableBinary:     !*binary,
 	})
 	defer srv.Close()
 

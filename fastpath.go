@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"misam/internal/features"
+	"misam/internal/memo"
 	"misam/internal/online"
 	"misam/internal/sim"
 )
@@ -211,11 +212,12 @@ func (f *Framework) AnalyzeFastOn(ctx context.Context, dev *Accelerator, w *sim.
 	}
 
 	t0 := time.Now()
-	v, _, err := f.fastFeatures(ctx, w)
+	ent, _, err := f.fastEntry(ctx, w)
 	if err != nil {
 		fp.slow.Add(1)
 		return Report{Device: dev.Name(), Path: PathFull}, fmt.Errorf("misam: analyze: %w", err)
 	}
+	v := ent.Features
 	pre := time.Since(t0).Seconds()
 
 	// One snapshot for gate, pricing and prediction (and for stamping the
@@ -259,48 +261,78 @@ func (f *Framework) AnalyzeFastOn(ctx context.Context, dev *Accelerator, w *sim.
 	// time, and the simulator-only fields stay zero.
 	rep.TotalSeconds = rep.PreprocessSeconds + rep.InferenceSeconds + rep.ReconfigSec + rep.PredictedSeconds
 
-	if fp.verifier != nil && fp.cfg.VerifySample > 0 &&
-		(fp.verifySeq.Add(1)-1)%int64(fp.cfg.VerifySample) == 0 {
-		fp.verifier.Offer(online.VerifyJob{
-			Features:     v,
-			Predicted:    proposed,
-			ModelVersion: snap.Version(),
-			Simulate: func(ctx context.Context) ([sim.NumDesigns]sim.Result, error) {
-				if fp.cfg.PrunedVerify {
-					// The pruned tier's loser entries are lower bounds, so
-					// they must not populate the (exact-keyed) analysis
-					// cache; simulate directly on the shared Workload.
-					return w.SimulateAllPrunedCtx(ctx)
-				}
-				// Route through AnalysisFor: with a cache enabled the audit
-				// also warms the pair's full Analysis for future requests.
-				an, _, err := f.AnalysisFor(ctx, w)
-				if err != nil {
-					return [sim.NumDesigns]sim.Result{}, err
-				}
-				return an.Results, nil
-			},
-		})
-	}
+	f.maybeOfferVerify(fp, snap.Version(), v, proposed, func() (*Workload, error) { return w, nil })
 	return rep, nil
 }
 
-// fastFeatures extracts the request's feature vector in the framework's
-// flavour, through the cache's features-only fast entries when a cache is
-// enabled (salted keyspace — never confused with full Analyses).
-func (f *Framework) fastFeatures(ctx context.Context, w *Workload) (features.Vector, bool, error) {
-	extract := func(ctx context.Context) (features.Vector, error) {
-		if err := ctx.Err(); err != nil {
-			return features.Vector{}, err
-		}
-		if f.Options.TopFeaturesOnly {
-			return features.ExtractPruned(w.A, w.B), nil
-		}
-		return features.Extract(w.A, w.B), nil
+// maybeOfferVerify samples 1-in-VerifySample fast hits into the
+// background verifier. workload is resolved at offer time, inside the
+// request — the zero-copy wire path uses this to hand the audit an
+// independent DecodeCopy, since the job outlives the pooled request
+// buffer its own matrices alias. A workload error silently skips the
+// offer (the serving answer already shipped; an audit must never fail a
+// request).
+func (f *Framework) maybeOfferVerify(fp *fastPath, version uint64, v features.Vector, proposed Design, workload func() (*Workload, error)) {
+	if fp.verifier == nil || fp.cfg.VerifySample <= 0 ||
+		(fp.verifySeq.Add(1)-1)%int64(fp.cfg.VerifySample) != 0 {
+		return
 	}
+	w, err := workload()
+	if err != nil {
+		return
+	}
+	fp.verifier.Offer(online.VerifyJob{
+		Features:     v,
+		Predicted:    proposed,
+		ModelVersion: version,
+		Simulate: func(ctx context.Context) ([sim.NumDesigns]sim.Result, error) {
+			if fp.cfg.PrunedVerify {
+				// The pruned tier's loser entries are lower bounds, so
+				// they must not populate the (exact-keyed) analysis
+				// cache; simulate directly on the shared Workload.
+				return w.SimulateAllPrunedCtx(ctx)
+			}
+			// Route through AnalysisFor: with a cache enabled the audit
+			// also warms the pair's full Analysis for future requests.
+			an, _, err := f.AnalysisFor(ctx, w)
+			if err != nil {
+				return [sim.NumDesigns]sim.Result{}, err
+			}
+			return an.Results, nil
+		},
+	})
+}
+
+// buildFastEntry derives the fast-path artifacts — the feature vector in
+// the framework's flavour plus the baseline cost-model stats — from a
+// workload. fused, when non-nil, backs the full-flavour extraction with
+// pooled one-pass scratch (bit-identical to features.Extract either way).
+func (f *Framework) buildFastEntry(ctx context.Context, w *Workload, fused *features.FusedScratch) (memo.FastEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return memo.FastEntry{}, err
+	}
+	var e memo.FastEntry
+	switch {
+	case f.Options.TopFeaturesOnly:
+		e.Features = features.ExtractPruned(w.A, w.B)
+	case fused != nil:
+		e.Features, _ = fused.Extract(w.A, w.B)
+	default:
+		e.Features = features.Extract(w.A, w.B)
+	}
+	e.Baseline = w.BaselineStats()
+	return e, nil
+}
+
+// fastEntry resolves the request's fast-path entry (features + baseline
+// stats), through the cache's fast entries when a cache is enabled
+// (salted keyspace — never confused with full Analyses).
+func (f *Framework) fastEntry(ctx context.Context, w *Workload) (memo.FastEntry, bool, error) {
 	if f.cache == nil {
-		v, err := extract(ctx)
-		return v, false, err
+		e, err := f.buildFastEntry(ctx, w, nil)
+		return e, false, err
 	}
-	return f.cache.DoFast(ctx, f.analysisKey(w.A, w.B), extract)
+	return f.cache.DoFast(ctx, f.analysisKey(w.A, w.B), func(ctx context.Context) (memo.FastEntry, error) {
+		return f.buildFastEntry(ctx, w, nil)
+	})
 }

@@ -1,0 +1,371 @@
+package experiments
+
+// The PR8 ingest trajectory record: zero-copy binary ingestion versus
+// the MatrixMarket-over-JSON path, measured three ways — raw operand
+// decode (the codec itself), end-to-end fast-path serving over HTTP in
+// both formats, and the warm-hit path where a repeated binary request is
+// answered from its wire fingerprint without decoding at all.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"misam"
+	"misam/internal/features"
+	"misam/internal/server"
+	"misam/internal/sparse"
+)
+
+// IngestReportData is the machine-readable ingest record
+// (BENCH_PR8.json).
+type IngestReportData struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Decode microbenchmark at the reference scale
+	// (uniform:2000:2000:0.01): one operand, MatrixMarket text versus the
+	// binary wire format.
+	Rows    int     `json:"rows"`
+	Cols    int     `json:"cols"`
+	Density float64 `json:"density"`
+	NNZ     int     `json:"nnz"`
+	// Payload sizes for the same operand in each format.
+	MTXBytes    int `json:"mtx_bytes"`
+	BinaryBytes int `json:"binary_bytes"`
+
+	MTXDecodeNsOp        int64   `json:"mtx_decode_ns_op"`
+	MTXDecodeAllocsOp    int64   `json:"mtx_decode_allocs_op"`
+	BinaryDecodeNsOp     int64   `json:"binary_decode_ns_op"`
+	BinaryDecodeAllocsOp int64   `json:"binary_decode_allocs_op"`
+	BinaryEncodeNsOp     int64   `json:"binary_encode_ns_op"`
+	DecodeSpeedup        float64 `json:"decode_speedup"`
+
+	// Feature extraction at the same scale: the four-pass extractor
+	// versus the fused one-pass walk (warm scratch).
+	MultiPassExtractNsOp int64   `json:"multipass_extract_ns_op"`
+	FusedExtractNsOp     int64   `json:"fused_extract_ns_op"`
+	ExtractSpeedup       float64 `json:"extract_speedup"`
+
+	// Identical pins transport-independence: the operand decoded from
+	// MatrixMarket and from the wire image have bit-equal fingerprints,
+	// and Extract/ExtractFused agree bit-for-bit on it. The wire-image
+	// fingerprint (computed without decoding) matches too.
+	Identical bool `json:"identical"`
+
+	// End-to-end fast-path serving over HTTP, same operand pairs through
+	// identically configured servers, one per format.
+	E2ERequests     int     `json:"e2e_requests"`
+	E2EJSONP50NsOp  int64   `json:"e2e_json_p50_ns_op"`
+	E2EJSONP99NsOp  int64   `json:"e2e_json_p99_ns_op"`
+	E2EBinP50NsOp   int64   `json:"e2e_bin_p50_ns_op"`
+	E2EBinP99NsOp   int64   `json:"e2e_bin_p99_ns_op"`
+	E2ESpeedupP50   float64 `json:"e2e_speedup_p50"`
+	WarmHitP50NsOp  int64   `json:"warm_hit_p50_ns_op"`
+	PR5BaselineP50  int64   `json:"pr5_baseline_p50_ns_op,omitempty"`
+	SpeedupVsPR5P50 float64 `json:"speedup_vs_pr5_p50,omitempty"`
+}
+
+// ingestOperand is the reference decode-benchmark matrix.
+func ingestOperand() *misam.Matrix {
+	return misam.RandUniform(77, 2000, 2000, 0.01)
+}
+
+// postTimed sends one request and returns its wall time and the decoded
+// response body.
+func postTimed(client *http.Client, url, contentType string, body []byte) (int64, map[string]any, error) {
+	t0 := time.Now()
+	resp, err := client.Post(url, contentType, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, nil, err
+	}
+	ns := time.Since(t0).Nanoseconds()
+	if resp.StatusCode != http.StatusOK {
+		return 0, nil, fmt.Errorf("status %d: %v", resp.StatusCode, out)
+	}
+	return ns, out, nil
+}
+
+// IngestReport measures binary versus JSON ingestion and rewrites the
+// BENCH_PR8.json trajectory record.
+func IngestReport(ctxE *Context, path string, w io.Writer) (IngestReportData, error) {
+	header(w, "Ingest report: zero-copy binary wire format vs MatrixMarket/JSON")
+	rep := IngestReportData{
+		Schema:     "misam-ingest/1",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// --- Decode microbenchmark (fixed reference scale, independent of
+	// -scale: the acceptance gates are stated at uniform:2000:2000:0.01).
+	m := ingestOperand()
+	rep.Rows, rep.Cols, rep.Density, rep.NNZ = m.Rows, m.Cols, 0.01, m.NNZ()
+
+	var mtxDoc bytes.Buffer
+	if err := misam.WriteMatrixMarket(&mtxDoc, m); err != nil {
+		return rep, fmt.Errorf("experiments: ingest: %w", err)
+	}
+	wire := misam.EncodeMatrixBinary(m)
+	rep.MTXBytes = mtxDoc.Len()
+	rep.BinaryBytes = len(wire)
+
+	mtxRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := misam.ReadMatrixMarket(bytes.NewReader(mtxDoc.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.MTXDecodeNsOp = int64(mtxRes.NsPerOp())
+	rep.MTXDecodeAllocsOp = mtxRes.AllocsPerOp()
+
+	binRes := testing.Benchmark(func(b *testing.B) {
+		var dst sparse.CSR
+		if _, err := sparse.DecodeBinaryInto(&dst, wire); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.DecodeBinaryInto(&dst, wire); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rep.BinaryDecodeNsOp = int64(binRes.NsPerOp())
+	rep.BinaryDecodeAllocsOp = binRes.AllocsPerOp()
+	if rep.BinaryDecodeNsOp > 0 {
+		rep.DecodeSpeedup = float64(rep.MTXDecodeNsOp) / float64(rep.BinaryDecodeNsOp)
+	}
+
+	encRes := testing.Benchmark(func(b *testing.B) {
+		dst := make([]byte, 0, sparse.EncodedSize(m))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = sparse.AppendBinary(dst[:0], m)
+		}
+	})
+	rep.BinaryEncodeNsOp = int64(encRes.NsPerOp())
+
+	// --- Fused extraction at the same scale.
+	mb := misam.RandUniform(78, 2000, 2000, 0.01)
+	multiRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			features.Extract(m, mb)
+		}
+	})
+	rep.MultiPassExtractNsOp = int64(multiRes.NsPerOp())
+	fusedRes := testing.Benchmark(func(b *testing.B) {
+		var s features.FusedScratch
+		s.Extract(m, mb)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Extract(m, mb)
+		}
+	})
+	rep.FusedExtractNsOp = int64(fusedRes.NsPerOp())
+	if rep.FusedExtractNsOp > 0 {
+		rep.ExtractSpeedup = float64(rep.MultiPassExtractNsOp) / float64(rep.FusedExtractNsOp)
+	}
+
+	// --- Transport independence: both decodes land on the same bits.
+	fromMtx, err := misam.ReadMatrixMarket(bytes.NewReader(mtxDoc.Bytes()))
+	if err != nil {
+		return rep, fmt.Errorf("experiments: ingest: %w", err)
+	}
+	view, _, err := misam.ParseWireMatrix(wire)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: ingest: %w", err)
+	}
+	fromWire := view.Decode()
+	rep.Identical = fromMtx.Fingerprint() == fromWire.Fingerprint() &&
+		view.Fingerprint() == fromMtx.Fingerprint()
+	if rep.Identical {
+		want := features.Extract(fromMtx, mb)
+		got, _ := features.ExtractFused(fromWire, mb)
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				rep.Identical = false
+				break
+			}
+		}
+	}
+
+	// --- End-to-end: the same pairs through identically configured
+	// fast-path servers, one per ingestion format, cold caches both.
+	fw, err := ctxE.Framework()
+	if err != nil {
+		return rep, fmt.Errorf("experiments: ingest framework: %w", err)
+	}
+	serveCfg := server.Config{FastPath: true, Confidence: 0.05, VerifySample: -1, CacheBytes: 64 << 20}
+
+	const nPairs = 10
+	type pair struct{ a, b *misam.Matrix }
+	pairs := make([]pair, nPairs)
+	for i := range pairs {
+		s := int64(4000 + i*13)
+		pairs[i] = pair{
+			a: misam.RandUniform(s, 2000, 2000, 0.01),
+			b: misam.RandUniform(s+1, 2000, 256, 0.02),
+		}
+	}
+	rep.E2ERequests = nPairs
+
+	jsonBodies := make([][]byte, nPairs)
+	binBodies := make([][]byte, nPairs)
+	for i, p := range pairs {
+		var adoc, bdoc bytes.Buffer
+		if err := misam.WriteMatrixMarket(&adoc, p.a); err != nil {
+			return rep, err
+		}
+		if err := misam.WriteMatrixMarket(&bdoc, p.b); err != nil {
+			return rep, err
+		}
+		jsonBodies[i], err = json.Marshal(map[string]string{"a_mtx": adoc.String(), "b_mtx": bdoc.String()})
+		if err != nil {
+			return rep, err
+		}
+		binBodies[i] = misam.AppendMatrixBinary(misam.AppendMatrixBinary(nil, p.a), p.b)
+	}
+
+	serveAll := func(contentType string, bodies [][]byte) ([]int64, *httptest.Server, *server.Server, error) {
+		cp := *fw
+		srv := server.NewWithConfig(&cp, serveCfg)
+		ts := httptest.NewServer(srv.Handler())
+		client := ts.Client()
+		ns := make([]int64, 0, len(bodies))
+		for _, body := range bodies {
+			n, _, err := postTimed(client, ts.URL+"/v1/analyze", contentType, body)
+			if err != nil {
+				ts.Close()
+				srv.Close()
+				return nil, nil, nil, err
+			}
+			ns = append(ns, n)
+		}
+		return ns, ts, srv, nil
+	}
+
+	jsonNs, jts, jsrv, err := serveAll("application/json", jsonBodies)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: ingest JSON serve: %w", err)
+	}
+	jts.Close()
+	jsrv.Close()
+	rep.E2EJSONP50NsOp = pctNs(jsonNs, 0.50)
+	rep.E2EJSONP99NsOp = pctNs(jsonNs, 0.99)
+
+	binNs, bts, bsrv, err := serveAll(server.BinaryContentType, binBodies)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: ingest binary serve: %w", err)
+	}
+	rep.E2EBinP50NsOp = pctNs(binNs, 0.50)
+	rep.E2EBinP99NsOp = pctNs(binNs, 0.99)
+	if rep.E2EBinP50NsOp > 0 {
+		rep.E2ESpeedupP50 = float64(rep.E2EJSONP50NsOp) / float64(rep.E2EBinP50NsOp)
+	}
+
+	// Warm hits: the binary server has every pair's fast entry cached, so
+	// repeats answer from the wire fingerprint without decoding.
+	warm := make([]int64, 0, 3*nPairs)
+	client := bts.Client()
+	for round := 0; round < 3; round++ {
+		for _, body := range binBodies {
+			n, _, err := postTimed(client, bts.URL+"/v1/analyze", server.BinaryContentType, body)
+			if err != nil {
+				bts.Close()
+				bsrv.Close()
+				return rep, fmt.Errorf("experiments: ingest warm serve: %w", err)
+			}
+			warm = append(warm, n)
+		}
+	}
+	bts.Close()
+	bsrv.Close()
+	rep.WarmHitP50NsOp = pctNs(warm, 0.50)
+
+	// The PR5 record's full-simulation serving baseline, when present —
+	// the "what did leaving the slow tier buy" yardstick.
+	if data, err := os.ReadFile("BENCH_PR5.json"); err == nil {
+		var pr5 struct {
+			BaselineP50NsOp int64 `json:"baseline_p50_ns_op"`
+		}
+		if json.Unmarshal(data, &pr5) == nil && pr5.BaselineP50NsOp > 0 {
+			rep.PR5BaselineP50 = pr5.BaselineP50NsOp
+			rep.SpeedupVsPR5P50 = float64(pr5.BaselineP50NsOp) / float64(rep.E2EBinP50NsOp)
+		}
+	}
+
+	fmt.Fprintf(w, "operand uniform:%d:%d:%.2g (%d nnz): mtx %d B, binary %d B\n",
+		rep.Rows, rep.Cols, rep.Density, rep.NNZ, rep.MTXBytes, rep.BinaryBytes)
+	fmt.Fprintf(w, "%-24s %14s %12s\n", "decode", "ns/op", "allocs/op")
+	fmt.Fprintf(w, "%-24s %14d %12d\n", "matrixmarket", rep.MTXDecodeNsOp, rep.MTXDecodeAllocsOp)
+	fmt.Fprintf(w, "%-24s %14d %12d   (%.1fx faster)\n", "binary (steady state)",
+		rep.BinaryDecodeNsOp, rep.BinaryDecodeAllocsOp, rep.DecodeSpeedup)
+	fmt.Fprintf(w, "%-24s %14d %12s\n", "binary encode", rep.BinaryEncodeNsOp, "-")
+	fmt.Fprintf(w, "extract: multi-pass %d ns/op, fused one-pass %d ns/op (%.2fx); transport-identical %v\n",
+		rep.MultiPassExtractNsOp, rep.FusedExtractNsOp, rep.ExtractSpeedup, rep.Identical)
+	fmt.Fprintf(w, "e2e fast-path p50: json %d ns, binary %d ns (%.1fx), warm binary hit %d ns\n",
+		rep.E2EJSONP50NsOp, rep.E2EBinP50NsOp, rep.E2ESpeedupP50, rep.WarmHitP50NsOp)
+	if rep.PR5BaselineP50 > 0 {
+		fmt.Fprintf(w, "vs BENCH_PR5 full-sim serving baseline %d ns: %.1fx\n", rep.PR5BaselineP50, rep.SpeedupVsPR5P50)
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return rep, fmt.Errorf("experiments: ingest report: %w", err)
+		}
+		// Re-read and gate: the record is a CI artifact carrying the PR's
+		// acceptance criteria — a run that misses them fails loudly.
+		back, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		var check IngestReportData
+		if err := json.Unmarshal(back, &check); err != nil {
+			return rep, fmt.Errorf("experiments: ingest report unreadable: %w", err)
+		}
+		if check.Schema != "misam-ingest/1" {
+			return rep, fmt.Errorf("experiments: ingest report schema %q", check.Schema)
+		}
+		if !check.Identical {
+			return rep, fmt.Errorf("experiments: binary and MatrixMarket ingestion disagree bit-wise")
+		}
+		if check.DecodeSpeedup < 3 {
+			return rep, fmt.Errorf("experiments: binary decode speedup %.2fx, want >= 3x", check.DecodeSpeedup)
+		}
+		if check.BinaryDecodeAllocsOp != 0 {
+			return rep, fmt.Errorf("experiments: steady-state binary decode allocates (%d allocs/op)", check.BinaryDecodeAllocsOp)
+		}
+		if check.E2EBinP50NsOp <= 0 || check.E2EBinP50NsOp >= check.E2EJSONP50NsOp {
+			return rep, fmt.Errorf("experiments: binary e2e p50 %d ns not better than JSON %d ns",
+				check.E2EBinP50NsOp, check.E2EJSONP50NsOp)
+		}
+		if check.PR5BaselineP50 > 0 && check.E2EBinP50NsOp >= check.PR5BaselineP50 {
+			return rep, fmt.Errorf("experiments: binary e2e p50 %d ns not better than the PR5 baseline %d ns",
+				check.E2EBinP50NsOp, check.PR5BaselineP50)
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return rep, nil
+}

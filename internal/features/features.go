@@ -168,7 +168,11 @@ func colCountsInto(m *sparse.CSR, scratch []int) []int {
 
 // tileStats computes, for a tiling of m into tileRows×tileCols blocks
 // (tileCols <= 0 means full-width 1D row tiles), the mean density over
-// all tiles and the number of nonempty tiles.
+// all tiles and the number of nonempty tiles. The fill and reduce halves
+// are split so the fused one-pass extractor (fused.go) can fill the same
+// count grid during its single ColIdx walk and share tileReduce — integer
+// tile counts make the fill order irrelevant, and the shared reduce keeps
+// the float arithmetic bit-identical between the two extractors.
 func tileStats(m *sparse.CSR, tileRows, tileCols int) (meanDensity float64, nonempty int) {
 	if m.Rows == 0 || m.Cols == 0 {
 		return 0, 0
@@ -186,22 +190,30 @@ func tileStats(m *sparse.CSR, tileRows, tileCols int) (meanDensity float64, none
 			counts[base+m.ColIdx[i]/tileCols]++
 		}
 	}
+	return tileReduce(counts, m.Rows, m.Cols, tileRows, tileCols, tr, tc)
+}
+
+// tileReduce turns a filled tr×tc tile-count grid into the mean-density
+// and nonempty-tile features, handling the ragged final row/column of
+// tiles. Iteration order is fixed (row-major over tiles) so the float
+// accumulation is deterministic.
+func tileReduce(counts []int, rows, cols, tileRows, tileCols, tr, tc int) (meanDensity float64, nonempty int) {
 	total := 0.0
 	for ti := 0; ti < tr; ti++ {
-		rows := tileRows
-		if (ti+1)*tileRows > m.Rows {
-			rows = m.Rows - ti*tileRows
+		trows := tileRows
+		if (ti+1)*tileRows > rows {
+			trows = rows - ti*tileRows
 		}
 		for tj := 0; tj < tc; tj++ {
-			cols := tileCols
-			if (tj+1)*tileCols > m.Cols {
-				cols = m.Cols - tj*tileCols
+			tcols := tileCols
+			if (tj+1)*tileCols > cols {
+				tcols = cols - tj*tileCols
 			}
 			n := counts[ti*tc+tj]
 			if n > 0 {
 				nonempty++
 			}
-			total += float64(n) / (float64(rows) * float64(cols))
+			total += float64(n) / (float64(trows) * float64(tcols))
 		}
 	}
 	return total / float64(len(counts)), nonempty

@@ -1,0 +1,254 @@
+package features
+
+// Fused one-pass feature extraction with ESMM-style block-pattern
+// features.
+//
+// Extract makes four passes over nonzeros: one column-count per operand
+// and two tile-count passes over B. At fast-path serving speeds that
+// redundancy is the feature-extraction floor the ROADMAP names.
+// ExtractFused walks each operand's RowPtr/ColIdx exactly once, filling
+// every count grid (column counts, 1D tiles, 2D tiles) in the same walk
+// and additionally accumulating per-block 8-bit sparsity-pattern
+// statistics: each row is cut into 1×8-column blocks, the block's
+// occupancy is an 8-bit mask (bit j set ⇔ column blk*8+j is nonzero),
+// and a precomputed 256-entry LUT maps every mask to its popcount and
+// longest run of consecutive nonzero columns. Because column indices are
+// strictly increasing within a row, the mask builds up with one OR per
+// nonzero and flushes once per occupied block — near-branchless, O(nnz).
+//
+// All count grids hold integers, so fill order cannot change them, and
+// the reduces (statsFromCounts, statsFromRowPtr, tileReduce) are shared
+// with Extract verbatim — the Vector ExtractFused returns is bit-identical
+// to Extract's, pinned by TestExtractFusedEquivalent. Pattern summaries
+// ride along as an auxiliary struct so the 24-feature Vector (and every
+// trained model reading it) keeps its layout.
+
+import (
+	"math"
+
+	"misam/internal/sparse"
+)
+
+// patternInfo is one LUT entry: the number of set bits in the mask and
+// the length of its longest run of consecutive set bits.
+type patternInfo struct {
+	pop, run uint8
+}
+
+// patternLUT maps every 8-bit block mask to its statistics.
+var patternLUT = func() (lut [256]patternInfo) {
+	for p := 0; p < 256; p++ {
+		pop, run, cur := 0, 0, 0
+		for b := 0; b < 8; b++ {
+			if p&(1<<b) != 0 {
+				pop++
+				cur++
+				if cur > run {
+					run = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		lut[p] = patternInfo{pop: uint8(pop), run: uint8(run)}
+	}
+	return lut
+}()
+
+// PatternSummary describes one operand's 1×8-column block sparsity
+// patterns: the popcount histogram over occupied blocks plus the scalar
+// reductions the selector can consume directly. Dense-leaning matrices
+// concentrate mass in high popcounts and long runs; scattered sparsity
+// collapses to popcount 1 — exactly the block-level structure that makes
+// Tile_1D_Density discriminative, at 8-column granularity.
+type PatternSummary struct {
+	Blocks    int    // occupied 1×8 blocks (at least one nonzero)
+	PopHist   [9]int // PopHist[k]: occupied blocks with exactly k nonzero columns
+	MeanPop   float64
+	MeanRun   float64 // mean longest-run over occupied blocks
+	DenseFrac float64 // share of occupied blocks with all 8 columns nonzero
+	Coverage  float64 // occupied blocks / total block slots (rows × ⌈cols/8⌉)
+}
+
+// PatternPair carries both operands' block-pattern summaries.
+type PatternPair struct {
+	A, B PatternSummary
+}
+
+// patternAcc accumulates LUT lookups during a walk.
+type patternAcc struct {
+	blocks, dense  int
+	popSum, runSum int
+	popHist        [9]int
+}
+
+func (p *patternAcc) add(mask uint8) {
+	info := patternLUT[mask]
+	p.blocks++
+	p.popSum += int(info.pop)
+	p.runSum += int(info.run)
+	p.popHist[info.pop]++
+	if mask == 0xFF {
+		p.dense++
+	}
+}
+
+func (p *patternAcc) summary(rows, cols int) PatternSummary {
+	s := PatternSummary{Blocks: p.blocks, PopHist: p.popHist}
+	if p.blocks > 0 {
+		s.MeanPop = float64(p.popSum) / float64(p.blocks)
+		s.MeanRun = float64(p.runSum) / float64(p.blocks)
+		s.DenseFrac = float64(p.dense) / float64(p.blocks)
+	}
+	if rows > 0 && cols > 0 {
+		s.Coverage = float64(p.blocks) / (float64(rows) * float64((cols+7)/8))
+	}
+	return s
+}
+
+// FusedScratch holds the count grids a fused extraction fills. A warm
+// scratch makes repeated extraction allocation-free (pinned by
+// TestExtractFusedSteadyStateZeroAllocs); the server pools these and
+// threads one through all items of a batch.
+type FusedScratch struct {
+	colCounts []int
+	tile1d    []int
+	tile2d    []int
+}
+
+func growScratch(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// walk is the single pass over m: it fills colCounts (len m.Cols,
+// already cleared) and accumulates block patterns.
+func (s *FusedScratch) walk(m *sparse.CSR) PatternSummary {
+	counts := s.colCounts[:m.Cols]
+	var acc patternAcc
+	for r := 0; r < m.Rows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		if lo == hi {
+			continue
+		}
+		curBlk := -1
+		var mask uint8
+		for _, c := range m.ColIdx[lo:hi] {
+			counts[c]++
+			blk := c >> 3
+			if blk != curBlk {
+				if curBlk >= 0 {
+					acc.add(mask)
+				}
+				curBlk, mask = blk, 0
+			}
+			mask |= 1 << uint(c&7)
+		}
+		acc.add(mask)
+	}
+	return acc.summary(m.Rows, m.Cols)
+}
+
+// walkTiled is walk for the B operand: the same pass also fills both
+// tile grids. 1D tiles span the full matrix width, so their counts come
+// from the row extent alone — one add per row, nothing per nonzero — and
+// the 2D tile column is c/Tile2DCols with a constant divisor the
+// compiler reduces to a shift.
+func (s *FusedScratch) walkTiled(m *sparse.CSR, tc2 int) PatternSummary {
+	counts := s.colCounts[:m.Cols]
+	var acc patternAcc
+	for r := 0; r < m.Rows; r++ {
+		lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+		if lo == hi {
+			continue
+		}
+		s.tile1d[r/Tile1DRows] += hi - lo
+		t2 := s.tile2d[(r/Tile2DRows)*tc2:]
+		curBlk := -1
+		var mask uint8
+		for _, c := range m.ColIdx[lo:hi] {
+			counts[c]++
+			t2[c/Tile2DCols]++
+			blk := c >> 3
+			if blk != curBlk {
+				if curBlk >= 0 {
+					acc.add(mask)
+				}
+				curBlk, mask = blk, 0
+			}
+			mask |= 1 << uint(c&7)
+		}
+		acc.add(mask)
+	}
+	return acc.summary(m.Rows, m.Cols)
+}
+
+// ExtractFused computes the full feature vector for A×B in one pass per
+// operand, plus both operands' block-pattern summaries. The Vector is
+// bit-identical to Extract(a, b).
+func ExtractFused(a, b *sparse.CSR) (Vector, PatternPair) {
+	var s FusedScratch
+	return s.Extract(a, b)
+}
+
+// Extract is ExtractFused reusing the scratch's grids; with warm
+// capacity it performs zero allocations.
+func (s *FusedScratch) Extract(a, b *sparse.CSR) (Vector, PatternPair) {
+	var v Vector
+	v[ARows] = float64(a.Rows)
+	v[ACols] = float64(a.Cols)
+	v[BRows] = float64(b.Rows)
+	v[BCols] = float64(b.Cols)
+	v[ANonzeros] = float64(a.NNZ())
+	v[BNonzeros] = float64(b.NNZ())
+	v[ASparsity] = 1 - a.Density()
+	v[BSparsity] = 1 - b.Density()
+
+	s.colCounts = growScratch(s.colCounts, max(a.Cols, b.Cols))
+
+	// A: one walk fills column counts and patterns; reduce before the
+	// buffer is recycled for B (mirrors Extract's shared-scratch order).
+	ar := statsFromRowPtr(a.RowPtr)
+	pa := s.walk(a)
+	ac := statsFromCounts(s.colCounts[:a.Cols])
+
+	// B: the same walk additionally fills both tile grids.
+	br := statsFromRowPtr(b.RowPtr)
+	clear(s.colCounts[:b.Cols])
+	var pb PatternSummary
+	var d1, d2 float64
+	var n1, n2 int
+	if b.Rows > 0 && b.Cols > 0 {
+		tr1 := (b.Rows + Tile1DRows - 1) / Tile1DRows
+		tr2 := (b.Rows + Tile2DRows - 1) / Tile2DRows
+		tc2 := (b.Cols + Tile2DCols - 1) / Tile2DCols
+		s.tile1d = growScratch(s.tile1d, tr1)
+		s.tile2d = growScratch(s.tile2d, tr2*tc2)
+		pb = s.walkTiled(b, tc2)
+		d1, n1 = tileReduce(s.tile1d, b.Rows, b.Cols, Tile1DRows, b.Cols, tr1, 1)
+		d2, n2 = tileReduce(s.tile2d, b.Rows, b.Cols, Tile2DRows, Tile2DCols, tr2, tc2)
+	} else {
+		pb = s.walk(b)
+	}
+	bc := statsFromCounts(s.colCounts[:b.Cols])
+
+	v[ARowNNZMean], v[ARowNNZVar], v[ALoadImbalanceRow] = ar.mean, ar.variance, ar.imbalance
+	v[AColNNZMean], v[AColNNZVar], v[ALoadImbalanceCol] = ac.mean, ac.variance, ac.imbalance
+	v[BRowNNZMean], v[BRowNNZVar], v[BLoadImbalanceRow] = br.mean, br.variance, br.imbalance
+	v[BColNNZMean], v[BColNNZVar], v[BLoadImbalanceCol] = bc.mean, bc.variance, bc.imbalance
+	v[Tile1DDensity], v[Tile1DCount] = d1, float64(n1)
+	v[Tile2DDensity], v[Tile2DCount] = d2, float64(n2)
+
+	// Same NaN/Inf guard as Extract, so degenerate shapes zero out
+	// identically.
+	for i := range v {
+		if math.IsNaN(v[i]) || math.IsInf(v[i], 0) {
+			v[i] = 0
+		}
+	}
+	return v, PatternPair{A: pa, B: pb}
+}

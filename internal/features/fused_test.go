@@ -1,0 +1,177 @@
+package features
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"misam/internal/sparse"
+)
+
+// fusedCorpus spans the generator families plus degenerate shapes; the
+// equivalence property must hold on every pair drawn from it.
+func fusedCorpus() []*sparse.CSR {
+	rng := rand.New(rand.NewSource(42))
+	return []*sparse.CSR{
+		{Rows: 0, Cols: 0, RowPtr: []int{0}},
+		{Rows: 4, Cols: 6, RowPtr: []int{0, 0, 0, 0, 0}, ColIdx: []int{}, Val: []float64{}},
+		sparse.Identity(1),
+		sparse.Identity(9),
+		sparse.Uniform(rng, 300, 200, 0.03),
+		sparse.Uniform(rng, 64, 8192, 0.01),
+		sparse.PowerLaw(rng, 256, 256, 2000, 1.1),
+		sparse.Banded(rng, 200, 200, 5, 0.9),
+		sparse.Block(rng, 128, 128, 16, 0.25, 0.6),
+		sparse.DNNPruned(rng, 96, 128, 0.15, true, 4),
+		sparse.Imbalanced(rng, 150, 100, 900, 0.05, 0.8),
+		sparse.DenseRandom(rng, 20, 17),
+		sparse.Uniform(rng, 5000, 300, 0.002), // spans multiple 4096-row tiles
+	}
+}
+
+// TestExtractFusedEquivalent is the bit-identity property: on every
+// corpus pair, ExtractFused's Vector must equal Extract's in every bit.
+func TestExtractFusedEquivalent(t *testing.T) {
+	corpus := fusedCorpus()
+	var scratch FusedScratch
+	pairs := 0
+	for _, a := range corpus {
+		for _, b := range corpus {
+			if a.Cols != b.Rows {
+				continue
+			}
+			pairs++
+			want := Extract(a, b)
+			got, _ := ExtractFused(a, b)
+			gotScratch, _ := scratch.Extract(a, b)
+			for i := range want {
+				if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("%dx%d · %dx%d: feature %s: fused %v != extract %v",
+						a.Rows, a.Cols, b.Rows, b.Cols, Name(i), got[i], want[i])
+				}
+				if math.Float64bits(want[i]) != math.Float64bits(gotScratch[i]) {
+					t.Fatalf("%dx%d · %dx%d: feature %s: scratch-reuse fused %v != extract %v",
+						a.Rows, a.Cols, b.Rows, b.Cols, Name(i), gotScratch[i], want[i])
+				}
+			}
+		}
+	}
+	// Squares pair with themselves at minimum; make sure the filter
+	// didn't silently skip everything.
+	if pairs < 8 {
+		t.Fatalf("only %d compatible pairs in the corpus", pairs)
+	}
+}
+
+func TestPatternLUT(t *testing.T) {
+	for p := 0; p < 256; p++ {
+		if got, want := int(patternLUT[p].pop), bits.OnesCount8(uint8(p)); got != want {
+			t.Fatalf("LUT[%#02x].pop = %d, want %d", p, got, want)
+		}
+		// Longest run by brute force.
+		run, cur := 0, 0
+		for b := 0; b < 8; b++ {
+			if p&(1<<b) != 0 {
+				cur++
+				if cur > run {
+					run = cur
+				}
+			} else {
+				cur = 0
+			}
+		}
+		if got := int(patternLUT[p].run); got != run {
+			t.Fatalf("LUT[%#02x].run = %d, want %d", p, got, run)
+		}
+	}
+}
+
+// patternsByBruteForce recomputes a summary per the definition: one mask
+// per (row, 8-column block) with at least one nonzero.
+func patternsByBruteForce(m *sparse.CSR) PatternSummary {
+	var acc patternAcc
+	for r := 0; r < m.Rows; r++ {
+		masks := map[int]uint8{}
+		cols, _ := m.Row(r)
+		for _, c := range cols {
+			masks[c/8] |= 1 << uint(c%8)
+		}
+		for _, mask := range masks {
+			acc.add(mask)
+		}
+	}
+	return acc.summary(m.Rows, m.Cols)
+}
+
+func TestPatternSummaryMatchesBruteForce(t *testing.T) {
+	for i, m := range fusedCorpus() {
+		var s FusedScratch
+		s.colCounts = growScratch(s.colCounts, m.Cols)
+		got := s.walk(m)
+		want := patternsByBruteForce(m)
+		if got != want {
+			t.Fatalf("matrix %d (%dx%d): walk summary %+v != brute force %+v", i, m.Rows, m.Cols, got, want)
+		}
+	}
+}
+
+func TestPatternSummaryShapes(t *testing.T) {
+	// Identity: every occupied block has exactly one nonzero column.
+	id := sparse.Identity(64)
+	_, p := ExtractFused(id, id)
+	if p.B.Blocks != 64 || p.B.PopHist[1] != 64 || p.B.MeanPop != 1 || p.B.MeanRun != 1 || p.B.DenseFrac != 0 {
+		t.Fatalf("identity patterns: %+v", p.B)
+	}
+	if want := 64.0 / (64 * 8); p.B.Coverage != want {
+		t.Fatalf("identity coverage %v, want %v", p.B.Coverage, want)
+	}
+	// Fully dense 16x16: every block is 0xFF.
+	rng := rand.New(rand.NewSource(7))
+	d := sparse.DenseRandom(rng, 16, 16)
+	_, pd := ExtractFused(d, d)
+	if pd.B.Blocks != 32 || pd.B.DenseFrac != 1 || pd.B.MeanPop != 8 || pd.B.MeanRun != 8 || pd.B.Coverage != 1 {
+		t.Fatalf("dense patterns: %+v", pd.B)
+	}
+}
+
+// TestExtractFusedSteadyStateZeroAllocs pins the serving-path guarantee:
+// a warm scratch extracts with zero allocations.
+func TestExtractFusedSteadyStateZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := sparse.Uniform(rng, 400, 300, 0.02)
+	b := sparse.Uniform(rng, 300, 500, 0.02)
+	var s FusedScratch
+	s.Extract(a, b)
+	allocs := testing.AllocsPerRun(50, func() {
+		s.Extract(a, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm fused extraction: %v allocs/op, want 0", allocs)
+	}
+}
+
+func benchOperands(b *testing.B) (*sparse.CSR, *sparse.CSR) {
+	rng := rand.New(rand.NewSource(5))
+	return sparse.Uniform(rng, 2000, 2000, 0.01), sparse.Uniform(rng, 2000, 2000, 0.01)
+}
+
+func BenchmarkExtractMultiPass(b *testing.B) {
+	ma, mb := benchOperands(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Extract(ma, mb)
+	}
+}
+
+func BenchmarkExtractFused(b *testing.B) {
+	ma, mb := benchOperands(b)
+	var s FusedScratch
+	s.Extract(ma, mb)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Extract(ma, mb)
+	}
+}

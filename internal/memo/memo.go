@@ -92,16 +92,26 @@ const entryOverheadBytes = 128
 // struct is slice-free, so unsafe.Sizeof covers it exactly.
 var analysisBytes = int64(unsafe.Sizeof(Analysis{})) + entryOverheadBytes
 
-// fastBytes is the payload size of one features-only fast-path entry: the
-// confidence-gated tier skips the four simulations, so all it has worth
-// keeping is the extracted feature vector.
-var fastBytes = int64(unsafe.Sizeof(features.Vector{})) + entryOverheadBytes
+// FastEntry is the fast-path cache payload: the extracted feature vector
+// plus the baseline cost-model inputs. The confidence-gated tier skips
+// the four simulations, and with the baseline stats cached alongside the
+// features, a warm hit on a binary-ingested request can price the
+// CPU/GPU/Trapezoid comparisons without ever materializing the operands —
+// the zero-copy warm path decodes nothing. The struct is slice-free, so
+// sharing it across requests is safe without copying.
+type FastEntry struct {
+	Features features.Vector
+	Baseline baseline.Stats
+}
+
+// fastBytes is the payload size of one fast-path entry.
+var fastBytes = int64(unsafe.Sizeof(FastEntry{})) + entryOverheadBytes
 
 // EntryBytes reports the bytes one cached full-analysis entry charges
 // against the budget (payload plus bookkeeping overhead).
 func EntryBytes() int64 { return analysisBytes }
 
-// FastEntryBytes is EntryBytes for a features-only fast entry.
+// FastEntryBytes is EntryBytes for a fast entry.
 func FastEntryBytes() int64 { return fastBytes }
 
 // fastSaltHi/Lo separate the fast-entry keyspace from full analyses: the
@@ -148,8 +158,8 @@ type Stats struct {
 const numShards = 16
 
 // flight is one in-progress build. done is closed exactly once, after
-// val/err are set. val is *Analysis for full entries and features.Vector
-// for fast entries; the two keyspaces never mix (fastKey salt), so each
+// val/err are set. val is *Analysis for full entries and FastEntry for
+// fast entries; the two keyspaces never mix (fastKey salt), so each
 // caller knows which kind it is waiting for.
 type flight struct {
 	done chan struct{}
@@ -257,23 +267,45 @@ func (c *Cache) Do(ctx context.Context, key Key, build func(ctx context.Context)
 	return val.(*Analysis), hit, nil
 }
 
-// DoFast is Do for the confidence-gated tier: it caches only the
-// extracted feature vector (the fast path's sole expensive
-// design-independent artifact), keyed in a salted keyspace disjoint from
+// DoFast is Do for the confidence-gated tier: it caches the extracted
+// feature vector and baseline stats (the fast path's expensive
+// design-independent artifacts), keyed in a salted keyspace disjoint from
 // full analyses so the two entry kinds share the byte budget and LRU but
 // never alias. Same singleflight and cancellation semantics as Do.
-func (c *Cache) DoFast(ctx context.Context, key Key, build func(ctx context.Context) (features.Vector, error)) (v features.Vector, hit bool, err error) {
+func (c *Cache) DoFast(ctx context.Context, key Key, build func(ctx context.Context) (FastEntry, error)) (e FastEntry, hit bool, err error) {
 	val, hit, err := c.do(ctx, fastKey(key), fastBytes, &c.fastHits, &c.fastMisses, func(ctx context.Context) (any, error) {
-		v, err := build(ctx)
+		e, err := build(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return v, nil
+		return e, nil
 	})
 	if err != nil {
-		return features.Vector{}, false, err
+		return FastEntry{}, false, err
 	}
-	return val.(features.Vector), hit, nil
+	return val.(FastEntry), hit, nil
+}
+
+// GetFast probes the fast-entry keyspace without blocking on in-flight
+// builds and without running a builder. The zero-copy warm path uses it
+// straight off a wire fingerprint: on a hit the request is served from
+// the entry alone and the operand bytes are never decoded. A hit marks
+// the entry most recently used and counts as a fast hit; a miss counts
+// nothing (the caller proceeds to DoFast, which books the miss).
+func (c *Cache) GetFast(key Key) (FastEntry, bool) {
+	fk := fastKey(key)
+	sh := c.shard(fk)
+	sh.mu.Lock()
+	el, ok := sh.items[fk]
+	if ok {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return FastEntry{}, false
+	}
+	c.fastHits.Add(1)
+	return el.Value.(*entry).val.(FastEntry), true
 }
 
 // do is the shared lookup/singleflight/insert core behind Do and DoFast.

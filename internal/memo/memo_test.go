@@ -330,20 +330,30 @@ func TestDoFastSeparateKeyspace(t *testing.T) {
 	c := New(1 << 20)
 	key := shardKey(1)
 
-	var v features.Vector
-	v[0] = 7
-	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
-		return v, nil
+	var e FastEntry
+	e.Features[0] = 7
+	e.Baseline.Flops = 11
+	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (FastEntry, error) {
+		return e, nil
 	})
-	if err != nil || hit || got != v {
-		t.Fatalf("first DoFast = (%v, %v, %v), want miss returning stored vector", got[0], hit, err)
+	if err != nil || hit || got != e {
+		t.Fatalf("first DoFast = (%v, %v, %v), want miss returning stored entry", got.Features[0], hit, err)
 	}
-	got, hit, err = c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+	got, hit, err = c.DoFast(context.Background(), key, func(context.Context) (FastEntry, error) {
 		t.Fatal("fast hit ran the builder")
-		return features.Vector{}, nil
+		return FastEntry{}, nil
 	})
-	if err != nil || !hit || got != v {
-		t.Fatalf("second DoFast = (%v, %v, %v), want hit", got[0], hit, err)
+	if err != nil || !hit || got != e {
+		t.Fatalf("second DoFast = (%v, %v, %v), want hit", got.Features[0], hit, err)
+	}
+
+	// GetFast probes the same slot without a builder; a probe on a cold
+	// key is a clean miss that counts nothing.
+	if ge, ok := c.GetFast(key); !ok || ge != e {
+		t.Fatalf("GetFast(warm key) = (%v, %v), want the stored entry", ge.Features[0], ok)
+	}
+	if _, ok := c.GetFast(shardKey(99)); ok {
+		t.Fatal("GetFast(cold key) reported a hit")
 	}
 
 	// A full Do on the same key must not see the fast entry.
@@ -356,8 +366,9 @@ func TestDoFastSeparateKeyspace(t *testing.T) {
 	}
 
 	st := c.Stats()
-	if st.FastHits != 1 || st.FastMisses != 1 {
-		t.Fatalf("fast counters = %d hits / %d misses, want 1/1", st.FastHits, st.FastMisses)
+	// 1 DoFast hit + 1 warm GetFast probe; the cold probe counts nothing.
+	if st.FastHits != 2 || st.FastMisses != 1 {
+		t.Fatalf("fast counters = %d hits / %d misses, want 2/1", st.FastHits, st.FastMisses)
 	}
 	if st.Misses != 1 {
 		t.Fatalf("full misses = %d, want 1 (fast traffic leaked into full counters)", st.Misses)
@@ -388,17 +399,17 @@ func TestDoFastSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			got, _, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
+			got, _, err := c.DoFast(context.Background(), key, func(context.Context) (FastEntry, error) {
 				builds.Add(1)
 				<-release
-				var v features.Vector
-				v[0] = 123
-				return v, nil
+				var e FastEntry
+				e.Features[0] = 123
+				return e, nil
 			})
 			if err != nil {
 				t.Errorf("DoFast: %v", err)
 			}
-			results[i] = got
+			results[i] = got.Features
 		}(i)
 	}
 	// Let the goroutines pile up behind one leader, then release it.
@@ -420,19 +431,19 @@ func TestDoFastBuildError(t *testing.T) {
 	c := New(1 << 20)
 	key := shardKey(5)
 	boom := errors.New("boom")
-	_, _, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
-		return features.Vector{}, boom
+	_, _, err := c.DoFast(context.Background(), key, func(context.Context) (FastEntry, error) {
+		return FastEntry{}, boom
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// The failure must not be cached: the next call runs a fresh build.
-	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (features.Vector, error) {
-		var v features.Vector
-		v[0] = 9
-		return v, nil
+	got, hit, err := c.DoFast(context.Background(), key, func(context.Context) (FastEntry, error) {
+		var e FastEntry
+		e.Features[0] = 9
+		return e, nil
 	})
-	if err != nil || hit || got[0] != 9 {
-		t.Fatalf("retry after error = (%v, %v, %v), want fresh miss", got[0], hit, err)
+	if err != nil || hit || got.Features[0] != 9 {
+		t.Fatalf("retry after error = (%v, %v, %v), want fresh miss", got.Features[0], hit, err)
 	}
 }

@@ -13,6 +13,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -102,6 +103,11 @@ type Config struct {
 	// trace collector's per-design EWMA. Trace capture is enabled
 	// automatically when the rebalancer needs it.
 	RebalanceInterval time.Duration
+	// DisableBinary turns off the binary wire format on the analyze
+	// endpoints: requests with Content-Type application/x-misam-csr are
+	// rejected with 415 instead of decoded. The zero value accepts both
+	// formats.
+	DisableBinary bool
 }
 
 const (
@@ -538,7 +544,14 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 		return analyzeResponse{}, &httpError{http.StatusBadRequest,
 			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)}
 	}
+	return s.analyzeWorkload(ctx, wl)
+}
 
+// analyzeWorkload runs a resolved workload through whichever pipeline the
+// configuration selects. Shared by both ingestion formats — everything
+// format-specific happens before this point.
+func (s *Server) analyzeWorkload(ctx context.Context, wl *misam.Workload) (analyzeResponse, *httpError) {
+	var err error
 	var rep misam.Report
 	var cmp misam.BaselineComparison
 	if s.cfg.FastPath {
@@ -582,6 +595,12 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 	if err != nil {
 		return analyzeResponse{}, &httpError{statusFor(err), err}
 	}
+	return buildResponse(rep, cmp), nil
+}
+
+// buildResponse renders a report + baseline comparison as the wire
+// response.
+func buildResponse(rep misam.Report, cmp misam.BaselineComparison) analyzeResponse {
 	return analyzeResponse{
 		Design:           rep.Design.String(),
 		Device:           rep.Device,
@@ -599,7 +618,7 @@ func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeRes
 		TrapezoidMs:      cmp.TrapezoidSeconds * 1e3,
 		Path:             rep.Path,
 		Confidence:       rep.Confidence,
-	}, nil
+	}
 }
 
 // statusFor maps pipeline errors to HTTP statuses: a server-imposed
@@ -625,21 +644,65 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 	return r.Context(), func() {}
 }
 
-// decodeBody decodes a size-capped JSON request body.
-func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *httpError {
+// bodyPool recycles request-body buffers across requests: binary decode
+// aliases the buffer for the request's duration, and the JSON path reads
+// into it before unmarshalling, so neither format pays a per-request
+// body allocation once the pool is warm.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps the buffers the pools retain; one huge request must
+// not pin its buffer forever.
+const maxPooledBuf = 1 << 20
+
+func putBody(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledBuf {
+		bodyPool.Put(buf)
+	}
+}
+
+// readBody slurps the size-capped request body into a pooled buffer. On
+// success the caller owns the buffer and must putBody it when done with
+// its bytes (for binary requests that is after the response is written —
+// decoded matrices alias the buffer).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) (*bytes.Buffer, *httpError) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	buf := bodyPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		putBody(buf)
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			return &httpError{http.StatusRequestEntityTooLarge,
+			return nil, &httpError{http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit)}
 		}
+		return nil, &httpError{http.StatusBadRequest, fmt.Errorf("reading body: %w", err)}
+	}
+	return buf, nil
+}
+
+// decodeBody decodes a size-capped JSON request body through the buffer
+// pool. json.Unmarshal copies everything it keeps, so the buffer recycles
+// immediately.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) *httpError {
+	buf, herr := s.readBody(w, r)
+	if herr != nil {
+		return herr
+	}
+	defer putBody(buf)
+	if err := json.Unmarshal(buf.Bytes(), v); err != nil {
 		return &httpError{http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err)}
 	}
 	return nil
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if binary, herr := s.binaryRequest(r); herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	} else if binary {
+		s.handleAnalyzeBinary(w, r)
+		return
+	}
 	var req analyzeRequest
 	if herr := s.decodeBody(w, r, &req); herr != nil {
 		writeErr(w, herr.status, herr.err)
@@ -672,6 +735,13 @@ type batchResponse struct {
 }
 
 func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
+	if binary, herr := s.binaryRequest(r); herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	} else if binary {
+		s.handleAnalyzeBatchBinary(w, r)
+		return
+	}
 	var req batchRequest
 	if herr := s.decodeBody(w, r, &req); herr != nil {
 		writeErr(w, herr.status, herr.err)
@@ -709,14 +779,28 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// ErrInvalidMatrix marks an ingested matrix that failed CSR invariant
+// validation. Every ingest boundary returns it as a 400: the binary path
+// via the sparse.ErrWire family, the MatrixMarket path via this wrapper.
+// (Generator specs construct valid matrices by definition.)
+var ErrInvalidMatrix = errors.New("invalid matrix")
+
 // loadOperand resolves one matrix from its MatrixMarket document or
-// generator spec.
+// generator spec. Parsed documents are invariant-checked before anything
+// downstream walks them.
 func loadOperand(mtx, spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, error) {
 	switch {
 	case mtx != "" && spec != "":
 		return nil, fmt.Errorf("give either a MatrixMarket document or a spec, not both")
 	case mtx != "":
-		return misam.ReadMatrixMarket(strings.NewReader(mtx))
+		m, err := misam.ReadMatrixMarket(strings.NewReader(mtx))
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalidMatrix, err)
+		}
+		return m, nil
 	case spec != "":
 		return parseSpec(spec, seed, prev)
 	default:
@@ -821,10 +905,27 @@ func parseSpec(spec string, seed int64, prev *misam.Matrix) (*misam.Matrix, erro
 	}
 }
 
+// encodePool recycles response-encoding buffers (see
+// BenchmarkWriteJSONPooled for the allocation pin).
+var encodePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	// Encode into a pooled buffer first: one Write call, no per-request
+	// encoder allocation, and an encode error can never corrupt a
+	// half-written 200.
+	buf := encodePool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		encodePool.Put(buf)
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encodePool.Put(buf)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {

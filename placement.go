@@ -43,10 +43,11 @@ func (f *Framework) PlanPlacement(ctx context.Context, w *Workload, cfg Placemen
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	v, _, err := f.fastFeatures(ctx, w)
+	ent, _, err := f.fastEntry(ctx, w)
 	if err != nil {
 		return nil, fmt.Errorf("misam: placement plan: %w", err)
 	}
+	v := ent.Features
 	snap := f.snapshot()
 	return placement.NewRequest(snap.Engine(), v, snap.Select(v), cfg.QueueWeight), nil
 }

@@ -1,0 +1,177 @@
+package misam
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// encodePair renders a test pair as a binary request body (two
+// concatenated blobs) and re-parses both views.
+func encodePair(t testing.TB, a, b *Matrix) (WireView, WireView) {
+	t.Helper()
+	buf := AppendMatrixBinary(nil, a)
+	buf = AppendMatrixBinary(buf, b)
+	va, rest, err := ParseWireMatrix(buf)
+	if err != nil {
+		t.Fatalf("parse A: %v", err)
+	}
+	vb, rest, err := ParseWireMatrix(rest)
+	if err != nil {
+		t.Fatalf("parse B: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after two blobs", len(rest))
+	}
+	return va, vb
+}
+
+// TestAnalyzeFastWireMatchesWorkloadPath: binary ingestion must be a pure
+// transport change — two identically trained frameworks, one fed decoded
+// workloads (AnalyzeFastOn) and one fed wire views (AnalyzeFastWire),
+// produce bit-identical deterministic report fields, identical tier
+// decisions, and identical baseline comparisons, across cache misses,
+// hits and repeats.
+func TestAnalyzeFastWireMatchesWorkloadPath(t *testing.T) {
+	opts := TrainOptions{CorpusSize: 90, LatencyCorpusSize: 110, MaxDim: 384, Seed: 5}
+	byStruct, err := Train(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byWire, err := Train(opts) // deterministic: identical models
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FastPathConfig{Confidence: 0.5, VerifySample: 0}
+	byStruct.WithCache(8 << 20).WithFastPath(cfg)
+	byWire.WithCache(8 << 20).WithFastPath(cfg)
+	defer byStruct.Close()
+	defer byWire.Close()
+
+	ctx := context.Background()
+	var scratch WireScratch
+	for i, p := range fastTestPairs() {
+		want, err := byStruct.AnalyzeFast(ctx, p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantBase := CompareBaselines(p[0], p[1])
+
+		va, vb := encodePair(t, p[0], p[1])
+		got, gotBase, err := byWire.AnalyzeFastWire(ctx, byWire.DefaultDevice(), va, vb, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.PreprocessSeconds, got.PreprocessSeconds = 0, 0
+		want.InferenceSeconds, got.InferenceSeconds = 0, 0
+		want.TotalSeconds, got.TotalSeconds = 0, 0
+		if want != got {
+			t.Fatalf("pair %d: wire and workload reports diverge:\nworkload: %+v\nwire:     %+v", i, want, got)
+		}
+		if gotBase != wantBase {
+			t.Fatalf("pair %d: baselines diverge:\nworkload: %+v\nwire:     %+v", i, wantBase, gotBase)
+		}
+	}
+
+	// Same requests, same gate, same models — the tier split and the cache
+	// traffic must agree exactly.
+	ss, _ := byStruct.FastPathStats()
+	ws, _ := byWire.FastPathStats()
+	if ss.Served != ws.Served || ss.Fast != ws.Fast || ss.Slow != ws.Slow {
+		t.Fatalf("tier counters diverge: workload %+v, wire %+v", ss, ws)
+	}
+	sc, _ := byStruct.CacheStats()
+	wc, _ := byWire.CacheStats()
+	if sc.FastMisses != wc.FastMisses || sc.Entries != wc.Entries {
+		t.Fatalf("cache behaviour diverged: workload %+v, wire %+v", sc, wc)
+	}
+}
+
+// TestAnalyzeFastWireWarmHitSkipsDecode pins the zero-copy payoff: a warm
+// fast hit is answered from the wire fingerprint alone. The probe's
+// scratch stays untouched — nothing was decoded — and the baseline
+// comparison still arrives, priced from the cached stats.
+func TestAnalyzeFastWireWarmHitSkipsDecode(t *testing.T) {
+	fw, err := Train(TrainOptions{CorpusSize: 90, LatencyCorpusSize: 110, MaxDim: 384, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw.WithCache(8 << 20).WithFastPath(FastPathConfig{Confidence: 0, VerifySample: 0})
+	defer fw.Close()
+
+	a := RandUniform(3, 300, 300, 0.02)
+	b := RandUniform(4, 300, 200, 0.03)
+	va, vb := encodePair(t, a, b)
+	ctx := context.Background()
+	dev := fw.DefaultDevice()
+
+	var warmup WireScratch
+	first, firstBase, err := fw.AnalyzeFastWire(ctx, dev, va, vb, &warmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Path != PathFast {
+		t.Fatalf("warmup path %q, want %q (gate at 0 always passes)", first.Path, PathFast)
+	}
+	if warmup.a.Rows != a.Rows || warmup.b.Rows != b.Rows {
+		t.Fatal("warmup miss did not decode into the scratch")
+	}
+
+	var probe WireScratch
+	second, secondBase, err := fw.AnalyzeFastWire(ctx, dev, va, vb, &probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Path != PathFast {
+		t.Fatalf("warm path %q, want %q", second.Path, PathFast)
+	}
+	if probe.a.Rows != 0 || probe.b.Rows != 0 || probe.a.RowPtr != nil {
+		t.Fatalf("warm hit decoded the operands: scratch %dx%d", probe.a.Rows, probe.a.Cols)
+	}
+	if secondBase != firstBase {
+		t.Fatalf("warm baselines diverge: first %+v, second %+v", firstBase, secondBase)
+	}
+	if firstBase.CPUSeconds <= 0 || firstBase.GPUSeconds <= 0 {
+		t.Fatalf("baseline comparison is empty: %+v", firstBase)
+	}
+	cs, _ := fw.CacheStats()
+	if cs.FastHits < 1 {
+		t.Fatalf("no fast hit recorded: %+v", cs)
+	}
+}
+
+// TestAnalyzeFastWireDimensionMismatch: incompatible operands are an
+// ingest error (ErrWire family → client error at the server boundary),
+// detected before any decode.
+func TestAnalyzeFastWireDimensionMismatch(t *testing.T) {
+	fw, err := Train(TrainOptions{CorpusSize: 60, LatencyCorpusSize: 80, MaxDim: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandUniform(1, 50, 60, 0.1)
+	b := RandUniform(2, 70, 40, 0.1) // 60 != 70
+	va, vb := encodePair(t, a, b)
+	_, _, err = fw.AnalyzeFastWire(context.Background(), fw.DefaultDevice(), va, vb, nil)
+	if !errors.Is(err, ErrWire) {
+		t.Fatalf("err = %v, want ErrWire", err)
+	}
+}
+
+// TestWireKeyMatchesAnalysisKey: the wire-fingerprint key must be the
+// exact key the decoded pair produces — in both feature flavours — or
+// binary and JSON traffic would split the cache.
+func TestWireKeyMatchesAnalysisKey(t *testing.T) {
+	fw, err := Train(TrainOptions{CorpusSize: 60, LatencyCorpusSize: 80, MaxDim: 256, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RandPowerLaw(7, 128, 128, 900, 1.5)
+	b := RandUniform(8, 128, 96, 0.05)
+	va, vb := encodePair(t, a, b)
+	for _, pruned := range []bool{false, true} {
+		fw.Options.TopFeaturesOnly = pruned
+		if got, want := fw.wireKey(va, vb), fw.analysisKey(a, b); got != want {
+			t.Fatalf("pruned=%v: wireKey %+v != analysisKey %+v", pruned, got, want)
+		}
+	}
+}
