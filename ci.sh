@@ -84,6 +84,23 @@ ingestout="${TMPDIR:-/tmp}/misam_bench_pr8_smoke.json"
 go run ./cmd/misam-bench -scale quick -experiment ingest -ingestout "$ingestout"
 rm -f "$ingestout"
 
+# Cluster experiment smoke: one quick-scale replay of a repeated-operand
+# stream through a two-node loopback cluster and a single node. The
+# scratch path exercises the write/re-read/schema validation, and the
+# run itself fails unless the deployments answer bit-identically, each
+# pair is built on exactly one member, the cluster warm hit stays within
+# 2x of the single node, and a mid-stream peer kill loses zero requests.
+echo "==> cluster experiment smoke"
+clusterout="${TMPDIR:-/tmp}/misam_bench_pr9_smoke.json"
+go run ./cmd/misam-bench -scale quick -experiment cluster -clusterout "$clusterout"
+rm -f "$clusterout"
+
+# Two-node serving smoke over the public API: real misam-serve processes
+# proving ownership routing, forward counters, boot replication and
+# rollback propagation (see cluster_smoke.sh).
+echo "==> two-node cluster serving smoke"
+./cluster_smoke.sh
+
 # Wire-decoder fuzz smoke: 10 s of coverage-guided mutation against the
 # binary CSR decoder. The seed corpus + regression entries run inside
 # the full suite above; this pass actually mutates.

@@ -1,0 +1,120 @@
+#!/usr/bin/env sh
+# Two-node loopback cluster smoke: boots two misam-serve processes from
+# the same small model file and drives the PR9 serving properties over
+# the public API — a repeated operand routes to one owner and warms its
+# cache, forwarding counters show up in /v1/cluster, boot replication
+# converges the registries, and an operator rollback on one node
+# propagates to the other.
+set -eu
+
+TMP="${TMPDIR:-/tmp}/misam_cluster_smoke.$$"
+mkdir -p "$TMP"
+
+PID_A=""
+PID_B=""
+cleanup() {
+    [ -n "$PID_A" ] && kill "$PID_A" 2>/dev/null || true
+    [ -n "$PID_B" ] && kill "$PID_B" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+PORT_A=18097
+PORT_B=18098
+URL_A="http://127.0.0.1:$PORT_A"
+URL_B="http://127.0.0.1:$PORT_B"
+
+# wait_until SECONDS WHAT CMD...: poll CMD until it succeeds.
+wait_until() {
+    _tries=$(( $1 * 10 )); shift
+    _what=$1; shift
+    while [ "$_tries" -gt 0 ]; do
+        if "$@" >/dev/null 2>&1; then return 0; fi
+        _tries=$(( _tries - 1 ))
+        sleep 0.1
+    done
+    echo "cluster smoke: timed out waiting for $_what" >&2
+    [ -f "$TMP/a.log" ] && { echo "--- node A log:"; cat "$TMP/a.log"; } >&2
+    [ -f "$TMP/b.log" ] && { echo "--- node B log:"; cat "$TMP/b.log"; } >&2
+    exit 1
+}
+
+echo "==> training a small model for the cluster smoke"
+go run ./cmd/misam-train -o "$TMP/model" -corpus 120 -latency-corpus 200 -maxdim 256 >/dev/null
+
+echo "==> booting two loopback misam-serve nodes"
+go build -o "$TMP/misam-serve" ./cmd/misam-serve
+"$TMP/misam-serve" -addr "127.0.0.1:$PORT_A" -model "$TMP/model" \
+    -node-id "$URL_A" -peers "$URL_B" -cluster-sync-interval 200ms \
+    >"$TMP/a.log" 2>&1 &
+PID_A=$!
+"$TMP/misam-serve" -addr "127.0.0.1:$PORT_B" -model "$TMP/model" \
+    -node-id "$URL_B" -peers "$URL_A" -cluster-sync-interval 200ms \
+    >"$TMP/b.log" 2>&1 &
+PID_B=$!
+wait_until 30 "node A to come up" curl -fsS "$URL_A/healthz"
+wait_until 30 "node B to come up" curl -fsS "$URL_B/healthz"
+
+# Boot replication: both nodes stamp the same file-loaded model (1, self);
+# the Lamport origin tie-break makes exactly one node apply the other's
+# push, minting a source=sync registry version there.
+echo "==> waiting for boot replication to converge"
+wait_until 15 "a sync snapshot on one node" \
+    sh -c "curl -fsS $URL_A/v1/models $URL_B/v1/models | grep -q '\"source\":\"sync\"'"
+if curl -fsS "$URL_A/v1/models" | grep -q '"source":"sync"'; then
+    LOSER=$URL_A; WINNER=$URL_B
+else
+    LOSER=$URL_B; WINNER=$URL_A
+fi
+echo "    sync winner $WINNER, loser $LOSER"
+
+# Routing: the same operand pair through both nodes, twice each, must be
+# served by one owner every time (the "node" response field), leaving the
+# owner's cache warm and the non-owner's forward counter hot.
+echo "==> repeated operand routes to one owner"
+REQ='{"a_spec":"uniform:120:100:0.05","b_spec":"uniform:100:80:0.08","seed":11}'
+NODES=""
+for u in "$URL_A" "$URL_B" "$URL_A" "$URL_B"; do
+    out=$(curl -fsS -X POST "$u/v1/analyze" -d "$REQ")
+    node=$(printf '%s' "$out" | sed -n 's/.*"node":"\([^"]*\)".*/\1/p')
+    if [ -z "$node" ]; then
+        echo "cluster smoke: no node field in response from $u: $out" >&2
+        exit 1
+    fi
+    NODES="$NODES $node"
+done
+# shellcheck disable=SC2086
+set -- $NODES
+OWNER=$1
+for n in "$@"; do
+    if [ "$n" != "$OWNER" ]; then
+        echo "cluster smoke: repeated operand served by both $OWNER and $n" >&2
+        exit 1
+    fi
+done
+echo "    all 4 requests served by $OWNER"
+
+fwd=$(curl -fsS "$URL_A/v1/cluster" "$URL_B/v1/cluster" |
+    grep -o '"forwards":[0-9]*' | cut -d: -f2 | awk '{s+=$1} END {print s+0}')
+if [ "$fwd" -lt 2 ]; then
+    echo "cluster smoke: only $fwd forwards recorded, want >= 2" >&2
+    exit 1
+fi
+hits=$(curl -fsS "$OWNER/v1/stats" | grep -o '"hits":[0-9]*' | head -1 | cut -d: -f2)
+if [ "${hits:-0}" -lt 3 ]; then
+    echo "cluster smoke: owner served ${hits:-0} cache hits, want >= 3 (warm after one miss)" >&2
+    exit 1
+fi
+echo "    $fwd forwards, owner cache warm ($hits hits)"
+
+# Operator action propagates: roll the loser back to its boot model (it
+# holds two versions); the rollback is a fresh local change that outranks
+# every stamp seen, so the winner must apply a new sync snapshot.
+echo "==> rollback on one node replicates to the other"
+before=$(curl -fsS "$WINNER/v1/models" | grep -c '"source":"sync"' || true)
+curl -fsS -X POST "$LOSER/v1/models/rollback" >/dev/null
+wait_until 15 "the rollback to replicate" \
+    sh -c "[ \$(curl -fsS $WINNER/v1/models | grep -c '\"source\":\"sync\"') -gt $before ]"
+echo "    winner applied the loser's rollback"
+
+echo "cluster smoke green"

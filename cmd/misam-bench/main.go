@@ -120,7 +120,7 @@ func main() {
 
 	scale := flag.String("scale", "default", "experiment scale: quick, default, or paper")
 	experiment := flag.String("experiment", "all",
-		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier, placement, ingest")
+		"which experiment to run: all, fig1, fig3, fig4, fig6, fig8, fig9, fig10, fig11, fig12, fig13, table1, table2, table3, table4, table5, multitenant, router, objective, reconfigmodes, learningcurve, phases, heuristics, perf, fastpath, slowtier, placement, ingest, cluster")
 	perfout := flag.String("perfout", "BENCH_PR3.json",
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	fastout := flag.String("fastout", "BENCH_PR5.json",
@@ -131,6 +131,8 @@ func main() {
 		"where the placement experiment writes its machine-readable report (empty to skip the file)")
 	ingestout := flag.String("ingestout", "BENCH_PR8.json",
 		"where the ingest experiment writes its machine-readable report (empty to skip the file)")
+	clusterout := flag.String("clusterout", "BENCH_PR9.json",
+		"where the cluster experiment writes its machine-readable report (empty to skip the file)")
 	dumpBinary := flag.String("dump-binary", "",
 		"comma-separated generator specs (e.g. 'uniform:200:200:0.05,dense:64'); encodes them as "+
 			"concatenated binary wire blobs on stdout — pipe into curl for the binary analyze endpoints")
@@ -206,13 +208,22 @@ func main() {
 		// wire format against MatrixMarket/JSON ingestion and rewrites
 		// BENCH_PR8.json.
 		{"ingest", func() error { _, err := experiments.IngestReport(ctx, *ingestout, w); return err }},
+		// cluster is opt-in (-experiment cluster): it replays a repeated
+		// stream through a 2-node loopback cluster and a single node,
+		// gates equivalence / warm-hit latency / peer-kill survival, and
+		// rewrites BENCH_PR9.json. Like placement it publishes CGRA-mode
+		// pricing snapshots, so it runs with its own context.
+		{"cluster", func() error {
+			_, err := experiments.ClusterReport(experiments.NewContext(cfg), *clusterout, w)
+			return err
+		}},
 	}
 
 	want := strings.ToLower(*experiment)
 	ran := 0
 	for _, d := range drivers {
 		if want == "all" && (d.name == "perf" || d.name == "fastpath" || d.name == "slowtier" ||
-			d.name == "placement" || d.name == "ingest") {
+			d.name == "placement" || d.name == "ingest" || d.name == "cluster") {
 			continue
 		}
 		if want != "all" && want != d.name {

@@ -28,6 +28,16 @@
 //	    curl -s -X POST localhost:8080/v1/analyze \
 //	         -H 'Content-Type: application/x-misam-csr' --data-binary @- | jq
 //
+// With -node-id and -peers the daemon joins a fingerprint-sharded
+// cluster: requests route to the member owning their operand pair's
+// content key, model promotions/rollbacks replicate to peers, and
+// GET /v1/cluster (plus /v1/stats?scope=cluster) expose the ring and
+// per-peer counters:
+//
+//	misam-serve -addr :8080 -node-id http://127.0.0.1:8080 -peers http://127.0.0.1:8081
+//	misam-serve -addr :8081 -node-id http://127.0.0.1:8081 -peers http://127.0.0.1:8080
+//	curl -s localhost:8080/v1/cluster | jq
+//
 // SIGINT/SIGTERM drain the server gracefully: in-flight requests get
 // -drain to finish before the process exits.
 package main
@@ -42,10 +52,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"misam"
+	"misam/internal/cluster"
 	"misam/internal/server"
 )
 
@@ -73,7 +85,37 @@ func main() {
 	rebalanceEvery := flag.Duration("rebalance-interval", 0, "background portfolio rebalancer cadence (0 = off; needs -placement)")
 	binary := flag.Bool("binary", true, "accept application/x-misam-csr binary operand bodies on the analyze endpoints")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (own mux; off when empty)")
+	nodeID := flag.String("node-id", "", "this node's advertised base URL in a cluster (e.g. http://10.0.0.1:8080; empty = no cluster)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (requires -node-id)")
+	syncEvery := flag.Duration("cluster-sync-interval", 2*time.Second, "registry replication push cadence")
+	forwardRetries := flag.Int("forward-retries", 1, "extra forward attempts before a peer-owned request is served locally")
 	flag.Parse()
+
+	// Cluster flags fail fast: a malformed, duplicate or self-referential
+	// -peers entry kills the process here — before the listener binds —
+	// with the cluster package's named error, not at the first forward.
+	var clusterCfg cluster.Config
+	if *nodeID != "" || *peers != "" {
+		if *nodeID == "" {
+			log.Fatal("-peers needs -node-id (this node's own advertised URL)")
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		self, normalized, err := cluster.ValidateConfig(*nodeID, peerList)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusterCfg = cluster.Config{
+			Self:           self,
+			Peers:          normalized,
+			SyncInterval:   *syncEvery,
+			ForwardRetries: *forwardRetries,
+		}
+	}
 
 	var fw *misam.Framework
 	var err error
@@ -95,7 +137,7 @@ func main() {
 		}
 	}
 
-	srv := server.NewWithConfig(fw, server.Config{
+	srv, err := server.NewClustered(fw, server.Config{
 		Devices:           *devices,
 		RequestTimeout:    *timeout,
 		MaxBodyBytes:      *maxBody,
@@ -112,7 +154,11 @@ func main() {
 		QueueWeight:       *queueWeight,
 		RebalanceInterval: *rebalanceEvery,
 		DisableBinary:     !*binary,
+		Cluster:           clusterCfg,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer srv.Close()
 
 	if *pprofAddr != "" {
@@ -152,7 +198,11 @@ func main() {
 			mode += fmt.Sprintf(", rebalancing every %s", *rebalanceEvery)
 		}
 	}
-	fmt.Printf("serving %d device(s) on %s%s (GET /healthz /v1/designs /v1/fleet /v1/stats /v1/models, POST /v1/analyze /v1/analyze/batch /v1/models/retrain /v1/models/rollback)\n",
+	if clusterCfg.Self != "" {
+		mode += fmt.Sprintf(", cluster node %s with %d peer(s), syncing every %s",
+			clusterCfg.Self, len(clusterCfg.Peers), *syncEvery)
+	}
+	fmt.Printf("serving %d device(s) on %s%s (GET /healthz /v1/designs /v1/fleet /v1/stats /v1/models /v1/cluster, POST /v1/analyze /v1/analyze/batch /v1/models/retrain /v1/models/rollback /v1/models/sync)\n",
 		*devices, *addr, mode)
 
 	// Graceful shutdown: trap SIGINT/SIGTERM and drain in-flight requests

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"misam/internal/memo"
+)
+
+// Named configuration errors. misam-serve validates its -peers list
+// against these at startup — a malformed peer must fail the process
+// before it serves a single request, not at the first forward.
+var (
+	// ErrBadPeer marks a peer address that does not parse as an absolute
+	// http(s) URL (scheme-less entries are the classic operator typo:
+	// "localhost:8081" parses as scheme "localhost").
+	ErrBadPeer = errors.New("cluster: malformed peer address")
+	// ErrDuplicatePeer marks the same node listed twice (after URL
+	// normalization), which would double its ring share.
+	ErrDuplicatePeer = errors.New("cluster: duplicate peer address")
+	// ErrSelfPeer marks a -peers entry naming this node itself: the ring
+	// already includes self, and a self-peer would make the node forward
+	// requests to its own listener.
+	ErrSelfPeer = errors.New("cluster: peer list includes this node")
+)
+
+// ForwardedHeader marks a request that already crossed one forwarding
+// hop. A receiving node always serves such a request locally — even if
+// its own ring disagrees about the owner — so misconfigured or briefly
+// divergent memberships can never bounce a request between nodes.
+const ForwardedHeader = "X-Misam-Forwarded"
+
+// Config describes one node's view of the cluster.
+type Config struct {
+	// Self is this node's advertised base URL — the exact string the
+	// other members carry in their peer lists (e.g. http://10.0.0.1:8080).
+	// Member identity is this string: all nodes must agree on it.
+	Self string
+	// Peers are the other members' base URLs.
+	Peers []string
+	// VNodes is the virtual-node count per member (<= 0 uses
+	// DefaultVNodes).
+	VNodes int
+	// ForwardRetries is how many additional transport attempts a forward
+	// gets after the first fails (< 0 means 0; default 1). When every
+	// attempt fails the request is served locally instead.
+	ForwardRetries int
+	// ForwardTimeout bounds each forward attempt (default 15s).
+	ForwardTimeout time.Duration
+	// MaxConnsPerPeer bounds the connection pool to each peer
+	// (default 32).
+	MaxConnsPerPeer int
+	// SyncInterval is the registry replication push cadence
+	// (default 2s).
+	SyncInterval time.Duration
+}
+
+const (
+	defaultForwardRetries  = 1
+	defaultForwardTimeout  = 15 * time.Second
+	defaultMaxConnsPerPeer = 32
+	defaultSyncInterval    = 2 * time.Second
+)
+
+func (c Config) withDefaults() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ForwardRetries < 0 {
+		c.ForwardRetries = 0
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = defaultForwardTimeout
+	}
+	if c.MaxConnsPerPeer <= 0 {
+		c.MaxConnsPerPeer = defaultMaxConnsPerPeer
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = defaultSyncInterval
+	}
+	return c
+}
+
+// normalizeAddr canonicalizes one member address: an absolute http(s)
+// URL with a host, lowercased scheme/host, no trailing slash.
+func normalizeAddr(addr string) (string, error) {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return "", fmt.Errorf("%w: empty address", ErrBadPeer)
+	}
+	u, err := url.Parse(addr)
+	if err != nil {
+		return "", fmt.Errorf("%w: %q: %v", ErrBadPeer, addr, err)
+	}
+	scheme := strings.ToLower(u.Scheme)
+	if scheme != "http" && scheme != "https" {
+		return "", fmt.Errorf("%w: %q needs an http:// or https:// scheme", ErrBadPeer, addr)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("%w: %q has no host", ErrBadPeer, addr)
+	}
+	base := scheme + "://" + strings.ToLower(u.Host)
+	if p := strings.TrimSuffix(u.Path, "/"); p != "" {
+		base += p
+	}
+	return base, nil
+}
+
+// ValidateConfig normalizes and validates the member addresses, and
+// returns the canonical (self, peers) pair. It fails with ErrBadPeer,
+// ErrDuplicatePeer or ErrSelfPeer — the fail-fast gate misam-serve runs
+// before binding its listener.
+func ValidateConfig(self string, peers []string) (string, []string, error) {
+	selfN, err := normalizeAddr(self)
+	if err != nil {
+		return "", nil, fmt.Errorf("node id: %w", err)
+	}
+	seen := map[string]bool{selfN: true}
+	out := make([]string, 0, len(peers))
+	for _, p := range peers {
+		pn, err := normalizeAddr(p)
+		if err != nil {
+			return "", nil, err
+		}
+		if pn == selfN {
+			return "", nil, fmt.Errorf("%w: %q is the node's own address", ErrSelfPeer, p)
+		}
+		if seen[pn] {
+			return "", nil, fmt.Errorf("%w: %q listed twice", ErrDuplicatePeer, p)
+		}
+		seen[pn] = true
+		out = append(out, pn)
+	}
+	return selfN, out, nil
+}
+
+// peer is one remote member: its bounded HTTP client plus health and
+// forwarding counters.
+type peer struct {
+	id     string
+	client *http.Client
+
+	forwards    atomic.Int64 // forward attempts routed here (successful responses)
+	errors      atomic.Int64 // transport attempts that failed
+	fallbacks   atomic.Int64 // requests served locally after retries ran out
+	syncPushes  atomic.Int64 // replication pushes accepted by this peer
+	syncErrors  atomic.Int64 // replication pushes that failed in transport
+	consecFails atomic.Int64 // consecutive transport failures (0 = healthy)
+}
+
+// Cluster is one node's runtime view: the ring, the peer table, and the
+// loop-prevention identity. All methods are safe for concurrent use.
+type Cluster struct {
+	cfg   Config
+	self  string
+	ring  *Ring
+	peers map[string]*peer
+
+	forwardedIn atomic.Int64 // requests that arrived with ForwardedHeader
+	servedLocal atomic.Int64 // routed requests this node owned itself
+}
+
+// New validates cfg and builds the node's cluster view. The ring spans
+// self plus every peer.
+func New(cfg Config) (*Cluster, error) {
+	self, peers, err := ValidateConfig(cfg.Self, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Self, cfg.Peers = self, peers
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(append([]string{self}, peers...), cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{cfg: cfg, self: self, ring: ring, peers: make(map[string]*peer, len(peers))}
+	for _, p := range peers {
+		c.peers[p] = &peer{
+			id: p,
+			client: &http.Client{
+				Transport: &http.Transport{
+					MaxConnsPerHost:     cfg.MaxConnsPerPeer,
+					MaxIdleConnsPerHost: cfg.MaxConnsPerPeer,
+					IdleConnTimeout:     90 * time.Second,
+				},
+			},
+		}
+	}
+	return c, nil
+}
+
+// Self is this node's canonical member ID.
+func (c *Cluster) Self() string { return c.self }
+
+// Ring exposes the membership ring.
+func (c *Cluster) Ring() *Ring { return c.ring }
+
+// SyncInterval is the configured replication cadence.
+func (c *Cluster) SyncInterval() time.Duration { return c.cfg.SyncInterval }
+
+// Owner resolves the member owning key. self reports whether that
+// member is this node.
+func (c *Cluster) Owner(key memo.Key) (member string, self bool) {
+	member = c.ring.Owner(key)
+	return member, member == c.self
+}
+
+// NoteForwardedIn records a request that arrived pre-forwarded (and is
+// therefore served locally unconditionally).
+func (c *Cluster) NoteForwardedIn() { c.forwardedIn.Add(1) }
+
+// NoteServedLocal records a routed request this node owned itself.
+func (c *Cluster) NoteServedLocal() { c.servedLocal.Add(1) }
+
+// ErrUnknownPeer reports a forward target outside the configured
+// membership — a programming error, not a runtime condition.
+var ErrUnknownPeer = errors.New("cluster: unknown peer")
+
+// Forward proxies one request body to member, byte for byte: no decode,
+// no re-encode, the peer's response returned verbatim. Transport
+// failures are retried up to cfg.ForwardRetries additional times, each
+// attempt under its own ForwardTimeout slice of ctx; any HTTP response
+// (whatever its status) is the owner's answer and is never retried. When
+// every attempt fails the caller should fall back to serving locally
+// (and record it via NoteFallback).
+func (c *Cluster) Forward(ctx context.Context, member, path, contentType string, body []byte) (status int, respCT string, respBody []byte, err error) {
+	p, ok := c.peers[member]
+	if !ok {
+		return 0, "", nil, fmt.Errorf("%w: %q", ErrUnknownPeer, member)
+	}
+	attempts := 1 + c.cfg.ForwardRetries
+	for i := 0; i < attempts; i++ {
+		if err = ctx.Err(); err != nil {
+			return 0, "", nil, err
+		}
+		status, respCT, respBody, err = c.forwardOnce(ctx, p, path, contentType, body)
+		if err == nil {
+			p.forwards.Add(1)
+			p.consecFails.Store(0)
+			return status, respCT, respBody, nil
+		}
+		p.errors.Add(1)
+		p.consecFails.Add(1)
+	}
+	return 0, "", nil, err
+}
+
+func (c *Cluster) forwardOnce(ctx context.Context, p *peer, path, contentType string, body []byte) (int, string, []byte, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, p.id+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), out, nil
+}
+
+// NoteFallback records a request whose owner could not be reached and
+// was served locally instead — the graceful-degradation counter the
+// failure-path tests assert on.
+func (c *Cluster) NoteFallback(member string) {
+	if p, ok := c.peers[member]; ok {
+		p.fallbacks.Add(1)
+	}
+}
+
+// Get issues a GET to a peer endpoint (stats fan-out) under one
+// ForwardTimeout, marked with the forwarded header so the peer answers
+// with its local view.
+func (c *Cluster) Get(ctx context.Context, member, path string) (int, []byte, error) {
+	p, ok := c.peers[member]
+	if !ok {
+		return 0, nil, fmt.Errorf("%w: %q", ErrUnknownPeer, member)
+	}
+	actx, cancel := context.WithTimeout(ctx, c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, p.id+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set(ForwardedHeader, c.self)
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// PeerIDs returns the peer member IDs in ring order (self excluded).
+func (c *Cluster) PeerIDs() []string {
+	out := make([]string, 0, len(c.peers))
+	for _, m := range c.ring.members {
+		if m != c.self {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// MemberStats is one member's row in the GET /v1/cluster report.
+type MemberStats struct {
+	Node string `json:"node"`
+	Self bool   `json:"self,omitempty"`
+	// Share is the member's expected fraction of the key space.
+	Share float64 `json:"share"`
+	// Healthy is false while the last transport attempt to this peer
+	// failed and no attempt has succeeded since (always true for self).
+	Healthy bool `json:"healthy"`
+	// Forwards counts requests this node proxied to the member;
+	// ForwardErrors counts failed transport attempts; Fallbacks counts
+	// requests owned by the member but served locally after retries ran
+	// out.
+	Forwards      int64 `json:"forwards"`
+	ForwardErrors int64 `json:"forward_errors"`
+	Fallbacks     int64 `json:"fallbacks"`
+	// SyncPushes / SyncErrors count registry replication pushes to the
+	// member.
+	SyncPushes int64 `json:"sync_pushes"`
+	SyncErrors int64 `json:"sync_errors"`
+}
+
+// Stats is the node-local cluster counters snapshot.
+type Stats struct {
+	Self string `json:"self"`
+	// ForwardedIn counts requests that arrived already forwarded;
+	// ServedLocal counts routed requests this node owned itself.
+	ForwardedIn int64         `json:"forwarded_in"`
+	ServedLocal int64         `json:"served_local"`
+	Members     []MemberStats `json:"members"`
+}
+
+// Stats snapshots the ring membership and per-peer counters, self
+// first, peers in ring order.
+func (c *Cluster) Stats() Stats {
+	shares := c.ring.Shares()
+	st := Stats{
+		Self:        c.self,
+		ForwardedIn: c.forwardedIn.Load(),
+		ServedLocal: c.servedLocal.Load(),
+	}
+	st.Members = append(st.Members, MemberStats{
+		Node: c.self, Self: true, Share: shares[c.self], Healthy: true,
+	})
+	for _, id := range c.PeerIDs() {
+		p := c.peers[id]
+		st.Members = append(st.Members, MemberStats{
+			Node:          id,
+			Share:         shares[id],
+			Healthy:       p.consecFails.Load() == 0,
+			Forwards:      p.forwards.Load(),
+			ForwardErrors: p.errors.Load(),
+			Fallbacks:     p.fallbacks.Load(),
+			SyncPushes:    p.syncPushes.Load(),
+			SyncErrors:    p.syncErrors.Load(),
+		})
+	}
+	return st
+}

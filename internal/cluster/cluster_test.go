@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestValidateConfigNamedErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		self  string
+		peers []string
+		want  error
+	}{
+		{"scheme-less peer", "http://a:1", []string{"b:8080"}, ErrBadPeer},
+		{"empty peer", "http://a:1", []string{" "}, ErrBadPeer},
+		{"ftp scheme", "http://a:1", []string{"ftp://b:1"}, ErrBadPeer},
+		{"no host", "http://a:1", []string{"http://"}, ErrBadPeer},
+		{"duplicate peer", "http://a:1", []string{"http://b:1", "http://b:1"}, ErrDuplicatePeer},
+		{"duplicate after normalization", "http://a:1", []string{"http://B:1", "http://b:1/"}, ErrDuplicatePeer},
+		{"self peer", "http://a:1", []string{"http://a:1"}, ErrSelfPeer},
+		{"self peer case-insensitive", "http://A:1", []string{"http://a:1"}, ErrSelfPeer},
+		{"bad self", "a:1", []string{"http://b:1"}, ErrBadPeer},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := ValidateConfig(tc.self, tc.peers); !errors.Is(err, tc.want) {
+				t.Fatalf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateConfigNormalizes(t *testing.T) {
+	self, peers, err := ValidateConfig("HTTP://Node-A:8080/", []string{"http://node-b:8080"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if self != "http://node-a:8080" {
+		t.Fatalf("self normalized to %q", self)
+	}
+	if len(peers) != 1 || peers[0] != "http://node-b:8080" {
+		t.Fatalf("peers normalized to %v", peers)
+	}
+}
+
+func TestForwardProxiesBytesAndMarksHop(t *testing.T) {
+	var gotBody atomic.Value
+	var gotHeader atomic.Value
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b := make([]byte, r.ContentLength)
+		_, _ = r.Body.Read(b)
+		gotBody.Store(string(b))
+		gotHeader.Store(r.Header.Get(ForwardedHeader))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTeapot) // arbitrary status must pass through
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer peer.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{peer.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, ct, body, err := c.Forward(context.Background(), peer.URL, "/v1/analyze", "application/json", []byte(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTeapot || ct != "application/json" || string(body) != `{"ok":true}` {
+		t.Fatalf("forward returned status=%d ct=%q body=%q", status, ct, body)
+	}
+	if gotBody.Load() != `{"x":1}` {
+		t.Fatalf("peer saw body %q", gotBody.Load())
+	}
+	if gotHeader.Load() != "http://self:1" {
+		t.Fatalf("peer saw forwarded header %q", gotHeader.Load())
+	}
+	st := c.Stats()
+	if st.Members[1].Forwards != 1 || st.Members[1].ForwardErrors != 0 || !st.Members[1].Healthy {
+		t.Fatalf("counters after success: %+v", st.Members[1])
+	}
+}
+
+func TestForwardRetriesThenFails(t *testing.T) {
+	// A listener that is already closed: every attempt is a transport
+	// error, so the retry budget is spent and the caller must fall back.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	url := dead.URL
+	dead.Close()
+
+	c, err := New(Config{Self: "http://self:1", Peers: []string{url}, ForwardRetries: 2, ForwardTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Forward(context.Background(), url, "/v1/analyze", "application/json", []byte("{}")); err == nil {
+		t.Fatal("forward to dead peer succeeded")
+	}
+	c.NoteFallback(url)
+	st := c.Stats()
+	if st.Members[1].ForwardErrors != 3 {
+		t.Fatalf("want 3 attempts (1+2 retries), got %d", st.Members[1].ForwardErrors)
+	}
+	if st.Members[1].Fallbacks != 1 {
+		t.Fatalf("fallback counter = %d, want 1", st.Members[1].Fallbacks)
+	}
+	if st.Members[1].Healthy {
+		t.Fatal("dead peer reported healthy")
+	}
+}
+
+func TestForwardUnknownPeer(t *testing.T) {
+	c, err := New(Config{Self: "http://self:1", Peers: []string{"http://peer:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Forward(context.Background(), "http://stranger:1", "/x", "", nil); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("got %v, want ErrUnknownPeer", err)
+	}
+}
+
+// fakeNode is an in-memory model store for replicator ordering tests.
+type fakeNode struct {
+	model   []byte
+	version uint64
+}
+
+func newFakeReplicator(t *testing.T, self string, boot []byte) (*Replicator, *fakeNode) {
+	t.Helper()
+	c, err := New(Config{Self: self, Peers: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &fakeNode{model: boot, version: 1}
+	r := NewReplicator(c,
+		func() ([]byte, uint64, error) { return n.model, n.version, nil },
+		func(m []byte, _ string) (uint64, error) { n.model = m; n.version++; return n.version, nil },
+		func() uint64 { return n.version })
+	return r, n
+}
+
+func TestReplicatorStampOrdering(t *testing.T) {
+	r, n := newFakeReplicator(t, "http://b:1", []byte("boot-b"))
+
+	// Boot content is stamped (1, self).
+	if seq, origin, _ := r.Stamp(); seq != 1 || origin != "http://b:1" {
+		t.Fatalf("boot stamp (%d, %s)", seq, origin)
+	}
+
+	// A newer remote stamp applies.
+	applied, err := r.HandleSync(SyncPayload{Origin: "http://a:1", Seq: 2, Model: []byte("from-a")})
+	if err != nil || !applied {
+		t.Fatalf("newer push: applied=%v err=%v", applied, err)
+	}
+	if string(n.model) != "from-a" || n.version != 2 {
+		t.Fatalf("apply left model=%q version=%d", n.model, n.version)
+	}
+
+	// Re-delivery of the same stamp is a no-op (idempotence).
+	applied, err = r.HandleSync(SyncPayload{Origin: "http://a:1", Seq: 2, Model: []byte("from-a")})
+	if err != nil || applied {
+		t.Fatalf("re-delivery applied=%v err=%v", applied, err)
+	}
+
+	// An older stamp is rejected.
+	applied, _ = r.HandleSync(SyncPayload{Origin: "http://z:1", Seq: 1, Model: []byte("stale")})
+	if applied {
+		t.Fatal("stale push applied")
+	}
+
+	// Equal seq ties break on origin: a higher origin wins.
+	applied, _ = r.HandleSync(SyncPayload{Origin: "http://c:1", Seq: 2, Model: []byte("from-c")})
+	if !applied {
+		t.Fatal("equal-seq higher-origin push rejected")
+	}
+
+	// A local change (version moved without a sync apply) outranks the
+	// remote stamp: it bumps seq past everything seen.
+	n.version++ // simulate a local rollback/promotion
+	if seq, origin, _ := r.Stamp(); seq != 3 || origin != "http://b:1" {
+		t.Fatalf("local change stamped (%d, %s), want (3, self)", seq, origin)
+	}
+	applied, _ = r.HandleSync(SyncPayload{Origin: "http://a:1", Seq: 2, Model: []byte("old-a")})
+	if applied {
+		t.Fatal("push older than local change applied")
+	}
+}

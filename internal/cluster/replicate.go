@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SyncPayload is the POST /v1/models/sync body: a full model snapshot
+// stamped with a Lamport (Seq, Origin) pair. Pushing the whole payload
+// every interval (anti-entropy) rather than only on change means a peer
+// that was down converges within one interval of returning, with no
+// missed-delta bookkeeping.
+type SyncPayload struct {
+	// Origin is the member ID of the node whose local change (train,
+	// retrain promotion, rollback) produced this content.
+	Origin string `json:"origin"`
+	// Seq is the Lamport sequence of that change. A receiver applies the
+	// payload iff (Seq, Origin) is lexicographically newer than the stamp
+	// of the content it serves — so the latest operator action wins
+	// cluster-wide and re-deliveries are no-ops.
+	Seq uint64 `json:"seq"`
+	// Version is the origin node's local registry version for the
+	// content, carried for observability only: versions are minted
+	// per-node and diverge, the stamp is what orders content.
+	Version uint64 `json:"version"`
+	Note    string `json:"note"`
+	// Model is the serialized model set (misam.Framework.Save format).
+	Model []byte `json:"model"`
+}
+
+// SyncPath is the registry replication endpoint.
+const SyncPath = "/v1/models/sync"
+
+// Replicator keeps the registry converged across members. It watches
+// the local registry for changes (promotions AND rollbacks — any
+// version movement not caused by a sync apply), stamps each with a
+// Lamport (seq, self) pair, and pushes the full current snapshot to
+// every peer each sync interval. HandleSync is the receiving side.
+type Replicator struct {
+	c *Cluster
+
+	// export snapshots the current model set: serialized bytes plus the
+	// local registry version they correspond to.
+	export func() ([]byte, uint64, error)
+	// apply installs a received model set and returns the local registry
+	// version it was published as.
+	apply func(model []byte, note string) (uint64, error)
+	// version reads the current local registry version.
+	version func() uint64
+
+	mu sync.Mutex
+	// seq/origin stamp the content currently served; lastVersion is the
+	// local registry version that content carries, used to detect local
+	// changes (a rollback moves the version down — any difference
+	// counts).
+	seq         uint64
+	origin      string
+	lastVersion uint64
+
+	applies int64 // pushes applied (for /v1/cluster observability)
+}
+
+// NewReplicator wires a replicator over the cluster's peer table.
+func NewReplicator(c *Cluster, export func() ([]byte, uint64, error), apply func([]byte, string) (uint64, error), version func() uint64) *Replicator {
+	r := &Replicator{c: c, export: export, apply: apply, version: version}
+	r.lastVersion = version()
+	if r.lastVersion != 0 {
+		// The boot model (train/load) is a local change at seq 1.
+		r.seq, r.origin = 1, c.Self()
+	}
+	return r
+}
+
+// Run pushes to every peer each sync interval until ctx is done.
+func (r *Replicator) Run(ctx context.Context) {
+	t := time.NewTicker(r.c.SyncInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.SyncNow(ctx)
+		}
+	}
+}
+
+// SyncNow pushes the current snapshot to every peer immediately — the
+// retrain and rollback handlers call it so an operator action
+// propagates without waiting out the interval. Push failures are
+// counted per peer and otherwise ignored: the next interval retries.
+func (r *Replicator) SyncNow(ctx context.Context) {
+	payload, ok := r.snapshotPayload()
+	if !ok {
+		return
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	var wg sync.WaitGroup
+	for _, id := range r.c.PeerIDs() {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			r.pushOne(ctx, id, body)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (r *Replicator) pushOne(ctx context.Context, member string, body []byte) {
+	p, ok := r.c.peers[member]
+	if !ok {
+		return
+	}
+	actx, cancel := context.WithTimeout(ctx, r.c.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, member+SyncPath, bytes.NewReader(body))
+	if err != nil {
+		p.syncErrors.Add(1)
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(ForwardedHeader, r.c.Self())
+	resp, err := p.client.Do(req)
+	if err != nil {
+		p.syncErrors.Add(1)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		p.syncErrors.Add(1)
+		return
+	}
+	p.syncPushes.Add(1)
+}
+
+// snapshotPayload captures the current model under the stamp lock,
+// first folding in any unstamped local change.
+func (r *Replicator) snapshotPayload() (SyncPayload, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteLocalChangeLocked()
+	if r.origin == "" {
+		return SyncPayload{}, false // no model published yet
+	}
+	model, ver, err := r.export()
+	if err != nil {
+		return SyncPayload{}, false
+	}
+	return SyncPayload{
+		Origin:  r.origin,
+		Seq:     r.seq,
+		Version: ver,
+		Note:    fmt.Sprintf("sync from %s (seq %d)", r.origin, r.seq),
+		Model:   model,
+	}, true
+}
+
+// noteLocalChangeLocked detects a registry version that moved (in
+// either direction — retrain promotions go up, rollbacks go down)
+// without a sync apply, and stamps it as a fresh local change that
+// outranks everything this node has seen.
+func (r *Replicator) noteLocalChangeLocked() {
+	cur := r.version()
+	if cur != r.lastVersion {
+		r.seq++
+		r.origin = r.c.Self()
+		r.lastVersion = cur
+	}
+}
+
+// HandleSync is the receiving side of POST /v1/models/sync: apply the
+// payload iff its stamp is newer than the stamp of the content this
+// node serves. Returns whether it applied.
+func (r *Replicator) HandleSync(p SyncPayload) (applied bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteLocalChangeLocked()
+	if p.Seq < r.seq || (p.Seq == r.seq && p.Origin <= r.origin) {
+		return false, nil // not newer (or identical content): idempotent no-op
+	}
+	ver, err := r.apply(p.Model, p.Note)
+	if err != nil {
+		return false, err
+	}
+	r.seq, r.origin, r.lastVersion = p.Seq, p.Origin, ver
+	r.applies++
+	return true, nil
+}
+
+// Stamp reports the Lamport stamp of the content this node serves and
+// how many sync pushes it has applied (for GET /v1/cluster).
+func (r *Replicator) Stamp() (seq uint64, origin string, applies int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteLocalChangeLocked()
+	return r.seq, r.origin, r.applies
+}

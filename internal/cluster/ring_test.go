@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"misam/internal/memo"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+func randKeys(n int, seed int64) []memo.Key {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]memo.Key, n)
+	for i := range keys {
+		keys[i] = memo.Key{Hi: rng.Uint64(), Lo: rng.Uint64()}
+	}
+	return keys
+}
+
+// TestRingBalance pins the distribution property: with the default
+// vnode count every member's observed key share stays inside a
+// tolerance band around 1/N, and the arc-length Shares estimate tracks
+// the observed shares.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			members := testMembers(n)
+			r, err := NewRing(members, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			keys := randKeys(40000, int64(n))
+			counts := make(map[string]int, n)
+			for _, k := range keys {
+				counts[r.Owner(k)]++
+			}
+			want := float64(len(keys)) / float64(n)
+			// 64 vnodes/member keeps shares within a factor ~2 of uniform
+			// with overwhelming probability; the band is deterministic here
+			// because keys and members are fixed.
+			lo, hi := want*0.45, want*2.2
+			for _, m := range members {
+				if c := counts[m]; float64(c) < lo || float64(c) > hi {
+					t.Errorf("member %s owns %d of %d keys, outside [%.0f, %.0f]", m, c, len(keys), lo, hi)
+				}
+			}
+			shares := r.Shares()
+			var sum float64
+			for _, m := range members {
+				sum += shares[m]
+				observed := float64(counts[m]) / float64(len(keys))
+				if diff := shares[m] - observed; diff > 0.02 || diff < -0.02 {
+					t.Errorf("member %s: arc share %.4f vs observed %.4f", m, shares[m], observed)
+				}
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("shares sum to %.6f, want 1", sum)
+			}
+		})
+	}
+}
+
+// TestRingMinimalRemap pins consistent hashing's reason to exist:
+// removing one member remaps ONLY the keys that member owned — every
+// other key keeps its owner — and the remapped fraction is ~1/N.
+func TestRingMinimalRemap(t *testing.T) {
+	const n = 5
+	members := testMembers(n)
+	full, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := members[2]
+	reduced, err := NewRing(append(append([]string(nil), members[:2]...), members[3:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := randKeys(40000, 7)
+	remapped := 0
+	for _, k := range keys {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == removed {
+			remapped++
+			if after == removed {
+				t.Fatalf("key %v still owned by removed member", k)
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %v moved %s -> %s though its owner stayed in the ring", k, before, after)
+		}
+	}
+	frac := float64(remapped) / float64(len(keys))
+	if frac < 0.5/n || frac > 2.2/n {
+		t.Errorf("removal remapped %.3f of keys, want ~1/%d", frac, n)
+	}
+}
+
+// TestRingDeterminism pins that every node computes the same owner for
+// the same key: rings built from any permutation of the member list are
+// identical.
+func TestRingDeterminism(t *testing.T) {
+	members := testMembers(6)
+	base, err := NewRing(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := randKeys(5000, 11)
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 4; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d: key %v owned by %s, want %s", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingRejectsDuplicates(t *testing.T) {
+	if _, err := NewRing([]string{"http://a:1", "http://b:1", "http://a:1"}, 0); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"http://solo:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range randKeys(100, 3) {
+		if r.Owner(k) != "http://solo:1" {
+			t.Fatal("single-member ring routed a key elsewhere")
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package experiments
+
+// The PR9 cluster trajectory record: a two-node loopback cluster with
+// fingerprint-sharded routing versus a single node on the same request
+// stream. The record pins the subsystem's three acceptance properties —
+// bit-identical answers regardless of deployment shape, a cluster-wide
+// warm cache whose hit latency stays within 2x of the single-node warm
+// hit, and graceful degradation (zero failed requests) when a peer dies
+// mid-stream.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"misam"
+	"misam/internal/cluster"
+	"misam/internal/reconfig"
+	"misam/internal/registry"
+	"misam/internal/server"
+)
+
+// ClusterReportData is the machine-readable cluster record
+// (BENCH_PR9.json).
+type ClusterReportData struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+
+	// Stream shape: DistinctPairs operand pairs, each sent Rounds times
+	// to the cluster (alternating entry member) and to the single node.
+	Nodes           int `json:"nodes"`
+	DistinctPairs   int `json:"distinct_pairs"`
+	Rounds          int `json:"rounds"`
+	ClusterRequests int `json:"cluster_requests"`
+
+	// Equivalent pins bit-identical deterministic response fields between
+	// the cluster and the single node on every request of the stream.
+	Equivalent bool `json:"equivalent"`
+
+	// Cluster-wide cache behaviour: each distinct pair must be built on
+	// exactly one member (Misses == DistinctPairs) with every repetition a
+	// hit, no matter which member the client hit (Forwards > 0).
+	ClusterMisses int64 `json:"cluster_misses"`
+	ClusterHits   int64 `json:"cluster_hits"`
+	Forwards      int64 `json:"forwards"`
+
+	// Warm-hit latency, measured over the same repeated requests through
+	// both deployments. The cluster pays an extra proxy hop whenever the
+	// entry member is not the owner; the gate is p50 within 2x.
+	SingleWarmP50NsOp  int64   `json:"single_warm_p50_ns_op"`
+	SingleWarmP99NsOp  int64   `json:"single_warm_p99_ns_op"`
+	ClusterWarmP50NsOp int64   `json:"cluster_warm_p50_ns_op"`
+	ClusterWarmP99NsOp int64   `json:"cluster_warm_p99_ns_op"`
+	WarmRatioP50       float64 `json:"warm_ratio_p50"`
+	// The PR8 record's single-node binary warm hit, when present — the
+	// prior-trajectory yardstick the 2x gate was stated against.
+	PR8WarmHitP50 int64 `json:"pr8_warm_hit_p50_ns_op,omitempty"`
+
+	// Peer-kill phase: the owner of the probe pair is killed and the full
+	// pair set replayed through the survivor. Every request must answer
+	// 200 (Failed == 0), with at least one recorded local fallback.
+	PeerKillRequests  int   `json:"peer_kill_requests"`
+	PeerKillFailed    int   `json:"peer_kill_failed"`
+	PeerKillFallbacks int64 `json:"peer_kill_fallbacks"`
+}
+
+// clusterEquivalenceFields are the deterministic analyze-response fields
+// compared between deployments. Device identity, node identity,
+// wall-clock timings and reconfiguration verdicts (which depend on which
+// physical device served) are excluded by design.
+var clusterEquivalenceFields = []string{
+	"design", "model_version", "predicted_ms", "simulated_ms",
+	"pe_utilization", "energy_mj", "cpu_ms", "gpu_ms", "trapezoid_ms",
+	"path", "confidence",
+}
+
+// clusterCloneFW builds an independent framework (own registry, own
+// cache) carrying the shared models, via a Save/Load round-trip, and
+// publishes the CGRA pricing regime so the design verdict is a pure
+// function of the operands and models — the same recipe as the
+// placement benchmark.
+func clusterCloneFW(fw *misam.Framework) (*misam.Framework, error) {
+	var buf bytes.Buffer
+	if err := fw.Save(&buf); err != nil {
+		return nil, err
+	}
+	cp, err := misam.Load(&buf)
+	if err != nil {
+		return nil, err
+	}
+	cur := cp.Registry().Current()
+	times := cur.Engine().Times.WithMode(reconfig.CGRA)
+	times.CGRASeconds = placementBenchCGRASeconds
+	cgra := reconfig.NewEngine(cur.Engine().Predictor, times, placementBenchThreshold)
+	snap, err := registry.NewSnapshot(cur.Classifier(), cgra, registry.Info{
+		Source: registry.SourceTrain,
+		Note:   "CGRA pricing for the cluster benchmark",
+	})
+	if err != nil {
+		return nil, err
+	}
+	cp.Registry().Publish(snap)
+	return cp, nil
+}
+
+// benchNode is one loopback cluster member of the benchmark.
+type benchNode struct {
+	url string
+	srv *server.Server
+	hs  *http.Server
+}
+
+func (n *benchNode) close() {
+	_ = n.hs.Close()
+	n.srv.Close()
+}
+
+// startBenchCluster brings up one loopback member per framework, each
+// peering with all the others. The sync interval is deliberately long:
+// a replication apply would rebuild the receiver's engine under the
+// default pricing and break the CGRA equivalence regime mid-run.
+func startBenchCluster(fws []*misam.Framework) ([]*benchNode, error) {
+	listeners := make([]net.Listener, len(fws))
+	urls := make([]string, len(fws))
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*benchNode, len(fws))
+	for i, fw := range fws {
+		peers := make([]string, 0, len(fws)-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		srv, err := server.NewClustered(fw, server.Config{
+			CacheBytes: 64 << 20,
+			Cluster: cluster.Config{
+				Self:           urls[i],
+				Peers:          peers,
+				SyncInterval:   time.Hour,
+				ForwardRetries: 1,
+				ForwardTimeout: 10 * time.Second,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func(i int) { _ = hs.Serve(listeners[i]) }(i)
+		nodes[i] = &benchNode{url: urls[i], srv: srv, hs: hs}
+	}
+	return nodes, nil
+}
+
+// clusterCounters reads one member's cache and forwarding counters over
+// the public API — the same view an operator gets.
+func clusterCounters(client *http.Client, url string) (hits, misses, forwards, fallbacks int64, err error) {
+	resp, err := client.Get(url + "/v1/stats")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var stats struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	resp, err = client.Get(url + "/v1/cluster")
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var cl struct {
+		Stats struct {
+			Members []struct {
+				Forwards  int64 `json:"forwards"`
+				Fallbacks int64 `json:"fallbacks"`
+			} `json:"members"`
+		} `json:"stats"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&cl)
+	resp.Body.Close()
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, m := range cl.Stats.Members {
+		forwards += m.Forwards
+		fallbacks += m.Fallbacks
+	}
+	return stats.Cache.Hits, stats.Cache.Misses, forwards, fallbacks, nil
+}
+
+// ClusterReport replays one repeated-operand request stream through a
+// two-node loopback cluster and a single node built from the same
+// models, gates equivalence, warm-hit latency and peer-kill survival,
+// and rewrites the BENCH_PR9.json trajectory record.
+func ClusterReport(ctxE *Context, path string, w io.Writer) (ClusterReportData, error) {
+	header(w, "Cluster report: fingerprint-sharded 2-node cluster vs single node")
+	const (
+		nNodes = 2
+		nPairs = 8
+		rounds = 4
+	)
+	rep := ClusterReportData{
+		Schema:        "misam-cluster/1",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Nodes:         nNodes,
+		DistinctPairs: nPairs,
+		Rounds:        rounds,
+	}
+	base, err := ctxE.Framework()
+	if err != nil {
+		return rep, fmt.Errorf("experiments: cluster framework: %w", err)
+	}
+
+	// Three independent frameworks carrying identical models: one per
+	// cluster member, one for the single-node baseline.
+	fws := make([]*misam.Framework, nNodes)
+	for i := range fws {
+		if fws[i], err = clusterCloneFW(base); err != nil {
+			return rep, fmt.Errorf("experiments: cluster clone: %w", err)
+		}
+	}
+	singleFW, err := clusterCloneFW(base)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: cluster clone: %w", err)
+	}
+	single, err := server.NewClustered(singleFW, server.Config{CacheBytes: 64 << 20})
+	if err != nil {
+		return rep, err
+	}
+	defer single.Close()
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	singleHS := &http.Server{Handler: single.Handler()}
+	go func() { _ = singleHS.Serve(sl) }()
+	defer singleHS.Close()
+	singleURL := "http://" + sl.Addr().String()
+
+	nodes, err := startBenchCluster(fws)
+	if err != nil {
+		return rep, fmt.Errorf("experiments: cluster boot: %w", err)
+	}
+	for _, n := range nodes {
+		defer n.close()
+	}
+
+	bodies := make([][]byte, nPairs)
+	for i := range bodies {
+		bodies[i], err = json.Marshal(map[string]any{
+			"a_spec": "uniform:160:128:0.05",
+			"b_spec": "uniform:128:96:0.08",
+			"seed":   9000 + i*17,
+		})
+		if err != nil {
+			return rep, err
+		}
+	}
+
+	// --- Equivalence + warm-hit phase: every pair, Rounds times, through
+	// both deployments; the cluster entry member alternates per request so
+	// routing — not client affinity — is what keeps the cache warm. Round
+	// 0 is the cold build; later rounds are the timed warm hits.
+	client := &http.Client{}
+	rep.Equivalent = true
+	servedBy := make([]string, nPairs)
+	var singleWarm, clusterWarm []int64
+	for round := 0; round < rounds; round++ {
+		for i, body := range bodies {
+			nsS, want, err := postTimed(client, singleURL+"/v1/analyze", "application/json", body)
+			if err != nil {
+				return rep, fmt.Errorf("experiments: single node pair %d: %w", i, err)
+			}
+			entry := nodes[(round*nPairs+i)%nNodes]
+			nsC, got, err := postTimed(client, entry.url+"/v1/analyze", "application/json", body)
+			if err != nil {
+				return rep, fmt.Errorf("experiments: cluster pair %d via %s: %w", i, entry.url, err)
+			}
+			rep.ClusterRequests++
+			servedBy[i], _ = got["node"].(string)
+			for _, f := range clusterEquivalenceFields {
+				if fmt.Sprintf("%v", got[f]) != fmt.Sprintf("%v", want[f]) {
+					rep.Equivalent = false
+					fmt.Fprintf(w, "DIVERGED pair %d round %d field %q: cluster %v, single %v\n",
+						i, round, f, got[f], want[f])
+				}
+			}
+			if round > 0 {
+				singleWarm = append(singleWarm, nsS)
+				clusterWarm = append(clusterWarm, nsC)
+			}
+		}
+	}
+	rep.SingleWarmP50NsOp = pctNs(singleWarm, 0.50)
+	rep.SingleWarmP99NsOp = pctNs(singleWarm, 0.99)
+	rep.ClusterWarmP50NsOp = pctNs(clusterWarm, 0.50)
+	rep.ClusterWarmP99NsOp = pctNs(clusterWarm, 0.99)
+	if rep.SingleWarmP50NsOp > 0 {
+		rep.WarmRatioP50 = float64(rep.ClusterWarmP50NsOp) / float64(rep.SingleWarmP50NsOp)
+	}
+
+	for _, n := range nodes {
+		hits, misses, forwards, _, err := clusterCounters(client, n.url)
+		if err != nil {
+			return rep, fmt.Errorf("experiments: cluster counters: %w", err)
+		}
+		rep.ClusterHits += hits
+		rep.ClusterMisses += misses
+		rep.Forwards += forwards
+	}
+
+	// --- Peer-kill phase: kill the member that owns the first pair and
+	// replay the whole pair set through the survivor. Requests owned by
+	// the dead member must fall back to local serving, never to a client
+	// error.
+	var victim, survivor *benchNode
+	for _, n := range nodes {
+		if n.url == servedBy[0] {
+			victim = n
+		} else {
+			survivor = n
+		}
+	}
+	if victim == nil || survivor == nil {
+		return rep, fmt.Errorf("experiments: cluster could not split owner/survivor (owner %q)", servedBy[0])
+	}
+	victim.close()
+	for i, body := range bodies {
+		rep.PeerKillRequests++
+		resp, err := client.Post(survivor.url+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			rep.PeerKillFailed++
+			fmt.Fprintf(w, "peer-kill pair %d: transport error %v\n", i, err)
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			rep.PeerKillFailed++
+			fmt.Fprintf(w, "peer-kill pair %d: status %d\n", i, resp.StatusCode)
+		}
+	}
+	if _, _, _, fallbacks, err := clusterCounters(client, survivor.url); err == nil {
+		rep.PeerKillFallbacks = fallbacks
+	}
+
+	fmt.Fprintf(w, "stream: %d pairs x %d rounds through %d-node cluster and single node; equivalent %v\n",
+		rep.DistinctPairs, rep.Rounds, rep.Nodes, rep.Equivalent)
+	fmt.Fprintf(w, "cluster-wide cache: %d misses (want %d), %d hits, %d forwards\n",
+		rep.ClusterMisses, rep.DistinctPairs, rep.ClusterHits, rep.Forwards)
+	fmt.Fprintf(w, "warm hit p50: single %d ns, cluster %d ns (%.2fx); p99 %d vs %d ns\n",
+		rep.SingleWarmP50NsOp, rep.ClusterWarmP50NsOp, rep.WarmRatioP50,
+		rep.SingleWarmP99NsOp, rep.ClusterWarmP99NsOp)
+	fmt.Fprintf(w, "peer kill: %d requests, %d failed, %d local fallbacks\n",
+		rep.PeerKillRequests, rep.PeerKillFailed, rep.PeerKillFallbacks)
+
+	// The PR8 record's single-node binary warm hit, for trajectory
+	// context only (it measures the binary path; this report's own
+	// single-node JSON warm hit is the like-for-like gate).
+	if data, err := os.ReadFile("BENCH_PR8.json"); err == nil {
+		var pr8 struct {
+			WarmHitP50NsOp int64 `json:"warm_hit_p50_ns_op"`
+		}
+		if json.Unmarshal(data, &pr8) == nil && pr8.WarmHitP50NsOp > 0 {
+			rep.PR8WarmHitP50 = pr8.WarmHitP50NsOp
+			fmt.Fprintf(w, "BENCH_PR8 single-node binary warm hit: %d ns\n", pr8.WarmHitP50NsOp)
+		}
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return rep, err
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return rep, fmt.Errorf("experiments: cluster report: %w", err)
+		}
+		// Re-read and gate: the record is a CI artifact carrying the PR's
+		// acceptance criteria — a run that misses them fails loudly.
+		back, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		var check ClusterReportData
+		if err := json.Unmarshal(back, &check); err != nil {
+			return rep, fmt.Errorf("experiments: cluster report unreadable: %w", err)
+		}
+		if check.Schema != "misam-cluster/1" {
+			return rep, fmt.Errorf("experiments: cluster report schema %q", check.Schema)
+		}
+		if !check.Equivalent {
+			return rep, fmt.Errorf("experiments: cluster and single node diverged on the same stream")
+		}
+		if check.ClusterMisses != int64(check.DistinctPairs) {
+			return rep, fmt.Errorf("experiments: cluster built %d pairs, want exactly %d (one owner per pair)",
+				check.ClusterMisses, check.DistinctPairs)
+		}
+		if check.Forwards == 0 {
+			return rep, fmt.Errorf("experiments: no request was forwarded — routing never exercised")
+		}
+		if check.WarmRatioP50 > 2 {
+			return rep, fmt.Errorf("experiments: cluster warm hit p50 %d ns is %.2fx the single-node %d ns, want <= 2x",
+				check.ClusterWarmP50NsOp, check.WarmRatioP50, check.SingleWarmP50NsOp)
+		}
+		if check.PeerKillFailed != 0 {
+			return rep, fmt.Errorf("experiments: %d of %d requests failed after the peer kill, want 0",
+				check.PeerKillFailed, check.PeerKillRequests)
+		}
+		if check.PeerKillFallbacks == 0 {
+			return rep, fmt.Errorf("experiments: peer kill recorded no local fallbacks — the dead owner was never routed to")
+		}
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+	return rep, nil
+}

@@ -28,6 +28,7 @@ package memo
 import (
 	"container/list"
 	"context"
+	"encoding/binary"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -44,6 +45,17 @@ import (
 // extraction).
 type Key struct {
 	Hi, Lo uint64
+}
+
+// Bytes renders the key as 16 little-endian bytes (Lo then Hi) — the
+// stable wire form cluster routing hashes to pick an owner node. Two
+// keys are equal iff their byte images are equal, so any node hashing
+// the same operand pair lands on the same ring point.
+func (k Key) Bytes() [16]byte {
+	var out [16]byte
+	binary.LittleEndian.PutUint64(out[:8], k.Lo)
+	binary.LittleEndian.PutUint64(out[8:], k.Hi)
+	return out
 }
 
 // PairKey combines the two operand fingerprints into a cache key. The

@@ -30,6 +30,7 @@ const (
 	SourceTrain   = "train"   // initial offline training (misam.Train)
 	SourceLoad    = "load"    // restored from a model file (misam.Load)
 	SourceRetrain = "retrain" // promoted by the online retrainer
+	SourceSync    = "sync"    // replicated from a cluster peer
 )
 
 // Metrics are the shadow-evaluation numbers attached to a snapshot at

@@ -142,6 +142,13 @@ func (s *Server) handleAnalyzeBinary(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	// Cluster routing happens on the wire fingerprints alone: the owner
+	// lookup decodes nothing, and a forwarded body is proxied byte for
+	// byte — the owner node re-parses the identical blobs.
+	if !s.forwardedIn(r) &&
+		s.maybeForward(ctx, w, "/v1/analyze", BinaryContentType, body.Bytes(), s.fw.WireKey(va, vb)) {
+		return
+	}
 	resp, herr := s.analyzeOneBinary(ctx, va, vb)
 	if herr != nil {
 		writeErr(w, herr.status, herr.err)
@@ -160,9 +167,15 @@ func (s *Server) handleAnalyzeBatchBinary(w http.ResponseWriter, r *http.Request
 
 	// The whole body parses up front: batch semantics (item count limits,
 	// malformed framing) are validated before any device work starts.
-	type pair struct{ a, b misam.WireView }
+	// raw keeps each item's contiguous slice of the body so a peer-owned
+	// item forwards its original bytes with no re-encode.
+	type pair struct {
+		a, b misam.WireView
+		raw  []byte
+	}
 	var pairs []pair
-	rest := body.Bytes()
+	all := body.Bytes()
+	rest := all
 	if len(rest) == 0 {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("batch has no items"))
 		return
@@ -173,24 +186,33 @@ func (s *Server) handleAnalyzeBatchBinary(w http.ResponseWriter, r *http.Request
 				fmt.Errorf("batch exceeds %d items", s.cfg.MaxBatchItems))
 			return
 		}
+		start := len(all) - len(rest)
 		va, vb, next, herr := parsePair(rest)
 		if herr != nil {
 			herr.err = fmt.Errorf("item %d: %w", len(pairs), herr.err)
 			writeErr(w, herr.status, herr.err)
 			return
 		}
-		pairs = append(pairs, pair{va, vb})
+		pairs = append(pairs, pair{va, vb, all[start : len(all)-len(next)]})
 		rest = next
 	}
 
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	forwarded := s.forwardedIn(r)
 	out := batchResponse{Items: make([]batchItemResponse, len(pairs))}
 	var wg sync.WaitGroup
 	for i := range pairs {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			if s.cluster != nil && !forwarded {
+				if resp, ok := s.routeItem(ctx, BinaryContentType, pairs[i].raw,
+					s.fw.WireKey(pairs[i].a, pairs[i].b)); ok {
+					out.Items[i] = batchItemResponse{analyzeResponse: resp}
+					return
+				}
+			}
 			resp, herr := s.analyzeOneBinary(ctx, pairs[i].a, pairs[i].b)
 			if herr != nil {
 				out.Items[i] = batchItemResponse{Error: herr.Error()}

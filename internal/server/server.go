@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"misam"
+	"misam/internal/cluster"
 	"misam/internal/fleet"
 	"misam/internal/online"
 	"misam/internal/placement"
@@ -108,6 +109,11 @@ type Config struct {
 	// rejected with 415 instead of decoded. The zero value accepts both
 	// formats.
 	DisableBinary bool
+	// Cluster, when its Self field is set, joins this server to a
+	// fingerprint-sharded cluster: analyze requests are routed to the
+	// member owning their content key, and model promotions/rollbacks
+	// replicate to peers. See internal/cluster and NewClustered.
+	Cluster cluster.Config
 }
 
 const (
@@ -164,6 +170,11 @@ type Server struct {
 	// rebalancer keeps the fleet's bitstream portfolio tracking the
 	// traffic mix (nil unless Placement and RebalanceInterval are set).
 	rebalancer *placement.Rebalancer
+	// cluster and replicator are the sharded-serving state (nil outside a
+	// cluster); syncCancel stops the replication push loop.
+	cluster    *cluster.Cluster
+	replicator *cluster.Replicator
+	syncCancel context.CancelFunc
 
 	// onAcquire, when set, runs after a request checks its device out and
 	// before analysis starts. Test hook for concurrency assertions.
@@ -177,8 +188,21 @@ func New(fw *misam.Framework) *Server {
 }
 
 // NewWithConfig returns a Server over a fleet of cfg.Devices fresh
-// accelerators.
+// accelerators. It panics on a malformed cluster configuration — use
+// NewClustered to validate one gracefully.
 func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
+	s, err := NewClustered(fw, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewClustered is NewWithConfig with the cluster configuration's
+// fail-fast validation surfaced: malformed member addresses come back
+// as cluster.ErrBadPeer / ErrDuplicatePeer / ErrSelfPeer before any
+// background work starts. Configurations without a cluster never fail.
+func NewClustered(fw *misam.Framework, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CacheBytes > 0 {
 		fw.WithCache(cfg.CacheBytes)
@@ -216,7 +240,13 @@ func NewWithConfig(fw *misam.Framework, cfg Config) *Server {
 		})
 		s.rebalancer.Start()
 	}
-	return s
+	if cfg.Cluster.Self != "" {
+		if err := s.startCluster(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Fleet exposes the server's device pool (for stats and tests).
@@ -226,10 +256,13 @@ func (s *Server) Fleet() *misam.Fleet { return s.fleet }
 // off).
 func (s *Server) Manager() *online.Manager { return s.manager }
 
-// Close stops the background adaptation loop, the portfolio rebalancer
-// and the fast-path verifier pool, if any. The HTTP handler itself is
-// stateless and needs no teardown.
+// Close stops the background adaptation loop, the portfolio rebalancer,
+// the replication push loop and the fast-path verifier pool, if any.
+// The HTTP handler itself is stateless and needs no teardown.
 func (s *Server) Close() {
+	if s.syncCancel != nil {
+		s.syncCancel()
+	}
 	if s.rebalancer != nil {
 		s.rebalancer.Close()
 	}
@@ -249,8 +282,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/cluster", s.handleCluster)
 	mux.HandleFunc("POST /v1/models/retrain", s.handleRetrain)
 	mux.HandleFunc("POST /v1/models/rollback", s.handleRollback)
+	mux.HandleFunc("POST /v1/models/sync", s.handleModelSync)
 	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", s.handleAnalyzeBatch)
 	return mux
@@ -370,7 +405,23 @@ type placementStats struct {
 	DemandN int64     `json:"demand_n,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("scope") == "cluster" {
+		if s.cluster == nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("scope=cluster needs a cluster deployment"))
+			return
+		}
+		if !s.forwardedIn(r) {
+			s.handleClusterStats(w, r)
+			return
+		}
+		// A peer's fan-out probe: answer with the local view below.
+	}
+	writeJSON(w, http.StatusOK, s.localStats())
+}
+
+// localStats assembles this node's statsResponse.
+func (s *Server) localStats() statsResponse {
 	st, ok := s.fw.CacheStats()
 	resp := statsResponse{
 		CacheEnabled: ok,
@@ -405,7 +456,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		}
 		resp.Placement = ps
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // modelsResponse lists the registry contents.
@@ -443,6 +494,9 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
+	if out.Promote {
+		s.syncAfterModelChange()
+	}
 	writeJSON(w, http.StatusOK, retrainResponse{Outcome: out, Current: s.fw.Registry().Current().Version()})
 }
 
@@ -458,6 +512,7 @@ func (s *Server) handleRollback(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, http.StatusConflict, err)
 		return
 	}
+	s.syncAfterModelChange()
 	writeJSON(w, http.StatusOK, rollbackResponse{Current: snap.Version(), Info: snap.Info()})
 }
 
@@ -493,6 +548,10 @@ type analyzeResponse struct {
 	// design when the fast-path gate evaluated it.
 	Path       string  `json:"path,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
+	// Node is the cluster member that actually served the analysis
+	// (omitted outside a cluster). A forwarded request carries the owner
+	// node's ID here, not the member the client hit.
+	Node string `json:"node,omitempty"`
 }
 
 // httpError pairs a status code with a client-facing message.
@@ -527,22 +586,53 @@ func (s *Server) withDevice(ctx context.Context, wl *misam.Workload, fn func(*mi
 	return run(dev)
 }
 
+// resolveWorkload materializes one request's operands into a simulation
+// workload — the request's content key (and therefore its cluster
+// owner) is defined by the resolved operand bytes.
+func (s *Server) resolveWorkload(req analyzeRequest) (*misam.Workload, *httpError) {
+	a, err := loadOperand(req.AMatrixMarket, req.ASpec, req.Seed, nil)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, fmt.Errorf("matrix A: %w", err)}
+	}
+	b, err := loadOperand(req.BMatrixMarket, req.BSpec, req.Seed+1, a)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest, fmt.Errorf("matrix B: %w", err)}
+	}
+	wl, err := misam.NewWorkload(a, b)
+	if err != nil {
+		return nil, &httpError{http.StatusBadRequest,
+			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)}
+	}
+	return wl, nil
+}
+
 // analyzeOne resolves one request's operands, checks a device out of the
 // fleet, and runs the analyze pipeline. The workload precompute is built
 // once and shared between Analyze and the baseline comparison.
 func (s *Server) analyzeOne(ctx context.Context, req analyzeRequest) (analyzeResponse, *httpError) {
-	a, err := loadOperand(req.AMatrixMarket, req.ASpec, req.Seed, nil)
-	if err != nil {
-		return analyzeResponse{}, &httpError{http.StatusBadRequest, fmt.Errorf("matrix A: %w", err)}
+	wl, herr := s.resolveWorkload(req)
+	if herr != nil {
+		return analyzeResponse{}, herr
 	}
-	b, err := loadOperand(req.BMatrixMarket, req.BSpec, req.Seed+1, a)
-	if err != nil {
-		return analyzeResponse{}, &httpError{http.StatusBadRequest, fmt.Errorf("matrix B: %w", err)}
+	return s.analyzeWorkload(ctx, wl)
+}
+
+// analyzeOneRouted is analyzeOne with cluster routing: an item owned by
+// a peer is re-marshalled alone and proxied through the peer's
+// single-analyze endpoint. forwarded marks requests that already
+// crossed a hop (always served locally).
+func (s *Server) analyzeOneRouted(ctx context.Context, req analyzeRequest, forwarded bool) (analyzeResponse, *httpError) {
+	wl, herr := s.resolveWorkload(req)
+	if herr != nil {
+		return analyzeResponse{}, herr
 	}
-	wl, err := misam.NewWorkload(a, b)
-	if err != nil {
-		return analyzeResponse{}, &httpError{http.StatusBadRequest,
-			fmt.Errorf("dimension mismatch: A is %dx%d, B is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)}
+	if s.cluster != nil && !forwarded {
+		item, err := json.Marshal(req)
+		if err == nil {
+			if resp, ok := s.routeItem(ctx, "application/json", item, s.fw.AnalysisKey(wl.A, wl.B)); ok {
+				return resp, nil
+			}
+		}
 	}
 	return s.analyzeWorkload(ctx, wl)
 }
@@ -595,7 +685,9 @@ func (s *Server) analyzeWorkload(ctx context.Context, wl *misam.Workload) (analy
 	if err != nil {
 		return analyzeResponse{}, &httpError{statusFor(err), err}
 	}
-	return buildResponse(rep, cmp), nil
+	resp := buildResponse(rep, cmp)
+	resp.Node = s.nodeID()
+	return resp, nil
 }
 
 // buildResponse renders a report + baseline comparison as the wire
@@ -703,14 +795,31 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.handleAnalyzeBinary(w, r)
 		return
 	}
-	var req analyzeRequest
-	if herr := s.decodeBody(w, r, &req); herr != nil {
+	// The raw body is read (not streamed into the decoder) because a
+	// cluster deployment may proxy it to the owner node byte for byte.
+	buf, herr := s.readBody(w, r)
+	if herr != nil {
 		writeErr(w, herr.status, herr.err)
+		return
+	}
+	defer putBody(buf)
+	var req analyzeRequest
+	if err := json.Unmarshal(buf.Bytes(), &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
 		return
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
-	resp, herr := s.analyzeOne(ctx, req)
+	wl, herr := s.resolveWorkload(req)
+	if herr != nil {
+		writeErr(w, herr.status, herr.err)
+		return
+	}
+	if !s.forwardedIn(r) &&
+		s.maybeForward(ctx, w, "/v1/analyze", "application/json", buf.Bytes(), s.fw.AnalysisKey(wl.A, wl.B)) {
+		return
+	}
+	resp, herr := s.analyzeWorkload(ctx, wl)
 	if herr != nil {
 		writeErr(w, herr.status, herr.err)
 		return
@@ -758,16 +867,18 @@ func (s *Server) handleAnalyzeBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r)
 	defer cancel()
+	forwarded := s.forwardedIn(r)
 
 	// Fan the items out; fleet admission provides the per-device
 	// serialization, so concurrency here is bounded by the device count.
+	// In a cluster each item routes independently to its owner node.
 	out := batchResponse{Items: make([]batchItemResponse, len(req.Items))}
 	var wg sync.WaitGroup
 	for i := range req.Items {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp, herr := s.analyzeOne(ctx, req.Items[i])
+			resp, herr := s.analyzeOneRouted(ctx, req.Items[i], forwarded)
 			if herr != nil {
 				out.Items[i] = batchItemResponse{Error: herr.Error()}
 				return

@@ -27,6 +27,7 @@ package misam
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/gob"
 	"errors"
@@ -311,6 +312,11 @@ func (f *Framework) analysisKey(a, b *Matrix) memo.Key {
 	}
 	return k
 }
+
+// AnalysisKey exposes the content address of the (A, B) analysis —
+// the key the cache shards on, and the key cluster routing hashes to
+// pick the owner node, so routing and caching agree by construction.
+func (f *Framework) AnalysisKey(a, b *Matrix) memo.Key { return f.analysisKey(a, b) }
 
 // buildAnalysis derives every design-independent artifact from the
 // workload: the feature vector in the framework's flavour, all four
@@ -731,26 +737,25 @@ func (f *Framework) Save(w io.Writer) error {
 	})
 }
 
-// Load restores a framework from Save's output. The corpus is not
-// persisted; Corpus is nil on the loaded framework. Both the current
-// headered format and the legacy headerless format are accepted;
-// mismatched format versions and truncated files are reported by name.
-func Load(r io.Reader) (*Framework, error) {
+// readModels parses a Save-format stream — optional version header, gob
+// body, completeness validation — shared by Load and the cluster sync
+// receiver.
+func readModels(r io.Reader) (savedModels, error) {
 	br := bufio.NewReader(r)
 	version := 1 // legacy headerless stream
 	if peek, err := br.Peek(len(modelMagic)); err == nil && string(peek) == modelMagic {
 		header, err := br.ReadString('\n')
 		if err != nil {
-			return nil, fmt.Errorf("misam: model file is truncated inside its header (expected %q<version>)", modelMagic)
+			return savedModels{}, fmt.Errorf("misam: model file is truncated inside its header (expected %q<version>)", modelMagic)
 		}
 		verStr := strings.TrimSuffix(strings.TrimPrefix(header, modelMagic), "\n")
 		v, err := strconv.Atoi(verStr)
 		if err != nil {
-			return nil, fmt.Errorf("misam: model file has malformed format version %q (this build writes version %d)",
+			return savedModels{}, fmt.Errorf("misam: model file has malformed format version %q (this build writes version %d)",
 				verStr, modelFormatVersion)
 		}
 		if v != modelFormatVersion {
-			return nil, fmt.Errorf("misam: model file is format version %d, this build expects version %d — retrain or re-save the model",
+			return savedModels{}, fmt.Errorf("misam: model file is format version %d, this build expects version %d — retrain or re-save the model",
 				v, modelFormatVersion)
 		}
 		version = v
@@ -758,17 +763,29 @@ func Load(r io.Reader) (*Framework, error) {
 	var s savedModels
 	if err := gob.NewDecoder(br).Decode(&s); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, fmt.Errorf("misam: model file is truncated (format version %d): %w", version, err)
+			return savedModels{}, fmt.Errorf("misam: model file is truncated (format version %d): %w", version, err)
 		}
-		return nil, fmt.Errorf("misam: load models (format version %d): %w", version, err)
+		return savedModels{}, fmt.Errorf("misam: load models (format version %d): %w", version, err)
 	}
 	if s.Classifier == nil || s.Classifier.Root == nil {
-		return nil, fmt.Errorf("misam: loaded models are incomplete")
+		return savedModels{}, fmt.Errorf("misam: loaded models are incomplete")
 	}
 	for _, reg := range s.Regressors {
 		if reg == nil || reg.Root == nil {
-			return nil, fmt.Errorf("misam: loaded models are incomplete")
+			return savedModels{}, fmt.Errorf("misam: loaded models are incomplete")
 		}
+	}
+	return s, nil
+}
+
+// Load restores a framework from Save's output. The corpus is not
+// persisted; Corpus is nil on the loaded framework. Both the current
+// headered format and the legacy headerless format are accepted;
+// mismatched format versions and truncated files are reported by name.
+func Load(r io.Reader) (*Framework, error) {
+	s, err := readModels(r)
+	if err != nil {
+		return nil, err
 	}
 	engine := reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
 		reconfig.DefaultTimeModel(), s.Options.Threshold)
@@ -786,6 +803,48 @@ func Load(r io.Reader) (*Framework, error) {
 		device:   reconfig.NewDevice("default", engine),
 		registry: registry.New(snap),
 	}, nil
+}
+
+// SnapshotModelBytes serializes the registry's current snapshot in the
+// Save wire format and reports the registry version it corresponds to —
+// the payload cluster replication pushes to peers.
+func (f *Framework) SnapshotModelBytes() ([]byte, uint64, error) {
+	snap := f.snapshot()
+	var buf bytes.Buffer
+	if _, err := fmt.Fprintf(&buf, "%s%d\n", modelMagic, modelFormatVersion); err != nil {
+		return nil, 0, fmt.Errorf("misam: snapshot models: %w", err)
+	}
+	if err := gob.NewEncoder(&buf).Encode(savedModels{
+		Classifier: snap.Classifier(),
+		Regressors: snap.Engine().Predictor.Regs,
+		Options:    f.Options,
+	}); err != nil {
+		return nil, 0, fmt.Errorf("misam: snapshot models: %w", err)
+	}
+	return buf.Bytes(), snap.Version(), nil
+}
+
+// PublishSyncedModels installs a model set received from a cluster peer
+// (SnapshotModelBytes / Save wire format) as a new registry version with
+// SourceSync, returning the minted version. Versions are per-node: the
+// same replicated content gets different version numbers on different
+// nodes; the replication layer's Lamport stamps, not versions, decide
+// which content is newest.
+func (f *Framework) PublishSyncedModels(data []byte, note string) (uint64, error) {
+	s, err := readModels(bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+	engine := reconfig.NewEngine(&reconfig.LatencyPredictor{Regs: s.Regressors},
+		reconfig.DefaultTimeModel(), s.Options.Threshold)
+	snap, err := registry.NewSnapshot(s.Classifier, engine, registry.Info{
+		Source: registry.SourceSync,
+		Note:   note,
+	})
+	if err != nil {
+		return 0, fmt.Errorf("misam: synced snapshot: %w", err)
+	}
+	return f.registry.Publish(snap), nil
 }
 
 // ExtractFeatures exposes the §3.1 feature extraction.

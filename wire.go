@@ -90,6 +90,11 @@ func (f *Framework) wireKey(va, vb WireView) memo.Key {
 	return k
 }
 
+// WireKey exposes the content address of a binary-ingested pair — equal
+// to AnalysisKey of the decoded operands, so cluster routing can pick
+// the owner node from the wire views without materializing a matrix.
+func (f *Framework) WireKey(va, vb WireView) memo.Key { return f.wireKey(va, vb) }
+
 // decodeWire materializes both operands into the scratch arenas and
 // builds the simulation workload.
 func decodeWire(va, vb WireView, scratch *WireScratch) (*Workload, error) {
