@@ -31,10 +31,12 @@ echo "==> registry hot-swap hammer (-race)"
 go test -race -run 'TestSwapRollbackHammer|TestAnalyzeDuringHotSwap' ./internal/registry/ .
 
 # The early-exit pruned tier races a shared best-so-far bound across the
-# design fan-out; run its dedicated test by name under -race so a future
-# -run filter on the main pass can't silently skip it.
-echo "==> early-exit racing bound (-race)"
-go test -race -run 'TestEarlyExitRacingBound' ./internal/sim/
+# design fan-out, and the tile cache races concurrent lookups, stores and
+# mid-sim bound aborts on shared striped slots; run both hammers by name
+# under -race so a future -run filter on the main pass can't silently
+# skip them.
+echo "==> early-exit racing bound + tile-cache hammer (-race)"
+go test -race -run 'TestEarlyExitRacingBound|TestTileBoundRaceHammer' ./internal/sim/
 
 # The placement pool reorders only idle-device selection; waiter
 # handover must stay strictly FIFO or preferred traffic starves plain
@@ -54,13 +56,13 @@ go test -run '^$' -bench 'Fingerprint|Memo|Cache|Registry|FastPath|SteadyState|W
 echo "==> fastpath experiment smoke"
 go run ./cmd/misam-bench -scale quick -experiment fastpath -fastout ""
 
-# Slow-tier experiment smoke: one quick-scale pass over the exact and
-# pruned tiers. Writing to a scratch path (not the committed
-# BENCH_PR6.json) makes the driver run its write/re-read/schema
-# validation, and the run itself asserts argmin agreement and winner
-# bit-identity on a real timing stream.
-echo "==> slowtier experiment smoke"
-slowout="${TMPDIR:-/tmp}/misam_bench_pr6_smoke.json"
+# Slow-tier (v2, memoized) experiment smoke: one quick-scale pass over
+# the exact and pruned tiers. Writing to a scratch path (not the
+# committed BENCH_PR10.json) makes the driver run its write/re-read/
+# schema validation, and the run itself asserts argmin agreement, winner
+# bit-identity and the verifier tile-reuse floor on a real timing stream.
+echo "==> slowtier-v2 experiment smoke"
+slowout="${TMPDIR:-/tmp}/misam_bench_pr10_smoke.json"
 go run ./cmd/misam-bench -scale quick -experiment slowtier -slowout "$slowout"
 rm -f "$slowout"
 
@@ -106,6 +108,13 @@ echo "==> two-node cluster serving smoke"
 # the full suite above; this pass actually mutates.
 echo "==> wire decoder fuzz smoke (-fuzztime=10s)"
 go test -run '^$' -fuzz 'FuzzDecodeBinary' -fuzztime 10s ./internal/sparse/
+
+# Tile-hash fuzz smoke: 10 s hunting for tile-cache key collisions — a
+# collision would let one tile's memoized schedule answer for another's,
+# silently corrupting cycle counts. The seed corpus runs in the full
+# suite; this pass actually mutates.
+echo "==> tile stream hash fuzz smoke (-fuzztime=10s)"
+go test -run '^$' -fuzz 'FuzzTileStreamHash' -fuzztime 10s ./internal/sim/
 
 # The zero-alloc ingestion pins guard the binary serving floor: run
 # them by name so a future -run filter on the main pass can't silently

@@ -125,7 +125,7 @@ func main() {
 		"where the perf experiment writes its machine-readable report (empty to skip the file)")
 	fastout := flag.String("fastout", "BENCH_PR5.json",
 		"where the fastpath experiment writes its machine-readable report (empty to skip the file)")
-	slowout := flag.String("slowout", "BENCH_PR6.json",
+	slowout := flag.String("slowout", "BENCH_PR10.json",
 		"where the slowtier experiment writes its machine-readable report (empty to skip the file)")
 	placeout := flag.String("placeout", "BENCH_PR7.json",
 		"where the placement experiment writes its machine-readable report (empty to skip the file)")
@@ -194,7 +194,8 @@ func main() {
 		// confidence-gated serving tiers and rewrites BENCH_PR5.json.
 		{"fastpath", func() error { _, err := experiments.FastPathReport(ctx, *fastout, w); return err }},
 		// slowtier is opt-in (-experiment slowtier): it re-times the exact
-		// and pruned simulation tiers and rewrites BENCH_PR6.json.
+		// and pruned (memoized) simulation tiers and rewrites
+		// BENCH_PR10.json.
 		{"slowtier", func() error { _, err := experiments.SlowTierReport(ctx, *slowout, w); return err }},
 		// placement is opt-in (-experiment placement): it replays a skewed
 		// stream through the FIFO and placement pools and rewrites

@@ -71,6 +71,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-request deadline including device admission (0 = none)")
 	maxBody := flag.Int64("max-body", 0, "request body cap in bytes (0 = default 8 MiB)")
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "analysis cache budget in bytes (0 disables caching)")
+	tileCacheBytes := flag.Int64("tile-cache-bytes", 64<<20, "shared tile-schedule cache budget in bytes (0 = per-workload private caches only)")
 	onlineMode := flag.Bool("online", false, "enable trace capture, drift detection and registry-backed retraining")
 	traceSample := flag.Int("trace-sample", 1, "record one in N served analyses into the trace buffer")
 	traceCap := flag.Int("trace-capacity", 4096, "bounded trace buffer size")
@@ -142,6 +143,7 @@ func main() {
 		RequestTimeout:    *timeout,
 		MaxBodyBytes:      *maxBody,
 		CacheBytes:        *cacheBytes,
+		TileCacheBytes:    *tileCacheBytes,
 		Online:            *onlineMode,
 		TraceSample:       *traceSample,
 		TraceCapacity:     *traceCap,
@@ -224,6 +226,10 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("drain deadline exceeded: %v", err)
+		}
+		if st, ok := fw.TileCacheStats(); ok {
+			fmt.Printf("slow tier: tile cache %d hits / %d misses (%.1f%% hit rate), %d evictions, %d bound aborts, %d coarse skips\n",
+				st.Hits, st.Misses, 100*st.HitRate, st.Evictions, st.BoundAborts, st.CoarseSkips)
 		}
 		fmt.Println("shut down cleanly")
 	}

@@ -281,6 +281,10 @@ func (f *Framework) maybeOfferVerify(fp *fastPath, version uint64, v features.Ve
 	if err != nil {
 		return
 	}
+	// The audit re-simulates a pair the serving path just built; with the
+	// shared tile cache attached, its schedules come from that run's
+	// memoized tiles instead of being recomputed.
+	f.attachTileCache(w)
 	fp.verifier.Offer(online.VerifyJob{
 		Features:     v,
 		Predicted:    proposed,

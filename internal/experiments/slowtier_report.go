@@ -16,10 +16,12 @@ import (
 )
 
 // SlowTierReportData is the machine-readable slow-tier trajectory record
-// (BENCH_PR6.json): the exact four-design evaluation versus the pruned
-// tier (coarse-then-exact ordering + early-exit simulation) on the same
-// distinct-pair stream BENCH_PR5 timed, plus the pruned tier's effect on
-// batch labelling and background-audit throughput.
+// (BENCH_PR10.json): the exact four-design evaluation versus the pruned
+// tier (coarse-then-exact ordering + early-exit simulation + tile-level
+// memoization + mid-simulation bound aborts) on the same distinct-pair
+// stream BENCH_PR5 timed, plus the pruned tier's effect on batch
+// labelling and background-audit throughput and the audit pass's tile
+// reuse out of the shared serve-side tile cache.
 type SlowTierReportData struct {
 	Schema     string `json:"schema"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
@@ -61,10 +63,27 @@ type SlowTierReportData struct {
 	// VerifierDrainRPS is the background-audit drain rate with pruned
 	// verification (jobs/sec over the stream's workloads).
 	VerifierDrainRPS float64 `json:"verifier_drain_rps"`
+
+	// TileCache* aggregate the shared serve+audit tile-schedule cache:
+	// total lookups that found a memoized (busy, bubbles, compute) triple
+	// versus ones that had to schedule. BoundAborts counts design
+	// simulations cut mid-tile-loop by the running remaining-tiles floor;
+	// CoarseSkips counts whole designs retired before their first tile.
+	TileCacheHits    int64   `json:"tile_cache_hits"`
+	TileCacheMisses  int64   `json:"tile_cache_misses"`
+	TileCacheHitRate float64 `json:"tile_cache_hit_rate"`
+	BoundAborts      int64   `json:"bound_aborts"`
+	CoarseSkips      int64   `json:"coarse_skips"`
+	// VerifierReuseRate is the fraction of the audit pass's tile
+	// simulations served from the tile cache when re-simulating freshly
+	// rebuilt workloads of just-served pairs — the production audit
+	// re-checks what serving just computed, so its schedules should come
+	// out of the cache, not out of the scheduler.
+	VerifierReuseRate float64 `json:"verifier_reuse_rate"`
 }
 
 // slowTierPairs is the standard distinct-pair stream shared with
-// FastPathReport, so BENCH_PR5's baseline and BENCH_PR6's tiers time the
+// FastPathReport, so BENCH_PR5's baseline and BENCH_PR10's tiers time the
 // same workloads.
 func slowTierPairs(cfg Config) []dataset.Pair {
 	dim := cfg.MaxDim
@@ -95,12 +114,13 @@ func slowTierPairs(cfg Config) []dataset.Pair {
 
 // SlowTierReport times the exact and pruned slow tiers over the standard
 // distinct-pair stream, checks the pruned tier's exactness contract on
-// every pair, measures batch labelling and background-audit throughput,
-// and writes (then re-reads and validates) the BENCH_PR6 record.
+// every pair, measures batch labelling, background-audit throughput and
+// the audit's tile-cache reuse, and writes (then re-reads and validates)
+// the BENCH_PR10 record.
 func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData, error) {
-	header(w, "Slow-tier report: pruned (coarse-then-exact + early-exit) vs exact simulation")
+	header(w, "Slow-tier report: pruned (coarse + early-exit + memoized tiles) vs exact simulation")
 	rep := SlowTierReportData{
-		Schema:     "misam-slowtier/1",
+		Schema:     "misam-slowtier/2",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 	}
@@ -198,14 +218,29 @@ func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData
 		rep.LabelSpeedup = rep.LabelPrunedRPS / rep.LabelExactRPS
 	}
 
-	// Background-audit drain rate: the verifier pool re-simulating the
-	// stream through the pruned tier (shared prebuilt workloads — the
-	// serving layer hands the verifier the request's workload).
+	// Background-audit drain rate and verifier tile reuse. Every pair is
+	// first served once through a shared tile cache, then the verifier
+	// pool re-simulates freshly rebuilt workloads of the same pairs
+	// against that cache. The rebuild is deliberate: it discards all
+	// per-workload memoization, so the only schedules the audit can reuse
+	// are the ones serving published to the shared cache.
+	shared := sim.NewTileCache(32 << 20)
 	wls := make([]*sim.Workload, len(pairs))
 	for i, p := range pairs {
 		if wls[i], err = sim.NewWorkload(p.A, p.B); err != nil {
 			return rep, err
 		}
+		wls[i].AttachTileCache(shared)
+		if _, err = wls[i].SimulateAllPrunedCtx(ctx); err != nil {
+			return rep, fmt.Errorf("experiments: slowtier serve pair %d: %w", i, err)
+		}
+	}
+	served := shared.Stats()
+	for i, p := range pairs {
+		if wls[i], err = sim.NewWorkload(p.A, p.B); err != nil {
+			return rep, err
+		}
+		wls[i].AttachTileCache(shared)
 	}
 	col := online.NewCollector(len(pairs), 1)
 	ver := online.NewVerifier(col, runtime.GOMAXPROCS(0), len(pairs))
@@ -224,6 +259,15 @@ func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData
 		return rep, fmt.Errorf("experiments: slowtier verifier drain: %w", drainErr)
 	}
 	rep.VerifierDrainRPS = float64(len(wls)) / time.Since(t0).Seconds()
+	audit := shared.Stats()
+	if dh, dm := audit.Hits-served.Hits, audit.Misses-served.Misses; dh+dm > 0 {
+		rep.VerifierReuseRate = float64(dh) / float64(dh+dm)
+	}
+	rep.TileCacheHits = audit.Hits
+	rep.TileCacheMisses = audit.Misses
+	rep.TileCacheHitRate = audit.HitRate
+	rep.BoundAborts = audit.BoundAborts
+	rep.CoarseSkips = audit.CoarseSkips
 
 	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s\n", "tier", "p50 ns/op", "p90 ns/op", "p99 ns/op", "speedup")
 	fmt.Fprintf(w, "%-8s %12d %12d %12d %10s\n", "exact", rep.ExactP50NsOp, rep.ExactP90NsOp, rep.ExactP99NsOp, "1.00x")
@@ -235,6 +279,9 @@ func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData
 	}
 	fmt.Fprintf(w, "labelling: exact %.1f pairs/s, pruned %.1f pairs/s (%.2fx); pruned audit drain %.1f jobs/s\n",
 		rep.LabelExactRPS, rep.LabelPrunedRPS, rep.LabelSpeedup, rep.VerifierDrainRPS)
+	fmt.Fprintf(w, "tile cache: %d hits / %d misses (%.0f%% hit rate), verifier reuse %.0f%%, %d bound aborts, %d coarse skips\n",
+		rep.TileCacheHits, rep.TileCacheMisses, 100*rep.TileCacheHitRate,
+		100*rep.VerifierReuseRate, rep.BoundAborts, rep.CoarseSkips)
 
 	if path != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
@@ -254,7 +301,7 @@ func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData
 		if err := json.Unmarshal(back, &check); err != nil {
 			return rep, fmt.Errorf("experiments: slowtier report unreadable: %w", err)
 		}
-		if check.Schema != "misam-slowtier/1" {
+		if check.Schema != "misam-slowtier/2" {
 			return rep, fmt.Errorf("experiments: slowtier report schema %q", check.Schema)
 		}
 		if check.ArgminAgreement != 1 || !check.WinnerBitIdentical {
@@ -263,6 +310,14 @@ func SlowTierReport(ctxE *Context, path string, w io.Writer) (SlowTierReportData
 		}
 		if check.PrunedP50NsOp <= 0 || check.ExactP50NsOp <= 0 {
 			return rep, fmt.Errorf("experiments: slowtier report has empty percentiles")
+		}
+		if check.PR5BaselineP50NsOp > 0 && check.SpeedupVsPR5P50 < 8 {
+			return rep, fmt.Errorf("experiments: pruned tier is %.2fx the PR5 slow-tier baseline, below the 8x floor",
+				check.SpeedupVsPR5P50)
+		}
+		if check.VerifierReuseRate < 0.5 {
+			return rep, fmt.Errorf("experiments: verifier tile reuse %.0f%% below the 50%% floor",
+				100*check.VerifierReuseRate)
 		}
 		fmt.Fprintf(w, "wrote %s\n", path)
 	}

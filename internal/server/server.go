@@ -51,6 +51,14 @@ type Config struct {
 	// their device only for the pricing transaction, not the simulation.
 	// Zero leaves caching to the caller's framework configuration.
 	CacheBytes int64
+	// TileCacheBytes, when positive, enables the framework's shared
+	// tile-schedule cache with this byte budget
+	// (misam.Framework.WithTileCache): every slow-tier simulation — cold
+	// analyses, the pruned verifier's audits — memoizes per-tile
+	// schedules in one pool, so a re-simulation of a just-served pair
+	// reuses its schedules. Zero leaves each workload with its private
+	// per-pair cache.
+	TileCacheBytes int64
 	// Online enables the continuous-learning subsystem: serve-time trace
 	// capture, drift detection against the training snapshot, and
 	// registry-backed retraining via POST /v1/models/retrain (and the
@@ -85,7 +93,7 @@ type Config struct {
 	// PrunedVerify routes background audits through the pruned slow tier
 	// (coarse-then-exact + early-exit) instead of the exact four-design
 	// pipeline — same argmin and exact winner, lower-bound losers marked
-	// in the trace, roughly the BENCH_PR6 speedup per audit. Only
+	// in the trace, roughly the BENCH_PR10 speedup per audit. Only
 	// meaningful with FastPath.
 	PrunedVerify bool
 	// Placement enables bitstream-aware device selection: each request's
@@ -206,6 +214,9 @@ func NewClustered(fw *misam.Framework, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.CacheBytes > 0 {
 		fw.WithCache(cfg.CacheBytes)
+	}
+	if cfg.TileCacheBytes > 0 {
+		fw.WithTileCache(cfg.TileCacheBytes)
 	}
 	s := &Server{fw: fw, fleet: fw.NewFleet(cfg.Devices), cfg: cfg}
 	if cfg.Online {
@@ -377,6 +388,17 @@ type statsResponse struct {
 	// Placement carries the bitstream-aware placement counters; omitted
 	// when placement is off.
 	Placement *placementStats `json:"placement,omitempty"`
+	// SlowTier carries the pruned slow tier's tile-level counters —
+	// shared tile-cache hits/misses plus bound-abort and coarse-skip
+	// counts; omitted when no shared tile cache is enabled.
+	SlowTier *slowTierStats `json:"slowtier,omitempty"`
+}
+
+// slowTierStats reports the slow tier's tile-level memoization and
+// pruning activity (see sim.TileCache).
+type slowTierStats struct {
+	Enabled   bool                 `json:"enabled"`
+	TileCache misam.TileCacheStats `json:"tile_cache"`
 }
 
 // placementStats reports the placement layer's effect: the pool's
@@ -437,6 +459,9 @@ func (s *Server) localStats() statsResponse {
 	}
 	if fs, ok := s.fw.FastPathStats(); ok {
 		resp.FastPath = &fs
+	}
+	if ts, ok := s.fw.TileCacheStats(); ok {
+		resp.SlowTier = &slowTierStats{Enabled: true, TileCache: ts}
 	}
 	if s.cfg.Placement {
 		ps := &placementStats{Enabled: true, Fleet: s.fleet.Stats()}

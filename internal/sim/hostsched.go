@@ -165,7 +165,7 @@ func BuildHostSchedule(cfg Config, a, b *sparse.CSR) (*HostSchedule, error) {
 	svc := func(int) int64 { return 1 } // element counts only
 	var perTile [][]Elem
 	if cfg.SchedulerA == ColWise {
-		perTile = binByTileColWise(a.ToCSC(), tiles, svc)
+		perTile = binByTileColWise(a.ToCSCPattern(), tiles, svc)
 	} else {
 		perTile = binByTileRowWise(a, tiles, svc)
 	}

@@ -1,5 +1,7 @@
 package sim
 
+import "math/bits"
+
 // The PE scheduler of Figure 6: elements are issued in traversal order to
 // each PE; an element updating output row r cannot issue within
 // DepGapCycles of the previous element of row r on the same PE; the
@@ -58,10 +60,14 @@ type schedScratch struct {
 	queueCounts []int
 	queueBuf    []Elem
 	queues      [][]Elem
-	// pegCounts/pegBuf/pegGroups back splitByPEGScratch.
+	// pegCounts/pegBuf/pegGroups back splitByPEGScratch; pegCounts doubles
+	// as scatterTile's per-PEG round-robin counters.
 	pegCounts []int
 	pegBuf    []Elem
 	pegGroups [][]Elem
+	// elemQueue holds scatterTile's per-element queue index between its
+	// counting and fill passes, so the assignment arithmetic runs once.
+	elemQueue []int32
 	// mergeKeys backs mergeCyclesScratch's sort fallback (PEG > 64);
 	// mergeMask/mergeStamp/mergeEpoch back its one-pass per-row PEG
 	// bitmask dedup (the common case).
@@ -69,7 +75,18 @@ type schedScratch struct {
 	mergeMask  []uint64
 	mergeStamp []uint64
 	mergeEpoch uint64
+	// winRow/winSvc/winReady back scheduleWindowed's dense lookahead
+	// window: the first ≤ flatWindowMax live elements in stream order,
+	// with their release times cached so the ready scan is a straight
+	// arithmetic pass instead of repeated stamp-checked table probes.
+	winRow   [flatWindowMax]int
+	winSvc   [flatWindowMax]int64
+	winReady [flatWindowMax]int64
 }
+
+// flatWindowMax is the widest lookahead the flattened ready-mask scheduler
+// handles: one 64-bit mask word. Every Table 1 design uses window 16.
+const flatWindowMax = 64
 
 // begin opens a fresh PE schedule over n elements whose output rows are
 // all below rows: done flags are cleared and the row-release table is
@@ -172,6 +189,9 @@ func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *s
 			s.Makespan = t
 			return s
 		}
+		if window <= flatWindowMax {
+			return scheduleWindowed(elems, head, t, depGap, window, sc, s)
+		}
 	}
 	remaining := len(elems) - head
 	for remaining > 0 {
@@ -219,6 +239,129 @@ func schedulePEScratch(elems []Elem, depGap int64, window int, trace bool, sc *s
 		sc.setReady(e.Row, t+depGap*svc)
 		s.Busy += svc
 		t += svc
+	}
+	s.Makespan = t
+	return s
+}
+
+// scheduleWindowed finishes a PE schedule from the first stalled head
+// using a flattened dense window: the first n ≤ window live elements, in
+// stream order, held in three parallel fixed-width arrays with their
+// release times cached. Each iteration builds a ready bitmask in one
+// branch-free arithmetic pass ((release − t − 1) >> 63 is all-ones exactly
+// when release ≤ t), picks the lowest set bit — the first ready element in
+// stream order, the same choice the windowed scan makes — or jumps to the
+// minimum release on a full stall. Issued slots are compacted out with
+// copy and the next stream element refills the tail, so the window is
+// always exactly the first live elements and the schedule is bit-identical
+// to the general loop below, without its repeated rescans of done
+// elements.
+func scheduleWindowed(elems []Elem, head int, t int64, depGap int64, window int, sc *schedScratch, s PESchedule) PESchedule {
+	n := 0
+	for i := head; i < len(elems) && n < window; i++ {
+		e := &elems[i]
+		svc := e.Service
+		if svc < 1 {
+			svc = 1
+		}
+		sc.winRow[n] = e.Row
+		sc.winSvc[n] = svc
+		sc.winReady[n] = sc.readyAt(e.Row)
+		n++
+	}
+	next := head + n
+	for n > 0 {
+		var mask uint64
+		for i := 0; i < n; i++ {
+			mask |= uint64((sc.winReady[i]-t-1)>>63) & (uint64(1) << uint(i))
+		}
+		if mask == ^uint64(0)>>uint(64-n) {
+			// Window drain. Every slot is ready, so the scan below would
+			// issue slot 0, then slot 1, ... — the lowest ready index is
+			// always the next slot in stream order — until an issue's
+			// release lands on a later slot of the same row. Issue the
+			// prefix back to back, re-checking each slot's row against
+			// the release table at its turn (exactly the state the scan
+			// would see), and stop at the first slot an earlier issue
+			// blocked. Refills are all later in stream order than the
+			// drained prefix, so they could not have been picked during
+			// it, and re-reading every surviving slot's ready time after
+			// the drain reproduces the scan's release propagation.
+			i := 0
+			for ; i < n; i++ {
+				row := sc.winRow[i]
+				if sc.readyAt(row) > t {
+					break
+				}
+				svc := sc.winSvc[i]
+				sc.setReady(row, t+depGap*svc)
+				s.Busy += svc
+				t += svc
+			}
+			if i > 0 {
+				copy(sc.winRow[0:n-i], sc.winRow[i:n])
+				copy(sc.winSvc[0:n-i], sc.winSvc[i:n])
+				n -= i
+				for next < len(elems) && n < window {
+					e := &elems[next]
+					next++
+					svc := e.Service
+					if svc < 1 {
+						svc = 1
+					}
+					sc.winRow[n] = e.Row
+					sc.winSvc[n] = svc
+					n++
+				}
+				for j := 0; j < n; j++ {
+					sc.winReady[j] = sc.readyAt(sc.winRow[j])
+				}
+				continue
+			}
+		}
+		if mask == 0 {
+			// Bubble: nothing in the window is ready. Jump to the first
+			// release time ("padding with inefficient zeros", §3.2.2).
+			min := sc.winReady[0]
+			for i := 1; i < n; i++ {
+				if sc.winReady[i] < min {
+					min = sc.winReady[i]
+				}
+			}
+			s.Bubbles += min - t
+			t = min
+			continue
+		}
+		i := bits.TrailingZeros64(mask)
+		row := sc.winRow[i]
+		svc := sc.winSvc[i]
+		release := t + depGap*svc
+		sc.setReady(row, release)
+		s.Busy += svc
+		t += svc
+		copy(sc.winRow[i:n-1], sc.winRow[i+1:n])
+		copy(sc.winSvc[i:n-1], sc.winSvc[i+1:n])
+		copy(sc.winReady[i:n-1], sc.winReady[i+1:n])
+		n--
+		if next < len(elems) {
+			e := &elems[next]
+			next++
+			sv := e.Service
+			if sv < 1 {
+				sv = 1
+			}
+			sc.winRow[n] = e.Row
+			sc.winSvc[n] = sv
+			sc.winReady[n] = sc.readyAt(e.Row)
+			n++
+		}
+		// Propagate the new release time to every cached slot of the
+		// issued row (the refill above already read it from the table).
+		for j := 0; j < n; j++ {
+			if sc.winRow[j] == row {
+				sc.winReady[j] = release
+			}
+		}
 	}
 	s.Makespan = t
 	return s
@@ -309,6 +452,142 @@ func schedulePEG(elems []Elem, numPEs int, traversal Traversal, colStride int, d
 	}
 	g.Capacity = int64(numPEs) * g.Makespan
 	return g
+}
+
+// scatterTile partitions a tile's elements directly into per-(PEG, PE)
+// queues with one counting pass and one fill pass, fusing splitByPEG with
+// each group's fillQueues. Queue p*numPEs+e holds PEG p, PE e in traversal
+// order; contents and order are bit-identical to running splitByPEGScratch
+// followed by fillQueues per group — the fused form just skips the
+// intermediate per-PEG copy and its second counting pass.
+//
+// The assignment rules mirror splitByPEG and fillQueues exactly: RowWise
+// pins col%pegs to the PEG and (col/pegs)%numPEs within it (the
+// hierarchical §3.2.3 rule with colStride = pegs); ColWise pins row%pegs
+// to the PEG and round-robins within the group's stream order, which a
+// per-PEG running element counter reproduces because PEG groups preserve
+// traversal order.
+func (sc *schedScratch) scatterTile(elems []Elem, pegs, numPEs int, traversal Traversal) [][]Elem {
+	nq := pegs * numPEs
+	if cap(sc.queueCounts) < nq {
+		sc.queueCounts = make([]int, nq)
+	} else {
+		sc.queueCounts = sc.queueCounts[:nq]
+		clear(sc.queueCounts)
+	}
+	counts := sc.queueCounts
+	if cap(sc.elemQueue) < len(elems) {
+		sc.elemQueue = make([]int32, len(elems))
+	}
+	qidx := sc.elemQueue[:len(elems)]
+
+	// Pass 1: compute each element's queue index once (the div/mod work
+	// happens a single time per element, not again in the fill pass) and
+	// count queue sizes. Variable-divisor div/mod is the dominant cost
+	// here, so the real design points get cheaper arithmetic: power-of-two
+	// PEG counts (Designs 1 and 4) reduce to shift/mask, and non-power-of-
+	// two counts (24 in Designs 2 and 3) use a Lemire multiply-high
+	// reciprocal — exact for 32-bit indices, two MULs instead of a
+	// hardware divide. Anything exotic falls back to plain % arithmetic.
+	peMask := numPEs - 1
+	pePow2 := numPEs > 0 && numPEs&peMask == 0
+	switch {
+	case traversal == RowWise && pePow2 && pegs&(pegs-1) == 0:
+		shift := uint(bits.TrailingZeros(uint(pegs)))
+		pMask := pegs - 1
+		for i := range elems {
+			c := elems[i].Col
+			q := int32((c&pMask)*numPEs + (c>>shift)&peMask)
+			qidx[i] = q
+			counts[q]++
+		}
+	case traversal == RowWise && pePow2:
+		recip := ^uint64(0)/uint64(pegs) + 1
+		for i := range elems {
+			c := uint64(uint32(elems[i].Col))
+			div, _ := bits.Mul64(recip, c)
+			mod, _ := bits.Mul64(recip*c, uint64(pegs))
+			q := int32(int(mod)*numPEs + int(div)&peMask)
+			qidx[i] = q
+			counts[q]++
+		}
+	case traversal != RowWise && pePow2:
+		// ColWise round-robins within each PEG's stream order; rr[p] is
+		// PEG p's running element count.
+		if cap(sc.pegCounts) < pegs {
+			sc.pegCounts = make([]int, pegs)
+		} else {
+			sc.pegCounts = sc.pegCounts[:pegs]
+			clear(sc.pegCounts)
+		}
+		rr := sc.pegCounts
+		if pegs&(pegs-1) == 0 {
+			pMask := pegs - 1
+			for i := range elems {
+				p := elems[i].Row & pMask
+				q := int32(p*numPEs + rr[p]&peMask)
+				rr[p]++
+				qidx[i] = q
+				counts[q]++
+			}
+		} else {
+			recip := ^uint64(0)/uint64(pegs) + 1
+			for i := range elems {
+				mod, _ := bits.Mul64(recip*uint64(uint32(elems[i].Row)), uint64(pegs))
+				p := int(mod)
+				q := int32(p*numPEs + rr[p]&peMask)
+				rr[p]++
+				qidx[i] = q
+				counts[q]++
+			}
+		}
+	default:
+		if cap(sc.pegCounts) < pegs {
+			sc.pegCounts = make([]int, pegs)
+		} else {
+			sc.pegCounts = sc.pegCounts[:pegs]
+			clear(sc.pegCounts)
+		}
+		rr := sc.pegCounts
+		for i := range elems {
+			var q int32
+			if traversal == RowWise {
+				c := elems[i].Col
+				q = int32((c%pegs)*numPEs + (c/pegs)%numPEs)
+			} else {
+				p := elems[i].Row % pegs
+				q = int32(p*numPEs + rr[p]%numPEs)
+				rr[p]++
+			}
+			qidx[i] = q
+			counts[q]++
+		}
+	}
+
+	// Pass 2: carve the backing buffer, then scatter through per-queue
+	// write cursors (counts is repurposed in place) — a single int
+	// increment per element instead of append's slice-header read/write.
+	if cap(sc.queueBuf) < len(elems) {
+		sc.queueBuf = make([]Elem, len(elems))
+	}
+	buf := sc.queueBuf[:len(elems)]
+	if cap(sc.queues) < nq {
+		sc.queues = make([][]Elem, nq)
+	}
+	queues := sc.queues[:nq]
+	off := 0
+	for q := 0; q < nq; q++ {
+		n := counts[q]
+		queues[q] = buf[off : off+n : off+n]
+		counts[q] = off
+		off += n
+	}
+	for i := range elems {
+		cur := &counts[qidx[i]]
+		buf[*cur] = elems[i]
+		*cur = *cur + 1
+	}
+	return queues
 }
 
 // schedulePEGAgg is the allocation-free hot-path form of schedulePEG: it

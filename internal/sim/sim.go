@@ -345,7 +345,7 @@ func ScheduleA(a *sparse.CSR, opt ScheduleOptions) []PEGSchedule {
 	tiles := []Span{{0, a.Cols}}
 	var perTile [][]Elem
 	if opt.Traversal == ColWise {
-		perTile = binByTileColWise(a.ToCSC(), tiles, svc)
+		perTile = binByTileColWise(a.ToCSCPattern(), tiles, svc)
 	} else {
 		perTile = binByTileRowWise(a, tiles, svc)
 	}

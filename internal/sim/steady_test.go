@@ -84,7 +84,7 @@ func BenchmarkSimulateAllSteadyState(b *testing.B) {
 
 // BenchmarkSimulateAllPrunedSteadyState is the same workload through the
 // coarse-then-exact + early-exit path — the slow-tier speedup headline of
-// BENCH_PR6.json.
+// BENCH_PR10.json.
 func BenchmarkSimulateAllPrunedSteadyState(b *testing.B) {
 	old := numTileWorkers
 	numTileWorkers = func() int { return 1 }

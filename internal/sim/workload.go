@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +43,7 @@ type Workload struct {
 	mu      sync.Mutex
 	tilings map[tilingKey]*tilingEntry
 	bins    map[binKey]*binEntry
+	coarse  map[Config]*coarseEntry
 
 	// poolMu guards the workload-level scratch freelists. Scheduling
 	// scratches and per-call tile state are pooled here — not per
@@ -53,6 +55,17 @@ type Workload struct {
 	schedFree []*schedScratch
 	runFree   []*tileRun
 	boundFree []*raceBound
+
+	// Tile-level memoization (see TileCache). tcAttached is the cache an
+	// owner (Framework, verifier, bench) explicitly attached so schedules
+	// are shared across workloads; AttachTileCache(nil) disables
+	// memoization entirely (the serial reference path does this). When
+	// nothing was attached, a small private cache is created lazily so
+	// near-duplicate tiles inside one workload — and repeated Simulate
+	// calls on it — still reuse schedules.
+	tcExplicit bool
+	tcAttached *TileCache
+	tcPrivate  *TileCache
 }
 
 // tileRun is the pooled per-Simulate-call state: the tile outcome buffer
@@ -136,6 +149,32 @@ func (w *Workload) putBound(b *raceBound) {
 	w.poolMu.Unlock()
 }
 
+// AttachTileCache points the workload at a shared tile-schedule cache, so
+// its simulations reuse (and feed) schedules memoized by other workloads —
+// the verifier re-simulating a just-served pair is the canonical client.
+// Attaching nil disables tile memoization for this workload.
+func (w *Workload) AttachTileCache(tc *TileCache) {
+	w.poolMu.Lock()
+	w.tcExplicit = true
+	w.tcAttached = tc
+	w.poolMu.Unlock()
+}
+
+// tileCacheRef resolves the cache simulations memoize through: the
+// explicitly attached cache if AttachTileCache was called (possibly nil =
+// disabled), otherwise a lazily created private default.
+func (w *Workload) tileCacheRef() *TileCache {
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	if w.tcExplicit {
+		return w.tcAttached
+	}
+	if w.tcPrivate == nil {
+		w.tcPrivate = NewTileCache(DefaultTileCacheBytes)
+	}
+	return w.tcPrivate
+}
+
 // tilingKey identifies one B row-tiling scheme: Design 4's sparsity-aware
 // packing keyed by nnz capacity, or the dense fixed-height scheme keyed by
 // tile rows.
@@ -164,11 +203,6 @@ type tilingEntry struct {
 type binEntry struct {
 	once    sync.Once
 	perTile [][]Elem
-	// tileBusy[t] is Σ max(1, Service) over tile t's elements — the
-	// exact busy-cycle total every schedule of the tile must pay,
-	// regardless of PE assignment. The coarse design bound divides it by
-	// the PE count for a no-scheduling compute floor.
-	tileBusy []int64
 }
 
 // NewWorkload validates the product dimensions and returns an empty
@@ -184,12 +218,16 @@ func NewWorkload(a, b *sparse.CSR) (*Workload, error) {
 		B:       b,
 		tilings: make(map[tilingKey]*tilingEntry),
 		bins:    make(map[binKey]*binEntry),
+		coarse:  make(map[Config]*coarseEntry),
 	}, nil
 }
 
-// CSC returns A's compressed-sparse-column form, converting once.
+// CSC returns A's compressed-sparse-column sparsity pattern, converting
+// once. The returned CSC has a nil Val: every simulator consumer —
+// column-wise traversal, tile binning, the coarse floors — is
+// value-independent, so the conversion skips the value scatter.
 func (w *Workload) CSC() *sparse.CSC {
-	w.cscOnce.Do(func() { w.aCSC = w.A.ToCSC() })
+	w.cscOnce.Do(func() { w.aCSC = w.A.ToCSCPattern() })
 	return w.aCSC
 }
 
@@ -295,11 +333,12 @@ func (w *Workload) tiling(cfg Config) ([]Span, []int64) {
 }
 
 // binned returns the cached per-tile element bins of A for a design's
-// tiling, traversal and service rule, plus the per-tile busy-cycle
-// totals. Designs 1 and 2 share one entry (same dense tiling,
-// column-wise order, SIMD width); Design 3 adds a row-wise entry over
-// the same tiling; Design 4 has its own.
-func (w *Workload) binned(cfg Config, tiles []Span) ([][]Elem, []int64) {
+// tiling, traversal and service rule. Designs 1 and 2 share one entry
+// (same dense tiling, column-wise order, SIMD width); Design 3 adds a
+// row-wise entry over the same tiling; Design 4 has its own. The coarse
+// floors deliberately do not use bins (see coarseFloors), so only
+// designs that reach the exact simulator pay for binning.
+func (w *Workload) binned(cfg Config, tiles []Span) [][]Elem {
 	key := binKey{
 		tiling:     tilingKey{compressed: cfg.CompressedB, param: cfg.BRAMRowsPerTile},
 		traversal:  cfg.SchedulerA,
@@ -323,20 +362,8 @@ func (w *Workload) binned(cfg Config, tiles []Span) ([][]Elem, []int64) {
 		} else {
 			e.perTile = binByTileRowWise(w.A, tiles, service)
 		}
-		e.tileBusy = make([]int64, len(e.perTile))
-		for t, elems := range e.perTile {
-			var busy int64
-			for i := range elems {
-				svc := elems[i].Service
-				if svc < 1 {
-					svc = 1
-				}
-				busy += svc
-			}
-			e.tileBusy[t] = busy
-		}
 	})
-	return e.perTile, e.tileBusy
+	return e.perTile
 }
 
 // serviceFunc builds the per-column service-time rule of §3.2.1/§3.2.4:
@@ -578,6 +605,7 @@ func (w *Workload) simulateAllCoarse(ctx context.Context, earlyExit bool) ([NumD
 		if lbSeconds[id] > bound.best() {
 			// The analytic floor alone beats the bound: skip the exact
 			// pass entirely and report the floor as a pruned result.
+			w.tileCacheRef().noteCoarseSkip()
 			out[id] = Result{
 				Design:  id,
 				Tiles:   nTiles[id],
@@ -603,43 +631,162 @@ func (w *Workload) simulateAllCoarse(ctx context.Context, earlyExit bool) ([NumD
 	return out, nil
 }
 
-// coarseBound computes an analytic lower bound on cfg's total cycle
-// count from the cached tiling shapes, per-tile nonzero counts and
-// per-tile busy totals — no scheduling. Per tile it charges
-// max(ceil(busy/PEs), A read, B read) + broadcast + dependency gap,
-// each term a floor of the exact per-tile charge (any schedule's group
-// makespan is at least busy/PEs, and row-wise merge cycles only add);
-// the write-back term is exact. It costs O(tiles) after the cached
-// precompute.
-func (w *Workload) coarseBound(cfg Config) (int64, int) {
-	tiles, tileNNZ := w.tiling(cfg)
-	perTile, tileBusy := w.binned(cfg, tiles)
-	pes := int64(cfg.PEs())
-	var total int64
-	for t, s := range tiles {
-		elems := perTile[t]
-		if len(elems) == 0 && tileNNZ[t] == 0 {
+// coarseEntry caches one design's per-tile analytic floors: floors[t] is a
+// lower bound on tile t's exact cycles (0 for skip tiles), total is
+// Σ floors + the exact C write-back charge. Built once per Config per
+// workload; the mid-simulation running bound subtracts floors tile by tile
+// as exact outcomes replace them.
+type coarseEntry struct {
+	once   sync.Once
+	floors []int64
+	total  int64
+}
+
+// coarseFloors computes (once, then caches) the per-tile lower bounds
+// behind coarseBound. Per tile it charges
+// max(ceil(busy/PEs) + merge floor, A read, B read) + broadcast +
+// dependency gap, each term a floor of the exact per-tile charge: any
+// schedule's straggler-PEG makespan is at least ceil(busy/PEs), and the
+// row-wise merge charge is at least (distinct (row, peg) pairs − touched
+// rows) merges at the tile's minimum service width, since the exact charge
+// uses the maximum width over first occurrences. The write-back term in
+// total is exact.
+//
+// Every term comes from the CSR/CSC index arrays alone — per-tile element
+// counts are ColPtr differences over the tile's column span, busy totals
+// are count × service sums, and the merge dedup is one pass over A's
+// sorted rows — so ranking (and skipping) a design never materializes its
+// element bins: only designs that are actually simulated pay for binning.
+func (w *Workload) coarseFloors(cfg Config) *coarseEntry {
+	w.mu.Lock()
+	e, ok := w.coarse[cfg]
+	if !ok {
+		e = &coarseEntry{}
+		w.coarse[cfg] = e
+	}
+	w.mu.Unlock()
+	e.once.Do(func() {
+		tiles, tileNNZ := w.tiling(cfg)
+		pes := int64(cfg.PEs())
+		e.floors = make([]int64, len(tiles))
+		writeBack := ceilDiv64(w.COutputs(), int64(cfg.CElemsPerWrite*cfg.ChC))
+		if len(tiles) == 0 {
+			e.total = writeBack
+			return
+		}
+		csc := w.CSC()
+		simd := int64(cfg.SIMDWidth)
+		denseSvc := ceilDiv64(int64(w.B.Cols), simd)
+		if denseSvc < 1 {
+			denseSvc = 1
+		}
+		var bNNZ []int
+		if cfg.CompressedB {
+			bNNZ = w.BRowNNZ()
+		}
+		// Merge-floor inputs for row-wise designs: distinct (row, peg)
+		// pairs and touched rows per tile. Wide-PEG configs (> 64, never
+		// a Table 1 design) fall back to a zero merge floor, still valid.
+		var pairs, touched []int64
+		if cfg.SchedulerA == RowWise && cfg.PEG <= 64 {
+			pairs, touched = w.mergeCounts(tiles, cfg.PEG)
+		}
+		var total int64
+		for t, s := range tiles {
+			spanNNZ := int64(csc.ColPtr[s.Hi] - csc.ColPtr[s.Lo])
+			if spanNNZ == 0 && tileNNZ[t] == 0 {
+				continue
+			}
+			var bRead int64
+			if cfg.CompressedB {
+				bRead = ceilDiv64(tileNNZ[t], int64(cfg.BCOOElemsPerRead*cfg.ChB))
+			} else {
+				bRead = ceilDiv64(int64(s.Rows())*int64(w.B.Cols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
+			}
+			aRead := ceilDiv64(spanNNZ, int64(cfg.AElemsPerRead*cfg.ChA))
+			// busy is Σ max(1, service) over the tile's elements — the
+			// same totals binning computes, as service sums over the
+			// span's column counts.
+			busy := spanNNZ * denseSvc
+			minSvc := denseSvc
+			if cfg.CompressedB {
+				busy = 0
+				minSvc = int64(math.MaxInt64)
+				for c := s.Lo; c < s.Hi; c++ {
+					cn := int64(csc.ColPtr[c+1] - csc.ColPtr[c])
+					if cn == 0 {
+						continue
+					}
+					svc := ceilDiv64(int64(bNNZ[c]), simd)
+					if svc < 1 {
+						svc = 1
+					}
+					busy += cn * svc
+					if svc < minSvc {
+						minSvc = svc
+					}
+				}
+			}
+			compute := ceilDiv64(busy, pes)
+			if pairs != nil {
+				compute += ceilDiv64((pairs[t]-touched[t])*minSvc, int64(cfg.ACC))
+			}
+			m := compute
+			if aRead > m {
+				m = aRead
+			}
+			if bRead > m {
+				m = bRead
+			}
+			e.floors[t] = m + int64(cfg.PEG) + cfg.DepGapCycles
+			total += e.floors[t]
+		}
+		e.total = total + writeBack
+	})
+	return e
+}
+
+// mergeCounts tallies, per tile, the distinct (A row, column mod peg)
+// pairs and the touched rows — the merge-floor dedup — in a single pass
+// over A. Column indices are sorted within each row (a package sparse
+// invariant), so a row's elements visit tiles in order and each
+// (row, tile) segment needs just one running bitmask and one popcount.
+func (w *Workload) mergeCounts(tiles []Span, peg int) (pairs, touched []int64) {
+	pairs = make([]int64, len(tiles))
+	touched = make([]int64, len(tiles))
+	a := w.A
+	for r := 0; r < a.Rows; r++ {
+		lo, hi := a.RowPtr[r], a.RowPtr[r+1]
+		if lo == hi {
 			continue
 		}
-		var bRead int64
-		if cfg.CompressedB {
-			bRead = ceilDiv64(tileNNZ[t], int64(cfg.BCOOElemsPerRead*cfg.ChB))
-		} else {
-			bRead = ceilDiv64(int64(s.Rows())*int64(w.B.Cols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
+		t, cur := 0, -1
+		var mask uint64
+		for i := lo; i < hi; i++ {
+			c := a.ColIdx[i]
+			for c >= tiles[t].Hi {
+				t++
+			}
+			if t != cur {
+				if cur >= 0 {
+					pairs[cur] += int64(bits.OnesCount64(mask))
+					touched[cur]++
+				}
+				cur, mask = t, 0
+			}
+			mask |= 1 << uint(c%peg)
 		}
-		aRead := ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
-		compute := ceilDiv64(tileBusy[t], pes)
-		m := compute
-		if aRead > m {
-			m = aRead
-		}
-		if bRead > m {
-			m = bRead
-		}
-		total += m + int64(cfg.PEG) + cfg.DepGapCycles
+		pairs[cur] += int64(bits.OnesCount64(mask))
+		touched[cur]++
 	}
-	total += ceilDiv64(w.COutputs(), int64(cfg.CElemsPerWrite*cfg.ChC))
-	return total, len(tiles)
+	return pairs, touched
+}
+
+// coarseBound reports cfg's analytic lower bound on the total cycle count
+// and its tile count, from the cached per-tile floors.
+func (w *Workload) coarseBound(cfg Config) (int64, int) {
+	e := w.coarseFloors(cfg)
+	return e.total, len(e.floors)
 }
 
 // tileOutcome is the per-tile contribution to a Result, computed
@@ -670,15 +817,18 @@ func (w *Workload) simulate(ctx context.Context, cfg Config, parallelTiles bool)
 }
 
 // simulateBound is simulate with an optional early-exit bound. When
-// bound is non-nil, a running partial cycle total — seeded with the
-// exact C write-back charge and grown by each finished tile's charge —
-// is compared against the best complete design seconds seen so far;
-// once the partial total alone is strictly worse, the remaining tiles
-// cannot change the argmin and the design returns a Pruned lower-bound
-// Result. Every per-tile charge is non-negative, so the partial total
-// is monotone and the abort is safe: a design that would have won (or
-// tied) the comparison never aborts, and its Result is bit-identical to
-// the exact path.
+// bound is non-nil, the partial counter starts at the design's full
+// analytic lower bound (per-tile floors + exact write-back, see
+// coarseFloors) and each finished tile swaps its floor for its exact
+// charge — so at every instant partial is a valid lower bound on the
+// design's total that covers the *remaining* tiles too, and it is
+// checked both before and after each tile against the best complete
+// design seconds seen so far. Once partial alone is strictly worse, the
+// remaining tiles cannot change the argmin and the design returns a
+// Pruned lower-bound Result. Every swap adds exact − floor ≥ 0, so the
+// counter is monotone and the abort is safe: a design that would have
+// won (or tied) the comparison never aborts, and its Result is
+// bit-identical to the exact path.
 func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles bool, bound *raceBound) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -692,17 +842,23 @@ func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles 
 	res := Result{Design: cfg.ID}
 
 	tiles, tileNNZ := w.tiling(cfg)
-	perTile, _ := w.binned(cfg, tiles)
+	perTile := w.binned(cfg, tiles)
 	res.Tiles = len(tiles)
 
+	tc := w.tileCacheRef()
+	var salt uint64
+	if tc != nil {
+		salt = tileSalt(cfg)
+	}
 	freqHz := cfg.FreqMHz * 1e6
 	run := w.getRun(len(tiles))
 	defer w.putRun(run)
 	outs := run.outs
+	var floors []int64
 	if bound != nil {
-		// The write-back term is exact and design-fixed; charging it up
-		// front tightens the partial bound from the first tile on.
-		run.partial.Store(ceilDiv64(w.COutputs(), int64(cfg.CElemsPerWrite*cfg.ChC)))
+		ce := w.coarseFloors(cfg)
+		floors = ce.floors
+		run.partial.Store(ce.total)
 	}
 	workers := numTileWorkers()
 	if workers > len(tiles) {
@@ -715,16 +871,22 @@ func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles 
 	// reused across every tile that worker claims — and, because the
 	// pool lives on the Workload, across requests.
 	if parallelTiles && workers > 1 && len(tiles) >= minParallelTiles {
-		w.runTilesParallel(ctx, cfg, tiles, perTile, tileNNZ, run, bound, freqHz, workers)
+		w.runTilesParallel(ctx, cfg, tiles, perTile, tileNNZ, run, bound, floors, tc, salt, freqHz, workers)
 	} else {
 		sc := w.getSched()
 		for t := range tiles {
 			if ctx.Err() != nil {
 				break
 			}
-			o := simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc)
+			if bound != nil && float64(run.partial.Load())/freqHz > bound.best() {
+				// The racing bound dropped below our floor on the
+				// remaining tiles: abort before scheduling the next one.
+				run.abort.Store(true)
+				break
+			}
+			o := memoTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc, tc, salt)
 			outs[t] = o
-			if bound != nil && float64(run.partial.Add(o.cycles))/freqHz > bound.best() {
+			if bound != nil && float64(run.partial.Add(o.cycles-floors[t]))/freqHz > bound.best() {
 				run.abort.Store(true)
 				break
 			}
@@ -735,9 +897,11 @@ func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles 
 		return Result{}, err
 	}
 	if run.abort.Load() {
-		// The partial total (simulated tiles + exact write-back) is a
-		// valid lower bound on the design's true cycle count, and it is
-		// already strictly above the best complete design's seconds.
+		// The partial total (exact charges for simulated tiles, analytic
+		// floors for the rest, exact write-back) is a valid lower bound on
+		// the design's true cycle count, and it is already strictly above
+		// the best complete design's seconds.
+		tc.noteBoundAbort()
 		lb := run.partial.Load()
 		return Result{
 			Design:  cfg.ID,
@@ -783,7 +947,7 @@ func (w *Workload) simulateBound(ctx context.Context, cfg Config, parallelTiles 
 // into its own function so none of the serial path's locals are captured
 // by a goroutine closure (such captures would box them on the heap on
 // every call, breaking the steady-state zero-allocation guarantee).
-func (w *Workload) runTilesParallel(ctx context.Context, cfg Config, tiles []Span, perTile [][]Elem, tileNNZ []int64, run *tileRun, bound *raceBound, freqHz float64, workers int) {
+func (w *Workload) runTilesParallel(ctx context.Context, cfg Config, tiles []Span, perTile [][]Elem, tileNNZ []int64, run *tileRun, bound *raceBound, floors []int64, tc *TileCache, salt uint64, freqHz float64, workers int) {
 	outs := run.outs
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -793,13 +957,17 @@ func (w *Workload) runTilesParallel(ctx context.Context, cfg Config, tiles []Spa
 			sc := w.getSched()
 			defer w.putSched(sc)
 			for ctx.Err() == nil && !run.abort.Load() {
+				if bound != nil && float64(run.partial.Load())/freqHz > bound.best() {
+					run.abort.Store(true)
+					return
+				}
 				t := int(atomic.AddInt64(&run.next, 1)) - 1
 				if t >= len(tiles) {
 					return
 				}
-				o := simulateTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc)
+				o := memoTile(cfg, tiles[t], perTile[t], tileNNZ[t], w.B.Cols, sc, tc, salt)
 				outs[t] = o
-				if bound != nil && float64(run.partial.Add(o.cycles))/freqHz > bound.best() {
+				if bound != nil && float64(run.partial.Add(o.cycles-floors[t]))/freqHz > bound.best() {
 					run.abort.Store(true)
 					return
 				}
@@ -813,42 +981,78 @@ func (w *Workload) runTilesParallel(ctx context.Context, cfg Config, tiles []Spa
 // streaming overlap of §3.2.1 plus broadcast fill and the inter-tile
 // dependency gap.
 func simulateTile(cfg Config, s Span, elems []Elem, tileNNZ int64, bCols int, sc *schedScratch) tileOutcome {
-	var o tileOutcome
 	if len(elems) == 0 && tileNNZ == 0 {
-		o.skip = true // nothing to stream or compute for this tile
-		return o
+		return tileOutcome{skip: true} // nothing to stream or compute
 	}
-	// Read B tile over ChB channels.
+	busy, bubbles, compute := scheduleTile(cfg, elems, sc)
+	return finishTile(cfg, s, elems, tileNNZ, bCols, busy, bubbles, compute)
+}
+
+// memoTile is simulateTile through the tile cache: the scheduling half is
+// served from (and fed to) tc keyed by the stream's content hash, while
+// the shape-derived half is always recomputed by finishTile. A nil tc
+// disables memoization.
+func memoTile(cfg Config, s Span, elems []Elem, tileNNZ int64, bCols int, sc *schedScratch, tc *TileCache, salt uint64) tileOutcome {
+	if tc == nil {
+		return simulateTile(cfg, s, elems, tileNNZ, bCols, sc)
+	}
+	if len(elems) == 0 && tileNNZ == 0 {
+		return tileOutcome{skip: true}
+	}
+	hi, lo := hashTileElems(elems, cfg.SchedulerA == RowWise, salt)
+	if busy, bubbles, compute, ok := tc.lookup(hi, lo); ok {
+		return finishTile(cfg, s, elems, tileNNZ, bCols, busy, bubbles, compute)
+	}
+	busy, bubbles, compute := scheduleTile(cfg, elems, sc)
+	tc.store(hi, lo, busy, bubbles, compute)
+	return finishTile(cfg, s, elems, tileNNZ, bCols, busy, bubbles, compute)
+}
+
+// scheduleTile is the expensive, memoizable half of a tile charge: it
+// schedules each PEG's share of the element stream (the tile completes
+// when the slowest PEG does) and, for row-wise designs, adds the
+// cross-accumulator merge of the per-PEG partial rows (see mergeCycles).
+// Its result depends only on the stream content and the schedule-relevant
+// Config fields — exactly what the tile-cache key hashes.
+func scheduleTile(cfg Config, elems []Elem, sc *schedScratch) (busy, bubbles, compute int64) {
+	// One fused scatter replaces splitByPEG + per-group fillQueues. The
+	// aggregates stay bit-identical: busy and bubbles are sums over every
+	// (PEG, PE) queue either way, and the tile's compute is the max over
+	// PEG makespans, each itself a max over that group's PEs — so one flat
+	// max over all queues yields the same value.
+	for _, q := range sc.scatterTile(elems, cfg.PEG, cfg.PEsPerPEG, cfg.SchedulerA) {
+		ps := schedulePEScratch(q, cfg.DepGapCycles, cfg.WindowSize, false, sc)
+		busy += ps.Busy
+		bubbles += ps.Bubbles
+		if ps.Makespan > compute {
+			compute = ps.Makespan
+		}
+	}
+	if cfg.SchedulerA == RowWise {
+		compute += mergeCyclesScratch(elems, cfg, sc)
+	}
+	return busy, bubbles, compute
+}
+
+// finishTile combines a tile's scheduling triple with the shape-derived
+// charges that are cheap to recompute and deliberately excluded from the
+// tile-cache key: B read over ChB, A stream over ChA, PEG-chain broadcast
+// fill, straggler-PEG capacity, and the overlapped per-tile cycle total.
+func finishTile(cfg Config, s Span, elems []Elem, tileNNZ int64, bCols int, busy, bubbles, compute int64) tileOutcome {
+	var o tileOutcome
 	if cfg.CompressedB {
 		o.bRead = ceilDiv64(tileNNZ, int64(cfg.BCOOElemsPerRead*cfg.ChB))
 	} else {
 		o.bRead = ceilDiv64(int64(s.Rows())*int64(bCols), int64(cfg.BDenseElemsPerRead*cfg.ChB))
 	}
-	// Stream A elements for this tile over ChA channels.
 	o.aRead = ceilDiv64(int64(len(elems)), int64(cfg.AElemsPerRead*cfg.ChA))
 	// Broadcast fill: B forwards PEG-to-PEG down the chain (§3.2.1).
 	o.broadcast = int64(cfg.PEG)
-
-	// Schedule each PEG's share; the tile completes when the slowest PEG
-	// does.
-	for _, g := range splitByPEGScratch(elems, cfg.PEG, cfg.SchedulerA, sc) {
-		busy, bubbles, makespan := schedulePEGAgg(g, cfg.PEsPerPEG, cfg.SchedulerA, cfg.PEG, cfg.DepGapCycles, cfg.WindowSize, sc)
-		o.busy += busy
-		o.bubbles += bubbles
-		if makespan > o.compute {
-			o.compute = makespan
-		}
-	}
-	// Row-wise designs spread each output row over many PEGs, so the
-	// partial vectors must merge across accumulator groups before
-	// write-back (see mergeCycles).
-	if cfg.SchedulerA == RowWise {
-		o.compute += mergeCyclesScratch(elems, cfg, sc)
-	}
+	o.busy, o.bubbles, o.compute = busy, bubbles, compute
 	// Utilization counts idle lanes against the straggler PEG's makespan —
 	// the §3.2.2 "bubbles plus padding" effect.
-	o.capacity = int64(cfg.PEs()) * o.compute
-	o.cycles = max64(o.compute, max64(o.aRead, o.bRead)) + o.broadcast + cfg.DepGapCycles
+	o.capacity = int64(cfg.PEs()) * compute
+	o.cycles = max64(compute, max64(o.aRead, o.bRead)) + o.broadcast + cfg.DepGapCycles
 	return o
 }
 
@@ -863,6 +1067,9 @@ func SimulateAllSerial(a, b *sparse.CSR) ([NumDesigns]Result, error) {
 		if err != nil {
 			return out, err
 		}
+		// The reference never memoizes: every equivalence, golden and fuzz
+		// gate then compares memo-on engines against memo-off scheduling.
+		w.AttachTileCache(nil)
 		r, err := w.simulate(context.Background(), GetConfig(id), false)
 		if err != nil {
 			return out, err

@@ -81,6 +81,35 @@ func (m *CSR) ToCSC() *CSC {
 	return out
 }
 
+// ToCSCPattern is ToCSC without the value scatter: the returned CSC has
+// a nil Val. Pattern-only consumers — the accelerator simulator's
+// traversal orders, tile bins and analytic bounds are all
+// value-independent — skip allocating and filling NNZ float64s.
+func (m *CSR) ToCSCPattern() *CSC {
+	out := &CSC{
+		Rows:   m.Rows,
+		Cols:   m.Cols,
+		ColPtr: make([]int, m.Cols+1),
+		RowIdx: make([]int, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.ColPtr[c+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		out.ColPtr[c+1] += out.ColPtr[c]
+	}
+	next := make([]int, m.Cols)
+	copy(next, out.ColPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := m.ColIdx[i]
+			out.RowIdx[next[c]] = r
+			next[c]++
+		}
+	}
+	return out
+}
+
 // ToDense expands a CSR matrix to dense form.
 func (m *CSR) ToDense() *Dense {
 	d := NewDense(m.Rows, m.Cols)

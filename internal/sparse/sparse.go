@@ -187,9 +187,13 @@ func (m *CSC) Density() float64 {
 func (m *CSC) ColNNZ(c int) int { return m.ColPtr[c+1] - m.ColPtr[c] }
 
 // Col returns the row indices and values of column c. The returned slices
-// alias the matrix storage and must not be modified.
+// alias the matrix storage and must not be modified. On a pattern-only
+// matrix (see CSR.ToCSCPattern) the value slice is nil.
 func (m *CSC) Col(c int) ([]int, []float64) {
 	lo, hi := m.ColPtr[c], m.ColPtr[c+1]
+	if m.Val == nil {
+		return m.RowIdx[lo:hi], nil
+	}
 	return m.RowIdx[lo:hi], m.Val[lo:hi]
 }
 

@@ -193,6 +193,11 @@ type Framework struct {
 	// decisions — those depend on mutable device state and are re-priced
 	// per request.
 	cache *memo.Cache
+	// tileCache, when enabled via WithTileCache, shares per-tile schedule
+	// memoization across every workload the framework simulates — cold
+	// analyses, pruned verifier audits, labelling — so a re-simulation of
+	// a just-served pair reuses its schedules (see sim.TileCache).
+	tileCache *sim.TileCache
 	// registry is the versioned model store behind snapshot(); always
 	// non-nil on a constructed framework.
 	registry *registry.Registry
@@ -296,6 +301,40 @@ func (f *Framework) CacheStats() (st CacheStats, ok bool) {
 	return f.cache.Stats(), true
 }
 
+// TileCacheStats are the shared tile-schedule cache's counters (see
+// WithTileCache).
+type TileCacheStats = sim.TileCacheStats
+
+// WithTileCache enables the framework-wide tile-schedule cache with
+// roughly budgetBytes of memoized (busy, bubbles, makespan) triples,
+// returning f for chaining. Every workload the framework simulates —
+// cold analyses, the pruned verifier's re-simulations, training labels —
+// then shares one schedule pool keyed by tile content and design
+// scheduling parameters, instead of each workload memoizing privately.
+func (f *Framework) WithTileCache(budgetBytes int64) *Framework {
+	f.tileCache = sim.NewTileCache(budgetBytes)
+	return f
+}
+
+// TileCacheStats snapshots the shared tile-schedule cache counters
+// (including the slow tier's bound-abort and coarse-skip counts); ok is
+// false when no shared cache is enabled.
+func (f *Framework) TileCacheStats() (st TileCacheStats, ok bool) {
+	if f.tileCache == nil {
+		return TileCacheStats{}, false
+	}
+	return f.tileCache.Stats(), true
+}
+
+// attachTileCache points w at the shared tile-schedule cache, when one is
+// enabled. Without one, workloads keep their lazily created private
+// caches (intra-workload reuse only).
+func (f *Framework) attachTileCache(w *Workload) {
+	if f.tileCache != nil {
+		w.AttachTileCache(f.tileCache)
+	}
+}
+
 // prunedKeySalt separates the pruned-deployment feature flavour in the
 // cache keyspace: a TopFeaturesOnly framework stores ExtractPruned
 // vectors, which must never be confused with the full vectors the
@@ -323,6 +362,7 @@ func (f *Framework) AnalysisKey(a, b *Matrix) memo.Key { return f.analysisKey(a,
 // design simulations (shared precompute, parallel fan-out), and the
 // baseline statistics.
 func (f *Framework) buildAnalysis(ctx context.Context, w *Workload) (*Analysis, error) {
+	f.attachTileCache(w)
 	an := &Analysis{}
 	if f.Options.TopFeaturesOnly {
 		an.Features = features.ExtractPruned(w.A, w.B)
@@ -615,6 +655,7 @@ func (f *Framework) AnalyzeOn(ctx context.Context, dev *Accelerator, w *sim.Work
 	rep.ReconfigSec = dec.ReconfigSeconds
 	rep.PredictedSeconds = snap.Engine().Predictor.Predict(v, dec.Target)
 
+	f.attachTileCache(w)
 	res, err := w.SimulateDesignCtx(ctx, dec.Target)
 	if err != nil {
 		return rep, fmt.Errorf("misam: simulate: %w", err)
